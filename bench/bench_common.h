@@ -1,0 +1,11 @@
+#pragma once
+
+/// Bench binaries build their instances through the tested library module
+/// src/experiments/workloads.h; this header just brings that API into the
+/// dtr::bench namespace the binaries use.
+
+#include "experiments/workloads.h"
+
+namespace dtr::bench {
+using namespace dtr::experiments;  // NOLINT(google-build-using-namespace)
+}  // namespace dtr::bench

@@ -1,0 +1,110 @@
+/// Micro-benchmarks of the simulator substrate (google-benchmark): SPF,
+/// ECMP load aggregation, single evaluation, and failure sweeps — the unit
+/// costs that Sec. IV's complexity argument is built from.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+#include "graph/spf.h"
+#include "routing/route_state.h"
+
+namespace {
+
+using namespace dtr;
+using namespace dtr::bench;
+
+struct MicroFixture {
+  Workload w;
+  std::unique_ptr<Evaluator> evaluator;
+  WeightSetting weights;
+  std::vector<double> costs;
+
+  explicit MicroFixture(int nodes) {
+    WorkloadSpec spec;
+    spec.nodes = nodes;
+    spec.degree = 6.0;
+    spec.seed = 1;
+    w = make_workload(spec);
+    evaluator = std::make_unique<Evaluator>(w.graph, w.traffic, w.params);
+    weights = WeightSetting(w.graph.num_links());
+    weights.arc_costs(w.graph, TrafficClass::kDelay, costs);
+  }
+};
+
+MicroFixture& fixture(int nodes) {
+  static std::map<int, std::unique_ptr<MicroFixture>> cache;
+  auto& slot = cache[nodes];
+  if (!slot) slot = std::make_unique<MicroFixture>(nodes);
+  return *slot;
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  MicroFixture& f = fixture(static_cast<int>(state.range(0)));
+  std::vector<double> dist;
+  NodeId t = 0;
+  for (auto _ : state) {
+    shortest_distances_to(f.w.graph, t, f.costs, {}, dist);
+    benchmark::DoNotOptimize(dist.data());
+    t = (t + 1) % f.w.graph.num_nodes();
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(16)->Arg(30)->Arg(50);
+
+void BM_ClassRouting(benchmark::State& state) {
+  MicroFixture& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const ClassRouting r(f.w.graph, f.costs, f.w.traffic.throughput, {});
+    benchmark::DoNotOptimize(r.arc_loads().data());
+  }
+}
+BENCHMARK(BM_ClassRouting)->Arg(16)->Arg(30)->Arg(50);
+
+void BM_EvaluateNormal(benchmark::State& state) {
+  MicroFixture& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const EvalResult r = f.evaluator->evaluate(f.weights);
+    benchmark::DoNotOptimize(r.lambda);
+  }
+}
+BENCHMARK(BM_EvaluateNormal)->Arg(16)->Arg(30)->Arg(50);
+
+void BM_EvaluateWithFullDetail(benchmark::State& state) {
+  MicroFixture& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const EvalResult r =
+        f.evaluator->evaluate(f.weights, FailureScenario::none(), EvalDetail::kFull);
+    benchmark::DoNotOptimize(r.arc_utilization.data());
+  }
+}
+BENCHMARK(BM_EvaluateWithFullDetail)->Arg(16)->Arg(30);
+
+void BM_FailureSweep(benchmark::State& state) {
+  MicroFixture& f = fixture(static_cast<int>(state.range(0)));
+  const auto scenarios = all_link_failures(f.w.graph);
+  for (auto _ : state) {
+    const SweepResult r = f.evaluator->sweep(f.weights, scenarios);
+    benchmark::DoNotOptimize(r.lambda);
+  }
+  state.counters["scenarios"] = static_cast<double>(scenarios.size());
+}
+BENCHMARK(BM_FailureSweep)->Arg(16)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_FailureSweepWithAbort(benchmark::State& state) {
+  MicroFixture& f = fixture(static_cast<int>(state.range(0)));
+  const auto scenarios = all_link_failures(f.w.graph);
+  // A tight bound: the sweep aborts early, as Phase 2 candidates mostly do.
+  const SweepResult full = f.evaluator->sweep(f.weights, scenarios);
+  const CostPair bound{full.lambda * 0.25, full.phi * 0.25};
+  for (auto _ : state) {
+    const SweepResult r = f.evaluator->sweep(f.weights, scenarios, &bound);
+    benchmark::DoNotOptimize(r.aborted);
+  }
+}
+BENCHMARK(BM_FailureSweepWithAbort)->Arg(16)->Arg(30)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

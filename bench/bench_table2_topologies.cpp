@@ -1,0 +1,113 @@
+/// Table II — "Number of SLA violations across topologies", plus Fig. 3's
+/// per-failure profiles and the Sec. V-B NearTopo link-resizing experiment.
+///
+/// For each topology: compare robust ("R") vs. regular ("NR") routings on
+///   - average SLA violations across all single link failures
+///   - average violations over the worst top-10% of failures
+///   - normal-condition cost degradation of throughput-sensitive traffic.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace dtr;
+using namespace dtr::bench;
+
+struct TopologyOutcome {
+  RunningStats beta_r, beta_nr, top_r, top_nr, phi_degradation_pct, beta_floor;
+};
+
+TopologyOutcome evaluate_topology(const BenchContext& ctx, const WorkloadSpec& base_spec,
+                                  Graph* graph_override = nullptr) {
+  TopologyOutcome out;
+  for (int rep = 0; rep < ctx.repeats; ++rep) {
+    WorkloadSpec spec = base_spec;
+    spec.seed = ctx.seed + static_cast<std::uint64_t>(rep) * 101;
+    Workload w = make_workload(spec);
+    if (graph_override != nullptr) w.graph = *graph_override;
+    const Evaluator evaluator(w.graph, w.traffic, w.params);
+    const OptimizeResult r = run_optimizer(evaluator, ctx.effort, spec.seed);
+
+    const FailureProfile robust = link_failure_profile(evaluator, r.robust);
+    const FailureProfile regular = link_failure_profile(evaluator, r.regular);
+    out.beta_r.add(robust.beta());
+    out.beta_nr.add(regular.beta());
+    out.top_r.add(robust.beta_top(0.10));
+    out.top_nr.add(regular.beta_top(0.10));
+    out.phi_degradation_pct.add(
+        (r.robust_normal_cost.phi / std::max(r.regular_cost.phi, 1e-9) - 1.0) * 100.0);
+    // Extension beyond the paper: the propagation-limited lower bound — SLA
+    // violations NO routing could avoid (topology + failure property).
+    const auto floor_profile =
+        unavoidable_violation_profile(evaluator, all_link_failures(w.graph));
+    out.beta_floor.add(mean(floor_profile));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const BenchContext ctx = context_from_env();
+  print_context(std::cout, "Table II: SLA violations across topologies", ctx);
+
+  Table table({"Topology", "avg violations R", "avg violations NR", "top-10% R",
+               "top-10% NR", "Phi degradation (%)", "unavoidable floor"});
+  for (const WorkloadSpec& spec : paper_topologies(ctx.effort, ctx.seed)) {
+    const TopologyOutcome o = evaluate_topology(ctx, spec);
+    table.row()
+        .cell(spec.label())
+        .mean_std(o.beta_r.mean(), o.beta_r.stddev())
+        .mean_std(o.beta_nr.mean(), o.beta_nr.stddev())
+        .mean_std(o.top_r.mean(), o.top_r.stddev())
+        .mean_std(o.top_nr.mean(), o.top_nr.stddev())
+        .mean_std(o.phi_degradation_pct.mean(), o.phi_degradation_pct.stddev())
+        .mean_std(o.beta_floor.mean(), o.beta_floor.stddev());
+  }
+  print_banner(std::cout,
+               "Table II (paper: R beats NR 2-7x; NearTopo is the outlier; "
+               "Phi degradation well under the 20% allowance)");
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+
+  // ---- Sec. V-B extension: resize NearTopo's congested core links so that
+  // normal-condition utilization drops below 90%, then re-optimize.
+  WorkloadSpec near_spec = paper_topologies(ctx.effort, ctx.seed)[1];
+  Workload near_w = make_workload(near_spec);
+  {
+    const Evaluator evaluator(near_w.graph, near_w.traffic, near_w.params);
+    const OptimizeResult r = run_optimizer(evaluator, ctx.effort, near_spec.seed);
+    const EvalResult normal =
+        evaluator.evaluate(r.regular, FailureScenario::none(), EvalDetail::kFull);
+    int resized = 0;
+    for (LinkId l = 0; l < near_w.graph.num_links(); ++l) {
+      double util = 0.0;
+      for (ArcId a : near_w.graph.link_arcs(l))
+        util = std::max(util, normal.arc_utilization[a]);
+      if (util > 0.90) {
+        near_w.graph.scale_link_capacity(l, util / 0.90 * 1.05);
+        ++resized;
+      }
+    }
+    std::cout << "\nNearTopo resize: upgraded " << resized
+              << " congested links (>90% normal-condition utilization)\n";
+  }
+  const TopologyOutcome resized = evaluate_topology(ctx, near_spec, &near_w.graph);
+  Table resize_table({"Topology", "avg violations R", "avg violations NR"});
+  resize_table.row()
+      .cell("NearTopo (resized)")
+      .mean_std(resized.beta_r.mean(), resized.beta_r.stddev())
+      .mean_std(resized.beta_nr.mean(), resized.beta_nr.stddev());
+  print_banner(std::cout,
+               "NearTopo after capacity resize (paper: violations drop, but the "
+               "limited path diversity still caps robust gains)");
+  resize_table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  resize_table.print_csv(std::cout);
+  return 0;
+}

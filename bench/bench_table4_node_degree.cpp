@@ -1,0 +1,55 @@
+/// Table IV — "SLA violations in 30-node RandTopo (different mean degrees)".
+///
+/// Fixed node count, mean degree swept over {4, 6, 8}: more links means more
+/// path diversity for the robust search to exploit. Paper claim: robust
+/// gains persist/increase with degree; the regular routing stays fragile.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace dtr;
+  using namespace dtr::bench;
+  const BenchContext ctx = context_from_env();
+  print_context(std::cout, "Table IV: SLA violations vs. mean node degree", ctx);
+
+  const std::vector<double> degrees{4.0, 6.0, 8.0};
+  Table table({"Mean degree", "links(arcs)", "avg R", "avg NR", "top-10% R",
+               "top-10% NR"});
+  for (double degree : degrees) {
+    RunningStats beta_r, beta_nr, top_r, top_nr;
+    std::size_t arcs = 0;
+    for (int rep = 0; rep < ctx.repeats; ++rep) {
+      WorkloadSpec spec = default_rand_spec(ctx.effort, ctx.seed);
+      spec.degree = degree;
+      spec.seed = ctx.seed + static_cast<std::uint64_t>(rep) * 101 +
+                  static_cast<std::uint64_t>(degree * 10);
+      const Workload w = make_workload(spec);
+      arcs = w.graph.num_arcs();
+      const Evaluator evaluator(w.graph, w.traffic, w.params);
+      const OptimizeResult r = run_optimizer(evaluator, ctx.effort, spec.seed);
+      const FailureProfile robust = link_failure_profile(evaluator, r.robust);
+      const FailureProfile regular = link_failure_profile(evaluator, r.regular);
+      beta_r.add(robust.beta());
+      beta_nr.add(regular.beta());
+      top_r.add(robust.beta_top(0.10));
+      top_nr.add(regular.beta_top(0.10));
+    }
+    table.row()
+        .num(degree, 0)
+        .integer(static_cast<long long>(arcs))
+        .mean_std(beta_r.mean(), beta_r.stddev())
+        .mean_std(beta_nr.mean(), beta_nr.stddev())
+        .mean_std(top_r.mean(), top_r.stddev())
+        .mean_std(top_nr.mean(), top_nr.stddev());
+  }
+  print_banner(std::cout,
+               "Table IV (paper: higher degree -> more alternate paths -> "
+               "robust routing approaches zero violations)");
+  table.print(std::cout);
+  std::cout << "\nCSV:\n";
+  table.print_csv(std::cout);
+  return 0;
+}

@@ -1,0 +1,86 @@
+/// Table V — "SLA violations in RandTopo as a function of SLA bound", the
+/// Sec. V-E question: is a looser SLA a substitute for robust optimization?
+///
+/// Sweeps theta over {25, 30, 45, 60, 100} ms with the propagation diameter
+/// FIXED (calibrated against 25 ms as footnote 14 prescribes), reporting per
+/// optimization mode: average SLA violations across failures, average link
+/// utilization, and average max utilization on delay-traffic paths.
+/// Paper claims: (i) robust stays far ahead at every bound; (ii) regular
+/// optimization often gets WORSE as theta loosens (delays grow to match, and
+/// longer paths raise utilization).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/metrics.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace dtr;
+  using namespace dtr::bench;
+  const BenchContext ctx = context_from_env();
+  print_context(std::cout, "Table V: SLA-bound sweep (regular vs. robust)", ctx);
+
+  const std::vector<double> bounds{25.0, 30.0, 45.0, 60.0, 100.0};
+
+  struct Row {
+    RunningStats violations, avg_util, max_path_util;
+  };
+  std::vector<Row> regular_rows(bounds.size()), robust_rows(bounds.size());
+
+  for (int rep = 0; rep < ctx.repeats; ++rep) {
+    for (std::size_t b = 0; b < bounds.size(); ++b) {
+      WorkloadSpec spec = default_rand_spec(ctx.effort, ctx.seed);
+      spec.seed = ctx.seed + static_cast<std::uint64_t>(rep) * 101;
+      spec.theta_ms = bounds[b];
+      // Footnote 14: the network's maximum propagation delay stays fixed at
+      // the 25ms calibration while theta alone is relaxed.
+      Workload w = make_workload(spec);
+      w.params.sla.theta_ms = bounds[b];
+      Graph recalibrated = w.graph;
+      calibrate_delays_to_sla(recalibrated, 25.0);
+      w.graph = recalibrated;
+
+      const Evaluator evaluator(w.graph, w.traffic, w.params);
+      const OptimizeResult r = run_optimizer(evaluator, ctx.effort, spec.seed);
+
+      const FailureProfile reg_profile = link_failure_profile(evaluator, r.regular);
+      const FailureProfile rob_profile = link_failure_profile(evaluator, r.robust);
+      const EvalResult reg_normal =
+          evaluator.evaluate(r.regular, FailureScenario::none(), EvalDetail::kFull);
+      const EvalResult rob_normal =
+          evaluator.evaluate(r.robust, FailureScenario::none(), EvalDetail::kFull);
+
+      regular_rows[b].violations.add(reg_profile.beta());
+      regular_rows[b].avg_util.add(utilization_stats(reg_normal).average);
+      regular_rows[b].max_path_util.add(average_max_path_utilization(evaluator, r.regular));
+      robust_rows[b].violations.add(rob_profile.beta());
+      robust_rows[b].avg_util.add(utilization_stats(rob_normal).average);
+      robust_rows[b].max_path_util.add(average_max_path_utilization(evaluator, r.robust));
+    }
+  }
+
+  auto emit = [&](const char* title, std::vector<Row>& rows) {
+    Table table({"SLA bound (ms)", "avg SLA violations", "avg link util",
+                 "avg max path util"});
+    for (std::size_t b = 0; b < bounds.size(); ++b) {
+      table.row()
+          .num(bounds[b], 0)
+          .mean_std(rows[b].violations.mean(), rows[b].violations.stddev())
+          .num(rows[b].avg_util.mean(), 2)
+          .num(rows[b].max_path_util.mean(), 2);
+    }
+    print_banner(std::cout, title);
+    table.print(std::cout);
+    std::cout << "\nCSV:\n";
+    table.print_csv(std::cout);
+  };
+
+  emit("Table V — regular optimization (paper: violations do NOT fall as theta "
+       "loosens; utilization creeps up)",
+       regular_rows);
+  emit("Table V — robust optimization (paper: violations shrink toward zero as "
+       "theta loosens)",
+       robust_rows);
+  return 0;
+}

@@ -1,0 +1,74 @@
+/// Sec. IV-E2 — computational savings of the critical search
+/// (google-benchmark binary).
+///
+/// The paper reports Phase 1 / Phase 2 wall-clock for critical vs. full
+/// search on a 30-node, 240-arc RandTopo with |Ec|/|E| = 0.1: the critical
+/// search trades a slightly longer Phase 1 (sampling) for an order-of-
+/// magnitude shorter Phase 2 (56h -> 4h on their hardware). Absolute times
+/// differ on modern machines; the claim is the RATIO, which this bench
+/// reproduces, plus the |Ec| knob's proportional effect.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace dtr;
+using namespace dtr::bench;
+
+struct TimingFixture {
+  Workload workload;
+  std::unique_ptr<Evaluator> evaluator;
+
+  explicit TimingFixture(Effort effort, std::uint64_t seed) {
+    WorkloadSpec spec = default_rand_spec(effort, seed);
+    spec.degree = effort == Effort::kFull ? 8.0 : 5.0;  // paper: 30 nodes, 240 arcs
+    workload = make_workload(spec);
+    evaluator = std::make_unique<Evaluator>(workload.graph, workload.traffic,
+                                            workload.params);
+  }
+};
+
+TimingFixture& fixture() {
+  static TimingFixture f(effort_from_env(Effort::kQuick), seed_from_env(1));
+  return f;
+}
+
+void report_phases(benchmark::State& state, const OptimizeResult& r) {
+  state.counters["phase1_s"] = r.phase1_seconds + r.phase1b_seconds;
+  state.counters["phase2_s"] = r.phase2_seconds;
+  state.counters["phase2_scenario_evals"] =
+      static_cast<double>(r.phase2_scenario_evaluations);
+  state.counters["Ec"] = static_cast<double>(r.critical.size());
+}
+
+void BM_CriticalSearch(benchmark::State& state) {
+  const double fraction = static_cast<double>(state.range(0)) / 100.0;
+  const Effort effort = effort_from_env(Effort::kQuick);
+  OptimizeResult last;
+  for (auto _ : state) {
+    last = run_optimizer(*fixture().evaluator, effort, seed_from_env(1),
+                         [&](OptimizerConfig& c) { c.critical_fraction = fraction; });
+  }
+  report_phases(state, last);
+}
+BENCHMARK(BM_CriticalSearch)->Arg(10)->Arg(15)->Arg(25)->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+void BM_FullSearch(benchmark::State& state) {
+  const Effort effort = effort_from_env(Effort::kQuick);
+  OptimizeResult last;
+  for (auto _ : state) {
+    last = run_optimizer(*fixture().evaluator, effort, seed_from_env(1),
+                         [](OptimizerConfig& c) { c.selector = SelectorKind::kFullSearch; });
+  }
+  report_phases(state, last);
+}
+BENCHMARK(BM_FullSearch)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,173 @@
+/// dtr_tool — command-line front end for the library: build (or load) a
+/// topology, synthesize traffic, run the two-phase robust optimization, and
+/// export the deployable artifacts (weight file, Graphviz map, failure
+/// report).
+///
+/// Usage:
+///   dtr_tool [--topology rand|near|pl|isp] [--nodes N] [--degree D]
+///            [--seed S] [--avg-util U | --max-util U] [--theta MS]
+///            [--effort smoke|quick|full] [--fraction F]
+///            [--in-graph FILE] [--out-graph FILE] [--out-weights FILE]
+///            [--out-dot FILE] [--report]
+///
+/// Examples:
+///   dtr_tool --topology isp --report --out-weights isp.weights
+///   dtr_tool --topology rand --nodes 24 --degree 6 --out-dot net.dot
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/metrics.h"
+#include "core/optimizer.h"
+#include "graph/graph_io.h"
+#include "graph/isp.h"
+#include "graph/topology.h"
+#include "routing/weights_io.h"
+#include "traffic/gravity.h"
+#include "traffic/scaling.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace dtr;
+
+struct Options {
+  std::string topology = "rand";
+  int nodes = 16;
+  double degree = 5.0;
+  std::uint64_t seed = 1;
+  UtilizationTarget util{UtilizationTarget::Kind::kAverage, 0.43};
+  double theta_ms = 25.0;
+  Effort effort = Effort::kQuick;
+  double fraction = 0.15;
+  std::string in_graph, out_graph, out_weights, out_dot;
+  bool report = false;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "dtr_tool: " << message << "\n(see the header comment for usage)\n";
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--report") {
+      opt.report = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0 || i + 1 >= argc) usage_error("bad argument: " + arg);
+    flags[arg] = argv[++i];
+  }
+  for (const auto& [flag, value] : flags) {
+    if (flag == "--topology") opt.topology = value;
+    else if (flag == "--nodes") opt.nodes = std::stoi(value);
+    else if (flag == "--degree") opt.degree = std::stod(value);
+    else if (flag == "--seed") opt.seed = std::stoull(value);
+    else if (flag == "--avg-util")
+      opt.util = {UtilizationTarget::Kind::kAverage, std::stod(value)};
+    else if (flag == "--max-util")
+      opt.util = {UtilizationTarget::Kind::kMax, std::stod(value)};
+    else if (flag == "--theta") opt.theta_ms = std::stod(value);
+    else if (flag == "--fraction") opt.fraction = std::stod(value);
+    else if (flag == "--effort") {
+      if (value == "smoke") opt.effort = Effort::kSmoke;
+      else if (value == "quick") opt.effort = Effort::kQuick;
+      else if (value == "full") opt.effort = Effort::kFull;
+      else usage_error("unknown effort: " + value);
+    } else if (flag == "--in-graph") opt.in_graph = value;
+    else if (flag == "--out-graph") opt.out_graph = value;
+    else if (flag == "--out-weights") opt.out_weights = value;
+    else if (flag == "--out-dot") opt.out_dot = value;
+    else usage_error("unknown flag: " + flag);
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+
+  // ---- topology
+  Graph graph;
+  std::vector<std::string> names;
+  if (!opt.in_graph.empty()) {
+    std::ifstream in(opt.in_graph);
+    if (!in) usage_error("cannot open " + opt.in_graph);
+    graph = read_graph(in);
+  } else if (opt.topology == "isp") {
+    IspTopology isp = make_isp_backbone();
+    graph = std::move(isp.graph);
+    names = std::move(isp.city_names);
+  } else if (opt.topology == "rand") {
+    graph = make_rand_topo({opt.nodes, opt.degree, 500.0, opt.seed});
+  } else if (opt.topology == "near") {
+    graph = make_near_topo({opt.nodes, opt.degree, 500.0, opt.seed});
+  } else if (opt.topology == "pl") {
+    graph = make_pl_topo({opt.nodes, 3, 500.0, opt.seed});
+  } else {
+    usage_error("unknown topology: " + opt.topology);
+  }
+  EvalParams params;
+  params.sla.theta_ms = opt.theta_ms;
+  if (opt.topology != "isp" && opt.in_graph.empty())
+    calibrate_delays_to_sla(graph, opt.theta_ms);
+
+  // ---- traffic
+  ClassedTraffic traffic =
+      split_by_class(make_gravity_traffic(graph, {1.0, 1.0, opt.seed + 1}), 0.30);
+  scale_to_utilization(graph, traffic, opt.util);
+
+  // ---- optimize
+  const Evaluator evaluator(graph, traffic, params);
+  OptimizerConfig config = default_optimizer_config(opt.effort, opt.seed);
+  config.critical_fraction = opt.fraction;
+  RobustOptimizer optimizer(evaluator, config);
+  const OptimizeResult result = optimizer.optimize();
+
+  std::cout << "topology: " << (opt.in_graph.empty() ? opt.topology : opt.in_graph)
+            << "  nodes=" << graph.num_nodes() << " links=" << graph.num_links()
+            << " (arcs=" << graph.num_arcs() << ")\n";
+  std::cout << "normal cost regular: " << to_string(result.regular_cost)
+            << "\nnormal cost robust:  " << to_string(result.robust_normal_cost)
+            << "\ncritical set |Ec| = " << result.critical.size() << "\n";
+
+  // ---- exports
+  if (!opt.out_graph.empty()) {
+    std::ofstream out(opt.out_graph);
+    write_graph(out, graph);
+    std::cout << "wrote graph to " << opt.out_graph << "\n";
+  }
+  if (!opt.out_weights.empty()) {
+    std::ofstream out(opt.out_weights);
+    out << "# robust DTR weights (delay throughput), seed " << opt.seed << "\n";
+    write_weights(out, result.robust);
+    std::cout << "wrote robust weights to " << opt.out_weights << "\n";
+  }
+  if (!opt.out_dot.empty()) {
+    std::ofstream out(opt.out_dot);
+    out << to_dot(graph, names);
+    std::cout << "wrote Graphviz map to " << opt.out_dot << "\n";
+  }
+
+  // ---- failure report
+  if (opt.report) {
+    const auto scenarios = all_link_failures(graph);
+    const FailureProfile regular = profile_failures(evaluator, result.regular, scenarios);
+    const FailureProfile robust = profile_failures(evaluator, result.robust, scenarios);
+    Table table({"routing", "avg violations", "top-10%", "sum Phi_fail"});
+    table.row().cell("regular").num(regular.beta()).num(regular.beta_top()).num(
+        regular.phi_sum(), 0);
+    table.row().cell("robust").num(robust.beta()).num(robust.beta_top()).num(
+        robust.phi_sum(), 0);
+    std::cout << "\nAll single-link failures:\n";
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "core/acceptable_store.h"
+
+#include <stdexcept>
+
+namespace dtr {
+
+AcceptableStore::AcceptableStore(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  if (capacity_ == 0) throw std::invalid_argument("AcceptableStore: zero capacity");
+  entries_.reserve(capacity_);
+}
+
+void AcceptableStore::offer(const WeightSetting& setting, const CostPair& cost) {
+  ++offered_;
+  if (entries_.size() < capacity_) {
+    entries_.push_back({setting, cost});
+    return;
+  }
+  // Reservoir sampling: keep each offered element with probability cap/seen.
+  const std::uint64_t slot = rng_.uniform_index(offered_);
+  if (slot < capacity_) entries_[slot] = {setting, cost};
+}
+
+std::vector<const AcceptableStore::Entry*> AcceptableStore::feasible_entries(
+    double lambda_star, double phi_star, double chi) const {
+  const LexicographicOrder order;
+  std::vector<const Entry*> out;
+  for (const Entry& e : entries_) {
+    if (order.values_equal(e.cost.lambda, lambda_star) &&
+        e.cost.phi <= (1.0 + chi) * phi_star + order.abs_tol()) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+const AcceptableStore::Entry& AcceptableStore::sample(Rng& rng) const {
+  if (entries_.empty()) throw std::logic_error("AcceptableStore::sample: empty store");
+  return entries_[rng.uniform_index(entries_.size())];
+}
+
+}  // namespace dtr

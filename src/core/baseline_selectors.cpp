@@ -1,0 +1,92 @@
+#include "core/baseline_selectors.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace dtr {
+
+namespace {
+
+std::vector<LinkId> top_k_by_score(std::span<const double> score, std::size_t k) {
+  std::vector<LinkId> order(score.size());
+  std::iota(order.begin(), order.end(), LinkId{0});
+  std::sort(order.begin(), order.end(), [&](LinkId a, LinkId b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    return a < b;
+  });
+  order.resize(std::min(k, order.size()));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+std::vector<LinkId> select_random_links(std::size_t num_links, std::size_t target_size,
+                                        Rng& rng) {
+  if (target_size > num_links)
+    throw std::invalid_argument("select_random_links: target exceeds link count");
+  std::vector<LinkId> all(num_links);
+  std::iota(all.begin(), all.end(), LinkId{0});
+  std::shuffle(all.begin(), all.end(), rng.engine());
+  all.resize(target_size);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+std::vector<LinkId> select_by_load(const Evaluator& evaluator,
+                                   const WeightSetting& regular_best,
+                                   std::size_t target_size) {
+  const EvalResult normal =
+      evaluator.evaluate(regular_best, FailureScenario::none(), EvalDetail::kFull);
+  const Graph& g = evaluator.graph();
+  std::vector<double> link_util(g.num_links(), 0.0);
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const LinkId l = g.arc(a).link;
+    link_util[l] = std::max(link_util[l], normal.arc_utilization[a]);
+  }
+  return top_k_by_score(link_util, target_size);
+}
+
+std::vector<LinkId> select_by_threshold_crossings(const CriticalityCollector& collector,
+                                                  std::size_t target_size,
+                                                  const ThresholdSelectorParams& params) {
+  if (params.bad_quantile <= 0.0 || params.bad_quantile >= 1.0)
+    throw std::invalid_argument("select_by_threshold_crossings: quantile outside (0,1)");
+
+  // Pool all samples per class to fix the global "bad" thresholds.
+  const std::size_t num_links = collector.num_links();
+  std::vector<double> all_lambda, all_phi;
+  for (LinkId l = 0; l < num_links; ++l) {
+    const auto ls = collector.lambda_samples(l);
+    all_lambda.insert(all_lambda.end(), ls.begin(), ls.end());
+    const auto ps = collector.phi_samples(l);
+    all_phi.insert(all_phi.end(), ps.begin(), ps.end());
+  }
+  const double bad_lambda = quantile(all_lambda, params.bad_quantile);
+  const double bad_phi = quantile(all_phi, params.bad_quantile);
+
+  // Per-link crossing fractions, summed across classes.
+  std::vector<double> score(num_links, 0.0);
+  for (LinkId l = 0; l < num_links; ++l) {
+    const auto ls = collector.lambda_samples(l);
+    const auto ps = collector.phi_samples(l);
+    if (!ls.empty()) {
+      double crossings = 0.0;
+      for (double v : ls)
+        if (v > bad_lambda) crossings += 1.0;
+      score[l] += crossings / static_cast<double>(ls.size());
+    }
+    if (!ps.empty()) {
+      double crossings = 0.0;
+      for (double v : ps)
+        if (v > bad_phi) crossings += 1.0;
+      score[l] += crossings / static_cast<double>(ps.size());
+    }
+  }
+  return top_k_by_score(score, target_size);
+}
+
+}  // namespace dtr

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/criticality.h"
+#include "graph/graph.h"
+#include "routing/evaluator.h"
+#include "util/rng.h"
+
+namespace dtr {
+
+/// Critical-link selectors from prior (single-routing) work, reimplemented
+/// for the Sec. IV-C comparison. The paper reports that none of them carries
+/// over to DTR; bench_selector_ablation quantifies that claim.
+
+/// Yuan (IPOM 2003): uniformly random critical set.
+std::vector<LinkId> select_random_links(std::size_t num_links, std::size_t target_size,
+                                        Rng& rng);
+
+/// Fortz–Thorup (INOC 2003): links ranked by their impact on network
+/// utilization — here, by the maximum utilization of their arcs under the
+/// regular-optimized routing.
+std::vector<LinkId> select_by_load(const Evaluator& evaluator,
+                                   const WeightSetting& regular_best,
+                                   std::size_t target_size);
+
+/// Sridharan–Guérin (Networking 2005): links ranked by how often their
+/// failure-emulating cost samples cross a global "bad performance" threshold
+/// (wild-fluctuation counting). Thresholds are quantiles of the pooled
+/// per-class sample distributions; per-link counts are normalized per class
+/// and summed.
+struct ThresholdSelectorParams {
+  double bad_quantile = 0.75;
+};
+std::vector<LinkId> select_by_threshold_crossings(const CriticalityCollector& collector,
+                                                  std::size_t target_size,
+                                                  const ThresholdSelectorParams& params = {});
+
+}  // namespace dtr

@@ -1,0 +1,110 @@
+#include "core/critical_selector.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace dtr {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+std::vector<LinkId> descending_order(std::span<const double> value) {
+  std::vector<LinkId> order(value.size());
+  std::iota(order.begin(), order.end(), LinkId{0});
+  std::sort(order.begin(), order.end(), [&](LinkId a, LinkId b) {
+    if (value[a] != value[b]) return value[a] > value[b];
+    return a < b;
+  });
+  return order;
+}
+
+/// suffix[m] = sum of values of links ranked m.. end  == expected error when
+/// only the top-m links of this list are kept.
+std::vector<double> suffix_errors(const std::vector<LinkId>& order,
+                                  std::span<const double> value) {
+  std::vector<double> suffix(order.size() + 1, 0.0);
+  for (std::size_t i = order.size(); i-- > 0;)
+    suffix[i] = suffix[i + 1] + value[order[i]];
+  return suffix;
+}
+
+std::size_t union_size(const std::vector<LinkId>& order_a, std::size_t n1,
+                       const std::vector<LinkId>& order_b, std::size_t n2,
+                       std::vector<std::uint8_t>& scratch) {
+  std::fill(scratch.begin(), scratch.end(), 0);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n1; ++i)
+    if (!scratch[order_a[i]]) { scratch[order_a[i]] = 1; ++count; }
+  for (std::size_t i = 0; i < n2; ++i)
+    if (!scratch[order_b[i]]) { scratch[order_b[i]] = 1; ++count; }
+  return count;
+}
+
+}  // namespace
+
+std::vector<double> normalize_criticality(std::span<const double> rho,
+                                          std::span<const double> tail,
+                                          std::span<const double> mean) {
+  if (rho.size() != tail.size() || rho.size() != mean.size())
+    throw std::invalid_argument("normalize_criticality: size mismatch");
+  double denom = std::accumulate(tail.begin(), tail.end(), 0.0);
+  if (denom <= kEps) denom = std::accumulate(mean.begin(), mean.end(), 0.0);
+  if (denom <= kEps) denom = 1.0;
+  std::vector<double> out(rho.size());
+  for (std::size_t i = 0; i < rho.size(); ++i) out[i] = rho[i] / denom;
+  return out;
+}
+
+CriticalSelection select_critical_links(const CriticalityEstimates& estimates,
+                                        std::size_t target_size) {
+  const std::size_t num_links = estimates.rho_lambda.size();
+  if (num_links == 0) throw std::invalid_argument("select_critical_links: no links");
+  if (target_size == 0) throw std::invalid_argument("select_critical_links: target 0");
+  if (estimates.rho_phi.size() != num_links)
+    throw std::invalid_argument("select_critical_links: estimate size mismatch");
+
+  CriticalSelection sel;
+  sel.norm_rho_lambda = normalize_criticality(estimates.rho_lambda,
+                                              estimates.tail_lambda, estimates.mean_lambda);
+  sel.norm_rho_phi =
+      normalize_criticality(estimates.rho_phi, estimates.tail_phi, estimates.mean_phi);
+  sel.order_lambda = descending_order(sel.norm_rho_lambda);
+  sel.order_phi = descending_order(sel.norm_rho_phi);
+
+  const auto err_lambda = suffix_errors(sel.order_lambda, sel.norm_rho_lambda);
+  const auto err_phi = suffix_errors(sel.order_phi, sel.norm_rho_phi);
+
+  // Algorithm 1: shrink the list whose next truncation hurts LESS; i.e. if
+  // truncating E_Lambda to n1-1 would leave error >= truncating E_Phi to
+  // n2-1, drop from E_Phi instead.
+  std::size_t n1 = num_links, n2 = num_links;
+  std::vector<std::uint8_t> scratch(num_links);
+  while (union_size(sel.order_lambda, n1, sel.order_phi, n2, scratch) > target_size) {
+    if (n1 == 0 && n2 == 0) break;  // degenerate target < 1 union element
+    if (n2 == 0) {
+      --n1;
+    } else if (n1 == 0) {
+      --n2;
+    } else if (err_lambda[n1 - 1] >= err_phi[n2 - 1]) {
+      --n2;
+    } else {
+      --n1;
+    }
+  }
+
+  sel.n1 = n1;
+  sel.n2 = n2;
+  sel.expected_error_lambda = err_lambda[n1];
+  sel.expected_error_phi = err_phi[n2];
+
+  std::fill(scratch.begin(), scratch.end(), 0);
+  for (std::size_t i = 0; i < n1; ++i) scratch[sel.order_lambda[i]] = 1;
+  for (std::size_t i = 0; i < n2; ++i) scratch[sel.order_phi[i]] = 1;
+  for (LinkId l = 0; l < num_links; ++l)
+    if (scratch[l]) sel.critical.push_back(l);
+  return sel;
+}
+
+}  // namespace dtr

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/criticality.h"
+#include "graph/graph.h"
+
+namespace dtr {
+
+/// Output of Phase 1c (Sec. IV-D2): the critical link set plus the
+/// diagnostics the ablation benches report.
+struct CriticalSelection {
+  std::vector<LinkId> critical;  ///< Ec, sorted by link id
+
+  /// Normalized criticalities rho-bar (Eq. after Alg. 1 input): absolute rho
+  /// divided by the class's lower-bound total cost sum_j tilde-cost_fail_j.
+  std::vector<double> norm_rho_lambda;
+  std::vector<double> norm_rho_phi;
+
+  /// E_Lambda / E_Phi: link ids sorted by descending normalized criticality.
+  std::vector<LinkId> order_lambda;
+  std::vector<LinkId> order_phi;
+
+  /// Final per-class list lengths n1, n2 chosen by Algorithm 1.
+  std::size_t n1 = 0;
+  std::size_t n2 = 0;
+
+  /// Expected normalized errors rho(E_Lambda,n1), rho(E_Phi,n2) of the chosen
+  /// truncation (sum of normalized criticality of the EXCLUDED links).
+  double expected_error_lambda = 0.0;
+  double expected_error_phi = 0.0;
+};
+
+/// Normalizes per-class criticalities so they are comparable across classes.
+/// The paper divides by sum_j of the left-tail means (a lower bound on the
+/// achievable compound failure cost). When that denominator vanishes (e.g.
+/// zero SLA cost is achievable after every failure) we fall back to the sum
+/// of means, then to 1 — preserving the ordering in degenerate cases.
+std::vector<double> normalize_criticality(std::span<const double> rho,
+                                          std::span<const double> tail,
+                                          std::span<const double> mean);
+
+/// Phase 1c: Algorithm 1. Starts from both full per-class lists and
+/// repeatedly shortens the list whose next truncation induces the SMALLER
+/// expected normalized error, until |Ec| = |top-n1 of E_Lambda  UNION
+/// top-n2 of E_Phi| <= target_size.
+CriticalSelection select_critical_links(const CriticalityEstimates& estimates,
+                                        std::size_t target_size);
+
+}  // namespace dtr

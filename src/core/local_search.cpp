@@ -1,0 +1,158 @@
+#include "core/local_search.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace dtr {
+
+LocalSearch::LocalSearch(Config config) : config_(config) {
+  if (config_.wmax < 2) throw std::invalid_argument("LocalSearch: wmax must be >= 2");
+  if (config_.phase.diversification_interval < 1 || config_.phase.stall_diversifications < 1)
+    throw std::invalid_argument("LocalSearch: phase parameters must be >= 1");
+}
+
+void LocalSearch::set_observer(std::function<void(const PerturbationEvent&)> observer) {
+  observer_ = std::move(observer);
+}
+
+void LocalSearch::set_on_accept(
+    std::function<void(const WeightSetting&, const CostPair&)> on_accept) {
+  on_accept_ = std::move(on_accept);
+}
+
+void LocalSearch::set_restart(std::function<WeightSetting(Rng&)> restart) {
+  restart_ = std::move(restart);
+}
+
+LocalSearch::Result LocalSearch::run(SearchObjective& objective,
+                                     const WeightSetting& initial) {
+  Rng rng(config_.seed);
+  const LexicographicOrder order;
+  const std::size_t num_links = initial.num_links();
+  if (num_links == 0) throw std::invalid_argument("LocalSearch: empty weight setting");
+
+  auto initial_cost = objective.evaluate(initial, nullptr);
+  if (!initial_cost.has_value())
+    throw std::invalid_argument("LocalSearch: initial setting is infeasible");
+
+  Result result;
+  result.best = initial;
+  result.best_cost = *initial_cost;
+  result.evaluations = 1;
+
+  WeightSetting current = initial;
+  CostPair current_cost = *initial_cost;
+
+  const int max_divs = config_.phase.max_diversifications > 0
+                           ? config_.phase.max_diversifications
+                           : 4 * config_.phase.stall_diversifications;
+
+  std::vector<LinkId> visit_order(num_links);
+  std::iota(visit_order.begin(), visit_order.end(), LinkId{0});
+
+  const long max_iterations =
+      config_.phase.max_iterations > 0
+          ? config_.phase.max_iterations
+          : 20L * config_.phase.diversification_interval * max_divs;
+
+  int stalled_divs = 0;      // consecutive diversifications below the c% bar
+  int completed_divs = 0;
+  int idle_iterations = 0;   // iterations since the global best last improved
+  CostPair best_at_div_start = result.best_cost;
+
+  while (stalled_divs < config_.phase.stall_diversifications &&
+         completed_divs < max_divs && result.iterations < max_iterations) {
+    ++result.iterations;
+    std::shuffle(visit_order.begin(), visit_order.end(), rng.engine());
+    const CostPair best_at_iteration_start = result.best_cost;
+
+    for (LinkId link : visit_order) {
+      const int old_delay = current.get(TrafficClass::kDelay, link);
+      const int old_tput = current.get(TrafficClass::kThroughput, link);
+      const int new_delay = rng.uniform_int(1, config_.wmax);
+      const int new_tput = rng.uniform_int(1, config_.wmax);
+      if (new_delay == old_delay && new_tput == old_tput) continue;
+
+      current.set(TrafficClass::kDelay, link, new_delay);
+      current.set(TrafficClass::kThroughput, link, new_tput);
+      const auto candidate_cost = objective.evaluate(current, &current_cost);
+      ++result.evaluations;
+
+      const bool accepted =
+          candidate_cost.has_value() && order.less(*candidate_cost, current_cost);
+
+      if (observer_) {
+        observer_({link, new_delay, new_tput, current_cost, result.best_cost,
+                   candidate_cost, accepted, &current});
+      }
+
+      if (accepted) {
+        current_cost = *candidate_cost;
+        ++result.accepted_moves;
+        if (on_accept_) on_accept_(current, current_cost);
+        if (order.less(current_cost, result.best_cost)) {
+          result.best = current;
+          result.best_cost = current_cost;
+        }
+      } else {
+        current.set(TrafficClass::kDelay, link, old_delay);
+        current.set(TrafficClass::kThroughput, link, old_tput);
+      }
+    }
+
+    // Only MEANINGFUL global-best progress (the c% criterion) resets the
+    // clock: trajectories trickling in marginal accepts without real progress
+    // still diversify ("the cost is not improved after a certain number of
+    // iterations", Sec. IV-A). This also bounds the slow tail of descent.
+    const bool meaningful_iteration = order.improves_by_fraction(
+        result.best_cost, best_at_iteration_start, config_.phase.improvement_threshold);
+    idle_iterations = meaningful_iteration ? 0 : idle_iterations + 1;
+    if (idle_iterations < config_.phase.diversification_interval &&
+        result.iterations < max_iterations)
+      continue;
+
+    // Diversification: score the round just finished, then restart.
+    ++completed_divs;
+    ++result.diversifications;
+    const bool meaningful_improvement = order.improves_by_fraction(
+        result.best_cost, best_at_div_start, config_.phase.improvement_threshold);
+    stalled_divs = meaningful_improvement ? 0 : stalled_divs + 1;
+    best_at_div_start = result.best_cost;
+    idle_iterations = 0;
+
+    if (stalled_divs >= config_.phase.stall_diversifications || completed_divs >= max_divs)
+      break;
+
+    // Restart from a fresh setting; keep drawing if the restart point is
+    // infeasible (can happen for constrained Phase 2 objectives).
+    bool restarted = false;
+    for (int attempt = 0; attempt < 16 && !restarted; ++attempt) {
+      WeightSetting fresh = restart_ ? restart_(rng) : [&] {
+        WeightSetting w(num_links);
+        randomize_weights(w, config_.wmax, rng);
+        return w;
+      }();
+      const auto fresh_cost = objective.evaluate(fresh, nullptr);
+      ++result.evaluations;
+      if (fresh_cost.has_value()) {
+        current = std::move(fresh);
+        current_cost = *fresh_cost;
+        if (on_accept_) on_accept_(current, current_cost);
+        if (order.less(current_cost, result.best_cost)) {
+          result.best = current;
+          result.best_cost = current_cost;
+        }
+        restarted = true;
+      }
+    }
+    if (!restarted) {
+      // No feasible restart found: continue climbing from the incumbent best.
+      current = result.best;
+      current_cost = result.best_cost;
+    }
+  }
+  return result;
+}
+
+}  // namespace dtr

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "cost/cost_types.h"
+#include "routing/weights.h"
+#include "util/rng.h"
+
+namespace dtr {
+
+/// Stopping/diversification parameters for one search phase (Sec. IV-A).
+struct PhaseParams {
+  /// Iterations without improvement before restarting from a fresh setting
+  /// ("diversification"). Paper: 100 (Phase 1) / 30 (Phase 2).
+  int diversification_interval = 100;
+  /// Stop after this many consecutive diversifications whose best-cost
+  /// improvement stayed below `improvement_threshold`. Paper: P1=20 / P2=10.
+  int stall_diversifications = 20;
+  /// The c% criterion (0.001 == 0.1%).
+  double improvement_threshold = 0.001;
+  /// Hard safety cap on total diversifications (<=0 means 4x stall budget).
+  int max_diversifications = 0;
+  /// Hard safety cap on total iterations (<=0 means
+  /// 20 * diversification_interval * max_diversifications). Keeps runs
+  /// bounded when marginal accepted moves trickle in indefinitely.
+  long max_iterations = 0;
+};
+
+/// Objective evaluated by the local search. Phase 1 wraps K_normal; Phase 2
+/// wraps K_fail over the critical set subject to constraints (5)/(6).
+class SearchObjective {
+ public:
+  virtual ~SearchObjective() = default;
+
+  /// Cost of `w`, or nullopt when `w` violates the phase's constraints.
+  /// `incumbent` (may be null) is the currently accepted cost — objectives
+  /// can use it as an early-abort bound; if they do, any returned cost that
+  /// is not better than `incumbent` must still compare as not-better (partial
+  /// sums satisfy this since per-scenario costs are non-negative).
+  virtual std::optional<CostPair> evaluate(const WeightSetting& w,
+                                           const CostPair* incumbent) = 0;
+};
+
+/// Everything an observer learns about one perturbation probe. Drives the
+/// Phase 1a criticality sampling (Sec. IV-D1).
+struct PerturbationEvent {
+  LinkId link = kInvalidLink;
+  int new_weight_delay = 0;
+  int new_weight_tput = 0;
+  CostPair cost_before;              ///< cost of the accepted setting being perturbed
+  CostPair global_best;              ///< best cost discovered so far this phase
+  std::optional<CostPair> cost_after;  ///< nullopt if candidate infeasible
+  bool accepted = false;
+  /// The probed setting (current setting with `link`'s weights replaced).
+  /// Observers may evaluate it under other scenarios; note that for the
+  /// failure of `link` itself the perturbed weights are immaterial (dead arcs
+  /// have no cost), so evaluating the candidate equals evaluating the
+  /// pre-perturbation setting.
+  const WeightSetting* candidate = nullptr;
+};
+
+/// Per-link random-reassignment local search with diversification restarts —
+/// the engine shared by both optimization phases. In every iteration each
+/// link (random order) has BOTH its weights redrawn uniformly in [1, wmax];
+/// the candidate is kept iff the objective deems it feasible and
+/// lexicographically better than the current setting.
+class LocalSearch {
+ public:
+  struct Config {
+    PhaseParams phase;
+    int wmax = 100;
+    std::uint64_t seed = 1;
+  };
+
+  struct Result {
+    WeightSetting best;
+    CostPair best_cost;
+    long iterations = 0;
+    int diversifications = 0;
+    long evaluations = 0;
+    long accepted_moves = 0;
+  };
+
+  explicit LocalSearch(Config config);
+
+  /// Called for every probed candidate.
+  void set_observer(std::function<void(const PerturbationEvent&)> observer);
+
+  /// Called whenever a candidate is accepted (becomes the current setting).
+  void set_on_accept(std::function<void(const WeightSetting&, const CostPair&)> on_accept);
+
+  /// Produces the setting a diversification restarts from. Defaults to
+  /// uniformly random weights.
+  void set_restart(std::function<WeightSetting(Rng&)> restart);
+
+  /// Runs the search from `initial`. `initial` must be feasible under the
+  /// objective (throws std::invalid_argument otherwise).
+  Result run(SearchObjective& objective, const WeightSetting& initial);
+
+ private:
+  Config config_;
+  std::function<void(const PerturbationEvent&)> observer_;
+  std::function<void(const WeightSetting&, const CostPair&)> on_accept_;
+  std::function<WeightSetting(Rng&)> restart_;
+};
+
+}  // namespace dtr

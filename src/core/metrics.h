@@ -1,0 +1,71 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "routing/evaluator.h"
+
+namespace dtr {
+
+/// Per-scenario performance profile of one routing over a failure-scenario
+/// set — the raw material behind every evaluation table/figure (Sec. IV-E/V).
+struct FailureProfile {
+  std::vector<double> violations;  ///< SLA violations per scenario
+  std::vector<double> lambda;      ///< Lambda_fail per scenario
+  std::vector<double> phi;         ///< Phi_fail per scenario
+  double phi_uncap = 1.0;          ///< normalizer for figure series
+
+  /// beta: average SLA violations across scenarios (Sec. IV-E1).
+  double beta() const;
+  /// Mean violations over the worst `fraction` of scenarios ("top-10%").
+  double beta_top(double fraction = 0.10) const;
+  double lambda_sum() const;
+  double phi_sum() const;
+  /// Per-scenario Phi normalized by the uncapacitated reference.
+  std::vector<double> normalized_phi() const;
+};
+
+/// Evaluates `w` under every scenario and collects the profile.
+FailureProfile profile_failures(const Evaluator& evaluator, const WeightSetting& w,
+                                std::span<const FailureScenario> scenarios);
+
+/// |Phi_fail(a) - Phi_fail(b)| / Phi_fail(b) * 100 — the beta_Phi(%) accuracy
+/// metric of Table I (b = reference = full search).
+double beta_phi_percent(const FailureProfile& candidate, const FailureProfile& reference);
+
+/// Load-redistribution statistics after a failure (Fig. 4): compares a
+/// scenario's arc utilizations against the normal-condition ones.
+struct LoadRedistribution {
+  int links_with_increase = 0;   ///< physical links whose max-direction utilization rose
+  double average_increase = 0.0; ///< mean utilization increase over those links
+  double max_utilization = 0.0;  ///< max arc utilization in the failure state
+};
+LoadRedistribution compare_loads(const Graph& g, const EvalResult& normal,
+                                 const EvalResult& failed);
+
+/// Average and maximum arc utilization of an evaluation (needs kFull detail).
+struct UtilizationStats {
+  double average = 0.0;
+  double max = 0.0;
+};
+UtilizationStats utilization_stats(const EvalResult& result);
+
+/// Mean over SD pairs of the maximum arc utilization seen along the pair's
+/// delay-class shortest-path DAG — Table V's "average max utilization".
+double average_max_path_utilization(const Evaluator& evaluator, const WeightSetting& w);
+
+/// Sorted descending copy (for "sorted failure id" figure series).
+std::vector<double> sorted_desc(std::span<const double> xs);
+
+/// Lower bound on SLA violations that NO routing can avoid under a scenario:
+/// delay-demand pairs whose shortest-possible propagation delay (zero
+/// queueing, best path) already exceeds theta, plus disconnected pairs.
+/// Useful to separate "unavoidable" violations (a property of topology +
+/// failure) from the avoidable ones robust optimization fights over.
+int unavoidable_violations(const Evaluator& evaluator, const FailureScenario& scenario);
+
+/// Per-scenario unavoidable-violation counts.
+std::vector<double> unavoidable_violation_profile(
+    const Evaluator& evaluator, std::span<const FailureScenario> scenarios);
+
+}  // namespace dtr

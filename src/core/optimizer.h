@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/acceptable_store.h"
+#include "core/critical_selector.h"
+#include "core/criticality.h"
+#include "core/local_search.h"
+#include "routing/evaluator.h"
+#include "util/presets.h"
+
+namespace dtr {
+
+/// How post-failure cost samples are generated for criticality estimation.
+enum class SamplingMode : std::uint8_t {
+  /// The paper's literal scheme: piggyback on Phase 1a weight perturbations
+  /// that land both weights in [q*wmax, wmax] (failure emulation); Phase 1b
+  /// tops up with the same kind of perturbations until the ranking converges.
+  /// Fidelity depends on wmax dominating typical path costs.
+  kEmulatedWeights,
+  /// Default: same trigger points, but the recorded sample evaluates the
+  /// TRUE link failure (the paper motivates emulation as approximating an
+  /// "infinite weight"; this removes the approximation for one extra
+  /// evaluation per trigger). bench_selector_ablation compares both.
+  kExactFailure,
+};
+
+/// Which critical-link selector drives Phase 2 (Sec. IV-C comparison).
+enum class SelectorKind : std::uint8_t {
+  kDistributionGap,    ///< this paper: mean minus left-tail mean + Algorithm 1
+  kRandom,             ///< Yuan 2003
+  kLoad,               ///< Fortz-Thorup 2003
+  kThresholdCrossing,  ///< Sridharan-Guerin 2005
+  kFullSearch,         ///< Ec = E (brute force reference)
+};
+
+std::string to_string(SamplingMode m);
+std::string to_string(SelectorKind k);
+
+struct OptimizerConfig {
+  int wmax = 100;
+  PhaseParams phase1{100, 20, 0.001, 0};
+  PhaseParams phase2{30, 10, 0.001, 0};
+  CriticalityParams criticality{};
+  /// |Ec| = max(1, round(critical_fraction * |E|)) unless critical_count > 0.
+  double critical_fraction = 0.15;
+  std::size_t critical_count = 0;
+  /// Constraint (6) relaxation: Phi_normal <= (1+chi) * Phi*.
+  double chi = 0.2;
+  std::uint64_t seed = 1;
+  /// Start Phase 1 from the delay-proportional warm start instead of random.
+  bool warm_start = true;
+  std::size_t store_capacity = 128;
+  /// Phase 1b sample budget; 0 = 20 * tau * |E|.
+  long max_phase1b_samples = 0;
+  SamplingMode sampling_mode = SamplingMode::kExactFailure;
+  SelectorKind selector = SelectorKind::kDistributionGap;
+  /// Probabilistic failure model (the extension sketched in the paper's
+  /// conclusion). When non-empty (one weight per physical link, >= 0),
+  /// Phase 2 minimizes the failure-probability-weighted compound cost
+  /// (an expectation instead of a sum), and the criticality of link l is
+  /// scaled by its probability before Phase 1c selection — links that fail
+  /// often AND hurt get priority in Ec.
+  std::vector<double> link_failure_probabilities;
+};
+
+/// Paper-ratio configs at the given effort level (see DESIGN.md §7).
+OptimizerConfig default_optimizer_config(Effort effort, std::uint64_t seed);
+
+struct OptimizeResult {
+  // Phase 1 ("regular optimization", Eq. (3)) output:
+  WeightSetting regular;
+  CostPair regular_cost;  ///< Lambda*, Phi*
+
+  // Phase 2 ("robust optimization", Eq. (4) s.t. (5)(6)) output:
+  WeightSetting robust;
+  CostPair robust_normal_cost;  ///< normal-condition cost of the robust setting
+  CostPair robust_kfail;        ///< K_fail-bar over the critical set
+
+  std::vector<LinkId> critical;  ///< Ec
+  CriticalityEstimates estimates;
+  bool criticality_converged = false;
+  std::size_t phase1a_samples = 0;  ///< failure-like samples from Phase 1a
+  std::size_t phase1b_samples = 0;  ///< top-up samples from Phase 1b
+
+  double phase1_seconds = 0.0;
+  double phase1b_seconds = 0.0;
+  double phase2_seconds = 0.0;
+  long phase1_evaluations = 0;
+  long phase2_evaluations = 0;
+  long phase2_scenario_evaluations = 0;  ///< failure-scenario evals inside Phase 2
+  int phase1_diversifications = 0;
+  int phase2_diversifications = 0;
+};
+
+/// The paper's two-phase heuristic (Fig. 1): Phase 1 optimizes K_normal and
+/// collects failure-like cost statistics; Phase 1b tops up statistics until
+/// the criticality ranking converges; Phase 1c picks the critical set;
+/// Phase 2 minimizes the compound failure cost over the critical set, subject
+/// to not degrading delay-class performance (Eq. 5) and bounding the
+/// throughput-class degradation (Eq. 6).
+class RobustOptimizer {
+ public:
+  /// `evaluator` must outlive the optimizer.
+  RobustOptimizer(const Evaluator& evaluator, OptimizerConfig config);
+
+  OptimizeResult optimize();
+
+  /// Critical-set size implied by the config for this instance.
+  std::size_t critical_target_size() const;
+
+ private:
+  const Evaluator& evaluator_;
+  OptimizerConfig config_;
+};
+
+}  // namespace dtr

@@ -1,0 +1,48 @@
+#include "core/rank_convergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dtr {
+
+std::vector<std::size_t> criticality_ranks(std::span<const double> criticality) {
+  std::vector<std::size_t> order(criticality.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (criticality[a] != criticality[b]) return criticality[a] > criticality[b];
+    return a < b;
+  });
+  std::vector<std::size_t> rank(criticality.size());
+  for (std::size_t pos = 0; pos < order.size(); ++pos) rank[order[pos]] = pos;
+  return rank;
+}
+
+RankTracker::RankTracker(double threshold_e) : threshold_(threshold_e) {
+  if (threshold_ < 0.0) throw std::invalid_argument("RankTracker: negative threshold");
+}
+
+double RankTracker::update(std::span<const double> criticality) {
+  auto rank = criticality_ranks(criticality);
+  double index = 0.0;
+  if (updates_ > 0) {
+    if (rank.size() != previous_rank_.size())
+      throw std::invalid_argument("RankTracker: vector size changed between updates");
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::size_t l = 0; l < rank.size(); ++l) {
+      const double change = std::abs(static_cast<double>(rank[l]) -
+                                     static_cast<double>(previous_rank_[l]));
+      sum += change;
+      sum_sq += change * change;
+    }
+    // gamma_l = S_l / sum(S_l)  =>  S = sum(S_l^2) / sum(S_l); 0 if static.
+    index = sum > 0.0 ? sum_sq / sum : 0.0;
+  }
+  previous_rank_ = std::move(rank);
+  ++updates_;
+  last_index_ = index;
+  return index;
+}
+
+}  // namespace dtr

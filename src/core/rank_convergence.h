@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dtr {
+
+/// Convergence test for the criticality ranking (Sec. IV-D1). Between two
+/// updates t-1 and t of a criticality-sorted list, the per-link index is
+/// S_l(t) = |Rank(l,t) - Rank(l,t-1)| and the overall change is
+/// S = sum_l gamma_l * S_l with gamma_l proportional to S_l — i.e.
+/// S = (sum S_l^2) / (sum S_l), emphasizing links whose rank moved most.
+/// Estimates are "converged" once S <= e.
+class RankTracker {
+ public:
+  /// `threshold_e`: the paper's e (default 2).
+  explicit RankTracker(double threshold_e = 2.0);
+
+  /// Feeds the next criticality vector (higher == more critical; ties broken
+  /// by link id for determinism). Returns the S index relative to the
+  /// previous update, or 0 for the first update.
+  double update(std::span<const double> criticality);
+
+  std::size_t updates() const { return updates_; }
+  double last_index() const { return last_index_; }
+
+  /// Requires at least two updates (a rank *change* needs two rankings) and
+  /// the latest S <= e.
+  bool converged() const { return updates_ >= 2 && last_index_ <= threshold_; }
+
+ private:
+  double threshold_;
+  std::size_t updates_ = 0;
+  double last_index_ = 0.0;
+  std::vector<std::size_t> previous_rank_;
+};
+
+/// Rank positions (0 = most critical) of each entry, ties broken by index.
+std::vector<std::size_t> criticality_ranks(std::span<const double> criticality);
+
+}  // namespace dtr

@@ -1,0 +1,42 @@
+#include "cost/cost_types.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dtr {
+
+bool LexicographicOrder::values_equal(double a, double b) const {
+  const double tol = abs_tol_ + rel_tol_ * std::max(std::abs(a), std::abs(b));
+  return std::abs(a - b) <= tol;
+}
+
+bool LexicographicOrder::less(const CostPair& a, const CostPair& b) const {
+  if (values_equal(a.lambda, b.lambda)) {
+    return !values_equal(a.phi, b.phi) && a.phi < b.phi;
+  }
+  return a.lambda < b.lambda;
+}
+
+bool LexicographicOrder::equal(const CostPair& a, const CostPair& b) const {
+  return values_equal(a.lambda, b.lambda) && values_equal(a.phi, b.phi);
+}
+
+bool LexicographicOrder::improves_by_fraction(const CostPair& a, const CostPair& b,
+                                              double fraction) const {
+  if (!less(a, b)) return false;
+  if (!values_equal(a.lambda, b.lambda)) {
+    const double base = std::max(std::abs(b.lambda), abs_tol_);
+    return (b.lambda - a.lambda) / base >= fraction;
+  }
+  const double base = std::max(std::abs(b.phi), abs_tol_);
+  return (b.phi - a.phi) / base >= fraction;
+}
+
+std::string to_string(const CostPair& k) {
+  std::ostringstream ss;
+  ss << "<Lambda=" << k.lambda << ", Phi=" << k.phi << ">";
+  return ss.str();
+}
+
+}  // namespace dtr

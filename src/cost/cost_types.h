@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+
+namespace dtr {
+
+/// The global cost K := <Lambda, Phi> of Sec. III — delay-class SLA cost and
+/// throughput-class congestion cost.
+struct CostPair {
+  double lambda = 0.0;
+  double phi = 0.0;
+};
+
+/// Lexicographic ordering over CostPair: K1 > K2 iff Lambda1 > Lambda2, or
+/// Lambda1 == Lambda2 and Phi1 > Phi2. Delay-sensitive traffic takes
+/// precedence; a routing only "wins" on Phi when it ties on Lambda.
+///
+/// Comparisons use an absolute+relative tolerance so that floating-point
+/// noise in Lambda (sums of B1/B2 penalties) does not flip the Phi
+/// tie-breaking, and so constraint (5) "Lambda_normal = Lambda*" is testable.
+class LexicographicOrder {
+ public:
+  explicit LexicographicOrder(double abs_tol = 1e-6, double rel_tol = 1e-9)
+      : abs_tol_(abs_tol), rel_tol_(rel_tol) {}
+
+  bool values_equal(double a, double b) const;
+
+  /// Strictly better (smaller) in the lexicographic sense.
+  bool less(const CostPair& a, const CostPair& b) const;
+
+  bool equal(const CostPair& a, const CostPair& b) const;
+
+  /// a improves on b by at least `fraction` (relative), on Lambda first, else
+  /// on Phi at equal Lambda. Drives the c% stopping criterion of Sec. IV-A.
+  bool improves_by_fraction(const CostPair& a, const CostPair& b, double fraction) const;
+
+  double abs_tol() const { return abs_tol_; }
+  double rel_tol() const { return rel_tol_; }
+
+ private:
+  double abs_tol_;
+  double rel_tol_;
+};
+
+std::string to_string(const CostPair& k);
+
+}  // namespace dtr

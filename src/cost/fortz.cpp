@@ -1,0 +1,47 @@
+#include "cost/fortz.h"
+
+#include <stdexcept>
+
+namespace dtr {
+
+namespace {
+
+struct Segment {
+  double utilization;  ///< breakpoint where this slope starts
+  double slope;
+};
+
+constexpr Segment kSegments[] = {
+    {0.0, 1.0}, {1.0 / 3.0, 3.0}, {2.0 / 3.0, 10.0},
+    {9.0 / 10.0, 70.0}, {1.0, 500.0}, {11.0 / 10.0, kFortzMaxSlope},
+};
+
+}  // namespace
+
+double fortz_cost(double load_mbps, double capacity_mbps) {
+  if (!(capacity_mbps > 0.0)) throw std::invalid_argument("fortz_cost: capacity");
+  if (load_mbps < 0.0) throw std::invalid_argument("fortz_cost: negative load");
+  const double u = load_mbps / capacity_mbps;
+  double cost = 0.0;
+  for (std::size_t i = 0; i < std::size(kSegments); ++i) {
+    const double seg_start = kSegments[i].utilization;
+    if (u <= seg_start) break;
+    const double seg_end =
+        (i + 1 < std::size(kSegments)) ? kSegments[i + 1].utilization : u;
+    const double covered = (u < seg_end ? u : seg_end) - seg_start;
+    cost += kSegments[i].slope * covered * capacity_mbps;
+  }
+  return cost;
+}
+
+double fortz_derivative(double load_mbps, double capacity_mbps) {
+  if (!(capacity_mbps > 0.0)) throw std::invalid_argument("fortz_derivative: capacity");
+  if (load_mbps < 0.0) throw std::invalid_argument("fortz_derivative: negative load");
+  const double u = load_mbps / capacity_mbps;
+  double slope = kSegments[0].slope;
+  for (const Segment& s : kSegments)
+    if (u >= s.utilization) slope = s.slope;
+  return slope;
+}
+
+}  // namespace dtr

@@ -1,0 +1,23 @@
+#pragma once
+
+namespace dtr {
+
+/// Fortz–Thorup piecewise-linear congestion cost f(x_l) ("Internet traffic
+/// engineering by optimizing OSPF weights", INFOCOM 2000), the paper's cost
+/// function for throughput-sensitive traffic. f(0) = 0 and the derivative
+/// climbs at utilization breakpoints {1/3, 2/3, 9/10, 1, 11/10}:
+///
+///   f'(x) = 1, 3, 10, 70, 500, 5000
+///
+/// It is convex and finite for any load (including overload), which is what
+/// lets the robust search reason about post-failure congestion.
+double fortz_cost(double load_mbps, double capacity_mbps);
+
+/// The slope of f at the given load (right-continuous at breakpoints).
+double fortz_derivative(double load_mbps, double capacity_mbps);
+
+/// Slope applied to unroutable (disconnected) demand — the steepest segment,
+/// equivalent to carrying the demand on a >110%-utilized virtual link.
+inline constexpr double kFortzMaxSlope = 5000.0;
+
+}  // namespace dtr

@@ -1,0 +1,14 @@
+#include "cost/sla.h"
+
+namespace dtr {
+
+bool sla_violated(double delay_ms, const SlaParams& params) {
+  return delay_ms > params.theta_ms;
+}
+
+double sla_cost(double delay_ms, const SlaParams& params) {
+  if (!sla_violated(delay_ms, params)) return 0.0;
+  return params.b1 + params.b2 * (delay_ms - params.theta_ms);
+}
+
+}  // namespace dtr

@@ -1,0 +1,22 @@
+#pragma once
+
+namespace dtr {
+
+/// SLA cost of Eq. (2) for one SD pair:
+///
+///   Lambda(s,t) = 0                                if xi(s,t) <= theta  (2a)
+///   Lambda(s,t) = B1 + B2 * (xi(s,t) - theta)      otherwise            (2b)
+///
+/// B1 is a fixed penalty per violated pair; B2 scales with the excess delay.
+/// Captures the threshold sensitivity of real-time traffic (e.g. VoIP).
+struct SlaParams {
+  double theta_ms = 25.0;  ///< end-to-end delay bound (U.S. coast-to-coast)
+  double b1 = 100.0;
+  double b2 = 1.0;  ///< per excess millisecond
+};
+
+bool sla_violated(double delay_ms, const SlaParams& params);
+
+double sla_cost(double delay_ms, const SlaParams& params);
+
+}  // namespace dtr

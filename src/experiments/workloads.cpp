@@ -1,0 +1,105 @@
+#include "experiments/workloads.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace dtr::experiments {
+
+std::string to_string(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kRand: return "RandTopo";
+    case TopologyKind::kNear: return "NearTopo";
+    case TopologyKind::kPl: return "PLTopo";
+    case TopologyKind::kIsp: return "ISP";
+  }
+  return "?";
+}
+
+std::string WorkloadSpec::label() const {
+  std::ostringstream ss;
+  ss << to_string(kind);
+  if (kind != TopologyKind::kIsp) ss << "[" << nodes << "]";
+  return ss.str();
+}
+
+Workload make_workload(const WorkloadSpec& spec) {
+  Workload w;
+  w.spec = spec;
+  switch (spec.kind) {
+    case TopologyKind::kRand:
+      w.graph = make_rand_topo({spec.nodes, spec.degree, 500.0, spec.seed});
+      break;
+    case TopologyKind::kNear:
+      w.graph = make_near_topo({spec.nodes, spec.degree, 500.0, spec.seed});
+      break;
+    case TopologyKind::kPl:
+      w.graph = make_pl_topo({spec.nodes, spec.pl_attachments, 500.0, spec.seed});
+      break;
+    case TopologyKind::kIsp:
+      w.graph = make_isp_backbone().graph;
+      break;
+  }
+  w.params.sla.theta_ms = spec.theta_ms;
+  // Synthesized delays calibrate to the SLA bound per Sec. V-A1. The embedded
+  // ISP's geographic delays happen to leave only ~4% headroom against the
+  // coast-to-coast SLA (tighter than the paper's proprietary topology, whose
+  // regular routing still met the SLA normally); calibrating it the same way
+  // keeps the failure experiments comparable across topologies (DESIGN.md §4).
+  calibrate_delays_to_sla(w.graph, spec.theta_ms);
+  w.traffic = split_by_class(
+      make_gravity_traffic(w.graph, {1.0, 1.0, spec.seed + 1000}), spec.delay_fraction);
+  scale_to_utilization(w.graph, w.traffic, spec.util);
+  return w;
+}
+
+std::vector<WorkloadSpec> paper_topologies(Effort effort, std::uint64_t seed) {
+  const bool full = effort == Effort::kFull;
+  const int n = nodes_from_env(full ? 30 : 16);
+  std::vector<WorkloadSpec> specs;
+  specs.push_back({TopologyKind::kRand, n, 6.0, 3, 25.0,
+                   {UtilizationTarget::Kind::kAverage, 0.43}, 0.30, seed});
+  specs.push_back({TopologyKind::kNear, n, 6.0, 3, 25.0,
+                   {UtilizationTarget::Kind::kAverage, 0.43}, 0.30, seed});
+  specs.push_back({TopologyKind::kPl, n, 6.0, 3, 25.0,
+                   {UtilizationTarget::Kind::kAverage, 0.43}, 0.30, seed});
+  specs.push_back({TopologyKind::kIsp, 16, 4.375, 3, 25.0,
+                   {UtilizationTarget::Kind::kAverage, 0.43}, 0.30, seed});
+  return specs;
+}
+
+WorkloadSpec default_rand_spec(Effort effort, std::uint64_t seed) {
+  const bool full = effort == Effort::kFull;
+  return {TopologyKind::kRand, nodes_from_env(full ? 30 : 16), full ? 6.0 : 5.0,
+          3, 25.0, {UtilizationTarget::Kind::kAverage, 0.43}, 0.30, seed};
+}
+
+BenchContext context_from_env() {
+  BenchContext ctx;
+  ctx.effort = effort_from_env(Effort::kQuick);
+  ctx.repeats = repeats_from_env(ctx.effort == Effort::kFull ? 5 : 3);
+  ctx.seed = seed_from_env(1);
+  return ctx;
+}
+
+void print_context(std::ostream& os, const std::string& bench_name,
+                   const BenchContext& ctx) {
+  os << "# " << bench_name << "  (effort=" << to_string(ctx.effort)
+     << ", repeats=" << ctx.repeats << ", seed=" << ctx.seed
+     << "; override via DTR_EFFORT/DTR_REPEATS/DTR_SEED)\n";
+}
+
+OptimizeResult run_optimizer(const Evaluator& evaluator, Effort effort,
+                             std::uint64_t seed,
+                             const std::function<void(OptimizerConfig&)>& tweak) {
+  OptimizerConfig config = default_optimizer_config(effort, seed);
+  if (tweak) tweak(config);
+  RobustOptimizer optimizer(evaluator, config);
+  return optimizer.optimize();
+}
+
+FailureProfile link_failure_profile(const Evaluator& evaluator, const WeightSetting& w) {
+  const auto scenarios = all_link_failures(evaluator.graph());
+  return profile_failures(evaluator, w, scenarios);
+}
+
+}  // namespace dtr::experiments

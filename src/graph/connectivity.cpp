@@ -1,0 +1,165 @@
+#include "graph/connectivity.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace dtr {
+
+namespace {
+
+/// Undirected neighbor iteration: for node u yields (neighbor, link id).
+template <typename Fn>
+void for_each_neighbor(const Graph& g, NodeId u, Fn&& fn) {
+  for (ArcId a : g.out_arcs(u)) fn(g.arc(a).dst, g.arc(a).link);
+  // One-directional arcs (no reverse) must also be walkable backwards in the
+  // undirected view.
+  for (ArcId a : g.in_arcs(u)) {
+    if (g.arc(a).reverse == kInvalidArc) fn(g.arc(a).src, g.arc(a).link);
+  }
+}
+
+}  // namespace
+
+std::vector<int> connected_components(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<int> label(n, -1);
+  int next = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (label[s] != -1) continue;
+    label[s] = next;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for_each_neighbor(g, u, [&](NodeId v, LinkId) {
+        if (label[v] == -1) {
+          label[v] = next;
+          stack.push_back(v);
+        }
+      });
+    }
+    ++next;
+  }
+  return label;
+}
+
+int component_count(const Graph& g) {
+  const auto label = connected_components(g);
+  return label.empty() ? 0 : *std::max_element(label.begin(), label.end()) + 1;
+}
+
+bool is_connected(const Graph& g) { return component_count(g) <= 1; }
+
+std::vector<LinkId> find_bridges(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<int> disc(n, -1), low(n, 0);
+  std::vector<LinkId> bridges;
+  int timer = 0;
+
+  // Iterative DFS; `via` is the link used to enter a node so that parallel
+  // links and the link back to the parent are handled correctly (a link is
+  // only ignored as "parent edge" once).
+  struct Frame {
+    NodeId node;
+    LinkId via;
+    bool parent_skipped = false;
+    std::size_t next_out = 0;
+  };
+
+  auto neighbors = [&](NodeId u) {
+    std::vector<std::pair<NodeId, LinkId>> result;
+    for_each_neighbor(g, u, [&](NodeId v, LinkId l) { result.emplace_back(v, l); });
+    return result;
+  };
+
+  std::vector<Frame> stack;
+  for (NodeId root = 0; root < n; ++root) {
+    if (disc[root] != -1) continue;
+    disc[root] = low[root] = timer++;
+    stack.push_back({root, kInvalidLink});
+    // Cache each frame's neighbor list (small graphs, clarity over tuning).
+    std::vector<std::vector<std::pair<NodeId, LinkId>>> adj_stack;
+    adj_stack.push_back(neighbors(root));
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      auto& adj = adj_stack.back();
+      bool descended = false;
+      while (f.next_out < adj.size()) {
+        const auto [v, l] = adj[f.next_out++];
+        if (l == f.via && !f.parent_skipped) {
+          f.parent_skipped = true;  // ignore the parent link exactly once
+          continue;
+        }
+        if (disc[v] == -1) {
+          disc[v] = low[v] = timer++;
+          stack.push_back({v, l});
+          adj_stack.push_back(neighbors(v));
+          descended = true;
+          break;
+        }
+        low[f.node] = std::min(low[f.node], disc[v]);
+      }
+      if (descended) continue;
+      // Post-order: propagate low to parent and test the bridge condition.
+      const Frame done = stack.back();
+      stack.pop_back();
+      adj_stack.pop_back();
+      if (!stack.empty()) {
+        Frame& parent = stack.back();
+        low[parent.node] = std::min(low[parent.node], low[done.node]);
+        if (low[done.node] > disc[parent.node]) bridges.push_back(done.via);
+      }
+    }
+  }
+  std::sort(bridges.begin(), bridges.end());
+  return bridges;
+}
+
+bool is_two_edge_connected(const Graph& g) {
+  return is_connected(g) && find_bridges(g).empty();
+}
+
+bool connected_without_link(const Graph& g, LinkId skip) {
+  const std::size_t n = g.num_nodes();
+  if (n == 0) return true;
+  std::vector<char> seen(n, 0);
+  std::vector<NodeId> stack{0};
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for_each_neighbor(g, u, [&](NodeId v, LinkId l) {
+      if (l == skip || seen[v]) return;
+      seen[v] = 1;
+      ++visited;
+      stack.push_back(v);
+    });
+  }
+  return visited == n;
+}
+
+bool connected_without_node(const Graph& g, NodeId skip) {
+  const std::size_t n = g.num_nodes();
+  if (n <= 2) return true;
+  NodeId start = (skip == 0) ? 1 : 0;
+  std::vector<char> seen(n, 0);
+  seen[skip] = 1;  // pretend visited so we never expand it
+  seen[start] = 1;
+  std::vector<NodeId> stack{start};
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for_each_neighbor(g, u, [&](NodeId v, LinkId) {
+      if (seen[v]) return;
+      seen[v] = 1;
+      ++visited;
+      stack.push_back(v);
+    });
+  }
+  return visited == n - 1;
+}
+
+}  // namespace dtr

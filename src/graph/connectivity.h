@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dtr {
+
+/// Connectivity analysis over the *undirected* view of a Graph (each physical
+/// link treated as one undirected edge). Used by topology generators to
+/// guarantee that single-link failures cannot partition the network, and by
+/// the evaluator's disconnection tests.
+
+/// Component label per node (labels are dense, starting at 0).
+std::vector<int> connected_components(const Graph& g);
+
+/// Number of connected components (0 for an empty graph).
+int component_count(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Physical links whose removal disconnects the graph (Tarjan bridge search).
+std::vector<LinkId> find_bridges(const Graph& g);
+
+/// Connected and bridge-free.
+bool is_two_edge_connected(const Graph& g);
+
+/// True if removing the undirected link `skip` leaves the graph connected.
+bool connected_without_link(const Graph& g, LinkId skip);
+
+/// True if removing node `skip` (and all its links) leaves the rest connected.
+bool connected_without_node(const Graph& g, NodeId skip);
+
+}  // namespace dtr

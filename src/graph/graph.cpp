@@ -1,0 +1,105 @@
+#include "graph/graph.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dtr {
+
+double euclidean_distance(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Graph::Graph(std::size_t num_nodes) {
+  positions_.resize(num_nodes);
+  out_arcs_.resize(num_nodes);
+  in_arcs_.resize(num_nodes);
+}
+
+NodeId Graph::add_node(Point position) {
+  positions_.push_back(position);
+  out_arcs_.emplace_back();
+  in_arcs_.emplace_back();
+  return static_cast<NodeId>(positions_.size() - 1);
+}
+
+namespace {
+void check_endpoints(std::size_t n, NodeId u, NodeId v) {
+  if (u >= n || v >= n) throw std::out_of_range("Graph: endpoint out of range");
+  if (u == v) throw std::invalid_argument("Graph: self-loops are not allowed");
+}
+void check_positive(double value, const char* what) {
+  if (!(value > 0.0)) throw std::invalid_argument(std::string("Graph: ") + what + " must be > 0");
+}
+}  // namespace
+
+LinkId Graph::add_link(NodeId u, NodeId v, double capacity_mbps, double prop_delay_ms) {
+  check_endpoints(num_nodes(), u, v);
+  check_positive(capacity_mbps, "capacity");
+  if (prop_delay_ms < 0.0) throw std::invalid_argument("Graph: negative delay");
+
+  const LinkId link = static_cast<LinkId>(links_.size());
+  const ArcId fwd = static_cast<ArcId>(arcs_.size());
+  const ArcId bwd = fwd + 1;
+  arcs_.push_back({u, v, capacity_mbps, prop_delay_ms, link, bwd});
+  arcs_.push_back({v, u, capacity_mbps, prop_delay_ms, link, fwd});
+  out_arcs_[u].push_back(fwd);
+  in_arcs_[v].push_back(fwd);
+  out_arcs_[v].push_back(bwd);
+  in_arcs_[u].push_back(bwd);
+  links_.push_back({fwd, bwd});
+  return link;
+}
+
+ArcId Graph::add_arc(NodeId u, NodeId v, double capacity_mbps, double prop_delay_ms) {
+  check_endpoints(num_nodes(), u, v);
+  check_positive(capacity_mbps, "capacity");
+  if (prop_delay_ms < 0.0) throw std::invalid_argument("Graph: negative delay");
+
+  const LinkId link = static_cast<LinkId>(links_.size());
+  const ArcId a = static_cast<ArcId>(arcs_.size());
+  arcs_.push_back({u, v, capacity_mbps, prop_delay_ms, link, kInvalidArc});
+  out_arcs_[u].push_back(a);
+  in_arcs_[v].push_back(a);
+  links_.push_back({a});
+  return a;
+}
+
+bool Graph::has_arc_between(NodeId u, NodeId v) const {
+  for (ArcId a : out_arcs_[u])
+    if (arcs_[a].dst == v) return true;
+  return false;
+}
+
+std::size_t Graph::link_degree(NodeId u) const {
+  // With paired arcs every incident link contributes exactly one out-arc.
+  return out_arcs_[u].size();
+}
+
+double Graph::average_link_degree() const {
+  if (num_nodes() == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_links()) / static_cast<double>(num_nodes());
+}
+
+void Graph::scale_prop_delays(double factor) {
+  check_positive(factor, "delay scale factor");
+  for (Arc& a : arcs_) a.prop_delay_ms *= factor;
+}
+
+void Graph::set_link_prop_delay(LinkId l, double prop_delay_ms) {
+  if (prop_delay_ms < 0.0) throw std::invalid_argument("Graph: negative delay");
+  for (ArcId a : links_.at(l)) arcs_[a].prop_delay_ms = prop_delay_ms;
+}
+
+void Graph::set_uniform_capacity(double capacity_mbps) {
+  check_positive(capacity_mbps, "capacity");
+  for (Arc& a : arcs_) a.capacity = capacity_mbps;
+}
+
+void Graph::scale_link_capacity(LinkId l, double factor) {
+  check_positive(factor, "capacity scale factor");
+  for (ArcId a : links_.at(l)) arcs_[a].capacity *= factor;
+}
+
+}  // namespace dtr

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dtr {
+
+using NodeId = std::uint32_t;
+/// Directed arc index (the unit routing operates on).
+using ArcId = std::uint32_t;
+/// Undirected link index: one physical link == two directed arcs. Failure
+/// scenarios and the critical-link machinery work at this granularity.
+using LinkId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr ArcId kInvalidArc = static_cast<ArcId>(-1);
+inline constexpr LinkId kInvalidLink = static_cast<LinkId>(-1);
+
+/// Planar position (unit square for synthesized topologies, projected
+/// kilometres for the ISP map). Used to derive propagation delays.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double euclidean_distance(Point a, Point b);
+
+/// One direction of a physical link.
+struct Arc {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  double capacity = 0.0;       ///< Mbps
+  double prop_delay_ms = 0.0;  ///< propagation delay p_l
+  LinkId link = kInvalidLink;  ///< owning physical link
+  ArcId reverse = kInvalidArc; ///< opposite direction, if the link is bidirectional
+};
+
+/// Directed multigraph with paired arcs, the substrate for both logical
+/// routing topologies. Node/arc/link ids are dense indices, stable across the
+/// lifetime of the graph (no removal; failures are expressed as alive-masks,
+/// never by mutating the graph).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t num_nodes);
+
+  NodeId add_node(Point position = {});
+
+  /// Adds a bidirectional link (two arcs, each the other's reverse).
+  /// Both directions share capacity value and propagation delay.
+  LinkId add_link(NodeId u, NodeId v, double capacity_mbps, double prop_delay_ms);
+
+  /// Adds a single directed arc with no reverse (used by adversarial tests).
+  ArcId add_arc(NodeId u, NodeId v, double capacity_mbps, double prop_delay_ms);
+
+  std::size_t num_nodes() const { return positions_.size(); }
+  std::size_t num_arcs() const { return arcs_.size(); }
+  /// Number of physical links. The paper's "# links" counts directed arcs
+  /// (e.g. "30 nodes, 180 links" == 90 physical links); see `num_arcs()`.
+  std::size_t num_links() const { return links_.size(); }
+
+  const Arc& arc(ArcId a) const { return arcs_[a]; }
+  std::span<const Arc> arcs() const { return arcs_; }
+
+  std::span<const ArcId> out_arcs(NodeId u) const { return out_arcs_[u]; }
+  std::span<const ArcId> in_arcs(NodeId u) const { return in_arcs_[u]; }
+  /// The 1 or 2 arcs composing a physical link.
+  std::span<const ArcId> link_arcs(LinkId l) const { return links_[l]; }
+
+  Point position(NodeId u) const { return positions_[u]; }
+  void set_position(NodeId u, Point p) { positions_[u] = p; }
+
+  /// True if some arc u->v exists.
+  bool has_arc_between(NodeId u, NodeId v) const;
+
+  /// Undirected degree of u (number of physical links incident to u).
+  std::size_t link_degree(NodeId u) const;
+
+  /// Mean undirected degree: 2 * num_links / num_nodes.
+  double average_link_degree() const;
+
+  /// Multiplies every arc's propagation delay by `factor` (> 0).
+  void scale_prop_delays(double factor);
+
+  /// Sets the propagation delay of both arcs of link `l`.
+  void set_link_prop_delay(LinkId l, double prop_delay_ms);
+
+  /// Sets every arc's capacity to `capacity_mbps` (> 0).
+  void set_uniform_capacity(double capacity_mbps);
+
+  /// Multiplies the capacity of both arcs of link `l` by `factor` (> 0).
+  /// Used by the Sec. V-B "resize congested core links" experiment.
+  void scale_link_capacity(LinkId l, double factor);
+
+ private:
+  std::vector<Point> positions_;
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<ArcId>> out_arcs_;
+  std::vector<std::vector<ArcId>> in_arcs_;
+  std::vector<std::vector<ArcId>> links_;
+};
+
+}  // namespace dtr

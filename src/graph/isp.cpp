@@ -1,0 +1,88 @@
+#include "graph/isp.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace dtr {
+
+namespace {
+
+struct City {
+  const char* name;
+  double lon;
+  double lat;
+};
+
+// 16 PoPs spanning the continental US (approximate city coordinates).
+constexpr City kCities[] = {
+    {"Seattle", -122.33, 47.61},      // 0
+    {"Sunnyvale", -122.04, 37.37},    // 1
+    {"LosAngeles", -118.24, 34.05},   // 2
+    {"Phoenix", -112.07, 33.45},      // 3
+    {"SaltLakeCity", -111.89, 40.76}, // 4
+    {"Denver", -104.99, 39.74},       // 5
+    {"Dallas", -96.80, 32.78},        // 6
+    {"Houston", -95.37, 29.76},       // 7
+    {"KansasCity", -94.58, 39.10},    // 8
+    {"Chicago", -87.63, 41.88},       // 9
+    {"StLouis", -90.20, 38.63},       // 10
+    {"Atlanta", -84.39, 33.75},       // 11
+    {"Orlando", -81.38, 28.54},       // 12
+    {"WashingtonDC", -77.04, 38.91},  // 13
+    {"NewYork", -74.01, 40.71},       // 14
+    {"Boston", -71.06, 42.36},        // 15
+};
+
+// 35 bidirectional links (70 arcs), degrees 2..7, average 4.375 — matching
+// the paper's [16 nodes, 70 links] with a realistic mesh-of-rings structure.
+constexpr std::pair<int, int> kLinks[] = {
+    {0, 1},  {0, 4},  {0, 5},  {0, 9},          // Seattle
+    {1, 2},  {1, 4},  {1, 5},                   // Sunnyvale
+    {2, 3},  {2, 4},  {2, 6},                   // Los Angeles
+    {3, 5},  {3, 6},  {3, 7},                   // Phoenix
+    {4, 5},                                     // Salt Lake City
+    {5, 8},  {5, 6},                            // Denver
+    {6, 7},  {6, 8},  {6, 11}, {6, 10},         // Dallas
+    {7, 11}, {7, 12},                           // Houston
+    {8, 9},  {8, 10},                           // Kansas City
+    {9, 10}, {9, 14}, {9, 13}, {9, 15},         // Chicago
+    {10, 11}, {10, 13},                         // St Louis
+    {11, 12}, {11, 13},                         // Atlanta
+    {12, 13},                                   // Orlando
+    {13, 14},                                   // Washington DC
+    {14, 15},                                   // New York
+};
+
+/// Equirectangular projection to kilometres around the map's mean latitude.
+Point project(double lon, double lat, double mean_lat_deg) {
+  constexpr double kKmPerDegLat = 110.57;
+  constexpr double kKmPerDegLonAtEquator = 111.32;
+  const double scale = std::cos(mean_lat_deg * std::numbers::pi / 180.0);
+  return {lon * kKmPerDegLonAtEquator * scale, lat * kKmPerDegLat};
+}
+
+}  // namespace
+
+IspTopology make_isp_backbone(double capacity_mbps) {
+  IspTopology topo;
+  double mean_lat = 0.0;
+  for (const City& c : kCities) mean_lat += c.lat;
+  mean_lat /= static_cast<double>(std::size(kCities));
+
+  for (const City& c : kCities) {
+    topo.graph.add_node(project(c.lon, c.lat, mean_lat));
+    topo.city_names.emplace_back(c.name);
+  }
+
+  // Fiber propagation: ~5 µs per km.
+  constexpr double kMsPerKm = 0.005;
+  for (const auto& [u, v] : kLinks) {
+    const double km = euclidean_distance(topo.graph.position(static_cast<NodeId>(u)),
+                                         topo.graph.position(static_cast<NodeId>(v)));
+    topo.graph.add_link(static_cast<NodeId>(u), static_cast<NodeId>(v), capacity_mbps,
+                        km * kMsPerKm);
+  }
+  return topo;
+}
+
+}  // namespace dtr

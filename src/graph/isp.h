@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dtr {
+
+/// The paper evaluates a (proprietary) "North American ISP backbone network
+/// of 16 nodes and 70 links". We substitute a hand-built 16-city US backbone
+/// with the same size: 16 PoPs, 35 bidirectional links (70 directed arcs),
+/// geographic propagation delays in the paper's ~5-20 ms range
+/// (fiber at 5 µs/km over great-circle-ish planar distances).
+/// See DESIGN.md §4 for the substitution rationale.
+struct IspTopology {
+  Graph graph;
+  std::vector<std::string> city_names;  ///< indexed by NodeId
+};
+
+/// Builds the backbone. All links are `capacity_mbps` (paper: 500 Mbps).
+IspTopology make_isp_backbone(double capacity_mbps = 500.0);
+
+}  // namespace dtr

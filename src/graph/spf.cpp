@@ -1,0 +1,112 @@
+#include "graph/spf.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace dtr {
+
+namespace {
+
+struct HeapEntry {
+  double dist;
+  NodeId node;
+  bool operator>(const HeapEntry& o) const { return dist > o.dist; }
+};
+
+inline bool arc_is_alive(ArcAliveMask mask, ArcId a) {
+  return mask.empty() || mask[a] != 0;
+}
+
+enum class Direction { kForward, kReverse };
+
+/// Dijkstra with lazy deletion. For kReverse, relaxes in-arcs so the labels
+/// are "distance to t"; for kForward, out-arcs ("distance from s").
+void dijkstra(const Graph& g, NodeId origin, std::span<const double> arc_cost,
+              ArcAliveMask alive, Direction dir, std::vector<double>& dist) {
+  if (arc_cost.size() != g.num_arcs())
+    throw std::invalid_argument("dijkstra: arc_cost size mismatch");
+  if (!alive.empty() && alive.size() != g.num_arcs())
+    throw std::invalid_argument("dijkstra: alive mask size mismatch");
+  if (origin >= g.num_nodes()) throw std::out_of_range("dijkstra: origin node");
+
+  dist.assign(g.num_nodes(), kInfDist);
+  dist[origin] = 0.0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  heap.push({0.0, origin});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;  // stale entry
+    const auto arcs = (dir == Direction::kReverse) ? g.in_arcs(u) : g.out_arcs(u);
+    for (ArcId a : arcs) {
+      if (!arc_is_alive(alive, a)) continue;
+      const Arc& arc = g.arc(a);
+      const NodeId next = (dir == Direction::kReverse) ? arc.src : arc.dst;
+      const double nd = d + arc_cost[a];
+      if (nd < dist[next]) {
+        dist[next] = nd;
+        heap.push({nd, next});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void shortest_distances_to(const Graph& g, NodeId t,
+                           std::span<const double> arc_cost,
+                           ArcAliveMask arc_alive, std::vector<double>& dist) {
+  dijkstra(g, t, arc_cost, arc_alive, Direction::kReverse, dist);
+}
+
+void shortest_distances_from(const Graph& g, NodeId s,
+                             std::span<const double> arc_cost,
+                             ArcAliveMask arc_alive, std::vector<double>& dist) {
+  dijkstra(g, s, arc_cost, arc_alive, Direction::kForward, dist);
+}
+
+std::vector<std::vector<double>> all_pairs_distances_to(
+    const Graph& g, std::span<const double> arc_cost) {
+  std::vector<std::vector<double>> d(g.num_nodes());
+  for (NodeId t = 0; t < g.num_nodes(); ++t)
+    shortest_distances_to(g, t, arc_cost, {}, d[t]);
+  return d;
+}
+
+void hop_distances_from(const Graph& g, NodeId s, ArcAliveMask arc_alive,
+                        std::vector<int>& hops) {
+  if (s >= g.num_nodes()) throw std::out_of_range("hop_distances_from: source");
+  hops.assign(g.num_nodes(), -1);
+  hops[s] = 0;
+  std::queue<NodeId> q;
+  q.push(s);
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    for (ArcId a : g.out_arcs(u)) {
+      if (!arc_is_alive(arc_alive, a)) continue;
+      const NodeId v = g.arc(a).dst;
+      if (hops[v] == -1) {
+        hops[v] = hops[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+}
+
+double propagation_diameter_ms(const Graph& g) {
+  if (g.num_nodes() < 2) return 0.0;
+  std::vector<double> costs(g.num_arcs());
+  for (ArcId a = 0; a < g.num_arcs(); ++a) costs[a] = g.arc(a).prop_delay_ms;
+  double diameter = 0.0;
+  std::vector<double> dist;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    shortest_distances_from(g, s, costs, {}, dist);
+    for (double d : dist)
+      if (d != kInfDist) diameter = std::max(diameter, d);
+  }
+  return diameter;
+}
+
+}  // namespace dtr

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dtr {
+
+/// Distance assigned to unreachable nodes.
+inline constexpr double kInfDist = std::numeric_limits<double>::infinity();
+
+/// Arc liveness mask: arc `a` participates iff mask is empty or mask[a] != 0.
+using ArcAliveMask = std::span<const std::uint8_t>;
+
+/// Fills dist[u] with the cost of the shortest u -> t path over alive arcs
+/// (Dijkstra on the reverse graph). Costs must be non-negative.
+///
+/// This is the orientation the routing engine needs: per-destination distance
+/// labels define the ECMP shortest-path DAG (arc (u,v) is "tight" iff
+/// dist[u] == cost(u,v) + dist[v]).
+void shortest_distances_to(const Graph& g, NodeId t,
+                           std::span<const double> arc_cost,
+                           ArcAliveMask arc_alive,
+                           std::vector<double>& dist);
+
+/// Fills dist[v] with the cost of the shortest s -> v path over alive arcs.
+void shortest_distances_from(const Graph& g, NodeId s,
+                             std::span<const double> arc_cost,
+                             ArcAliveMask arc_alive,
+                             std::vector<double>& dist);
+
+/// All-pairs matrix d[t][u] = shortest distance from u to t (no mask).
+std::vector<std::vector<double>> all_pairs_distances_to(
+    const Graph& g, std::span<const double> arc_cost);
+
+/// Minimum hop counts from s over alive arcs (BFS); -1 when unreachable.
+void hop_distances_from(const Graph& g, NodeId s, ArcAliveMask arc_alive,
+                        std::vector<int>& hops);
+
+/// Longest shortest-path (by arc propagation delay) over all connected pairs;
+/// 0 for graphs with < 2 nodes. Used to calibrate synthesized-topology delays
+/// against the SLA bound (Sec. V-A1).
+double propagation_diameter_ms(const Graph& g);
+
+}  // namespace dtr

@@ -1,0 +1,137 @@
+#include "routing/evaluator.h"
+
+#include <stdexcept>
+
+#include "cost/fortz.h"
+#include "graph/spf.h"
+
+namespace dtr {
+
+Evaluator::Evaluator(const Graph& g, const ClassedTraffic& traffic, EvalParams params)
+    : graph_(g), traffic_(traffic), params_(params) {
+  if (traffic.delay.num_nodes() != g.num_nodes() ||
+      traffic.throughput.num_nodes() != g.num_nodes())
+    throw std::invalid_argument("Evaluator: traffic/graph size mismatch");
+
+  // Uncapacitated min-hop reference (for Phi normalization in figures).
+  const TrafficMatrix total = traffic_.combined();
+  std::vector<int> hops;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    hop_distances_from(g, s, {}, hops);
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      if (s == t) continue;
+      const double v = total.at(s, t);
+      if (v > 0.0 && hops[t] > 0) phi_uncap_ += v * hops[t];
+    }
+  }
+  delay_pairs_ = traffic_.delay.num_positive_demands();
+}
+
+EvalResult Evaluator::evaluate(const WeightSetting& w, const FailureScenario& scenario,
+                               EvalDetail detail) const {
+  if (w.num_links() != graph_.num_links())
+    throw std::invalid_argument("Evaluator::evaluate: weight setting size mismatch");
+
+  std::vector<std::uint8_t> mask;
+  build_alive_mask(graph_, scenario, mask);
+  const NodeId skip = skipped_node(scenario);
+
+  std::vector<double> cost_delay, cost_tput;
+  w.arc_costs(graph_, TrafficClass::kDelay, cost_delay);
+  w.arc_costs(graph_, TrafficClass::kThroughput, cost_tput);
+
+  const ClassRouting delay_routing(graph_, cost_delay, traffic_.delay, mask, skip);
+  const ClassRouting tput_routing(graph_, cost_tput, traffic_.throughput, mask, skip);
+
+  // Total load and per-arc delay (classes share FIFO queues: D_a depends on
+  // the SUM of both classes' loads).
+  const std::size_t num_arcs = graph_.num_arcs();
+  std::vector<double> total_load(num_arcs);
+  std::vector<double> arc_delay(num_arcs);
+  for (ArcId a = 0; a < num_arcs; ++a) {
+    total_load[a] = delay_routing.arc_load(a) + tput_routing.arc_load(a);
+    const Arc& arc = graph_.arc(a);
+    arc_delay[a] =
+        link_delay_ms(total_load[a], arc.capacity, arc.prop_delay_ms, params_.delay_model);
+  }
+
+  EvalResult result;
+
+  // Lambda: SLA cost over delay-class SD pairs.
+  std::vector<double> sd_delay;
+  delay_routing.end_to_end_delays(graph_, cost_delay, mask, arc_delay, traffic_.delay,
+                                  params_.sla_delay_mode, skip, sd_delay);
+  const double disconnect_delay =
+      params_.sla.theta_ms + params_.disconnect_delay_excess_ms;
+  for (double& d : sd_delay) {
+    if (d < 0.0) continue;  // no demand
+    if (d == kInfDist) d = disconnect_delay;  // unreachable: charged, capped
+    result.lambda += sla_cost(d, params_.sla);
+    if (sla_violated(d, params_.sla)) ++result.sla_violations;
+  }
+  result.disconnected_delay_pairs = delay_routing.disconnected_demand_count();
+
+  // Phi: Fortz cost over links carrying throughput-sensitive traffic, applied
+  // to total load; unroutable throughput demand charged at the max slope.
+  for (ArcId a = 0; a < num_arcs; ++a) {
+    if (tput_routing.arc_load(a) <= 0.0) continue;
+    result.phi += fortz_cost(total_load[a], graph_.arc(a).capacity);
+  }
+  result.phi += kFortzMaxSlope * tput_routing.disconnected_demand_volume();
+  result.disconnected_tput_pairs = tput_routing.disconnected_demand_count();
+
+  if (detail == EvalDetail::kFull) {
+    result.arc_total_load = std::move(total_load);
+    result.arc_utilization.resize(num_arcs);
+    result.carries_delay_traffic.resize(num_arcs);
+    for (ArcId a = 0; a < num_arcs; ++a) {
+      result.arc_utilization[a] = result.arc_total_load[a] / graph_.arc(a).capacity;
+      result.carries_delay_traffic[a] = delay_routing.arc_load(a) > 0.0 ? 1 : 0;
+    }
+    result.sd_delay_ms = std::move(sd_delay);
+  }
+  return result;
+}
+
+SweepResult Evaluator::sweep(const WeightSetting& w,
+                             std::span<const FailureScenario> scenarios,
+                             const CostPair* abort_bound,
+                             std::span<const double> scenario_weights) const {
+  if (!scenario_weights.empty() && scenario_weights.size() != scenarios.size())
+    throw std::invalid_argument("Evaluator::sweep: scenario_weights size mismatch");
+  SweepResult sum;
+  const LexicographicOrder order;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const double weight = scenario_weights.empty() ? 1.0 : scenario_weights[i];
+    if (weight < 0.0) throw std::invalid_argument("Evaluator::sweep: negative weight");
+    const EvalResult r = evaluate(w, scenarios[i], EvalDetail::kCostsOnly);
+    sum.lambda += weight * r.lambda;
+    sum.phi += weight * r.phi;
+    ++sum.scenarios_evaluated;
+    if (abort_bound != nullptr) {
+      // Partial sums only grow, so once they are lexicographically worse than
+      // the bound the final sums must be too.
+      const bool lambda_worse =
+          sum.lambda > abort_bound->lambda && !order.values_equal(sum.lambda, abort_bound->lambda);
+      const bool phi_worse_at_equal_lambda =
+          order.values_equal(sum.lambda, abort_bound->lambda) &&
+          sum.phi > abort_bound->phi && !order.values_equal(sum.phi, abort_bound->phi);
+      if (lambda_worse || phi_worse_at_equal_lambda) {
+        sum.aborted = true;
+        return sum;
+      }
+    }
+  }
+  return sum;
+}
+
+std::vector<EvalResult> Evaluator::sweep_detailed(
+    const WeightSetting& w, std::span<const FailureScenario> scenarios,
+    EvalDetail detail) const {
+  std::vector<EvalResult> out;
+  out.reserve(scenarios.size());
+  for (const FailureScenario& s : scenarios) out.push_back(evaluate(w, s, detail));
+  return out;
+}
+
+}  // namespace dtr

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "cost/cost_types.h"
+#include "cost/delay_model.h"
+#include "cost/sla.h"
+#include "graph/graph.h"
+#include "routing/failures.h"
+#include "routing/route_state.h"
+#include "routing/weights.h"
+#include "traffic/traffic_matrix.h"
+
+namespace dtr {
+
+/// Cost-model parameters shared by every evaluation (Sec. III / V-A3).
+struct EvalParams {
+  DelayModelParams delay_model;
+  SlaParams sla;
+  SlaDelayMode sla_delay_mode = SlaDelayMode::kExpected;
+  /// A disconnected delay-sensitive pair is charged as a violation with this
+  /// much excess delay over theta (it can never meet its SLA).
+  double disconnect_delay_excess_ms = 100.0;
+};
+
+/// How much detail `evaluate` materializes. Costs-only keeps the search hot
+/// path allocation-light; Full adds the per-arc and per-SD profiles the
+/// figures need.
+enum class EvalDetail : std::uint8_t { kCostsOnly, kFull };
+
+struct EvalResult {
+  double lambda = 0.0;  ///< SLA cost of delay-sensitive traffic
+  double phi = 0.0;     ///< Fortz congestion cost of throughput-sensitive traffic
+  int sla_violations = 0;
+  std::size_t disconnected_delay_pairs = 0;
+  std::size_t disconnected_tput_pairs = 0;
+
+  // Populated only with EvalDetail::kFull:
+  std::vector<double> arc_total_load;   ///< per arc, Mbps
+  std::vector<double> arc_utilization;  ///< per arc, load / capacity
+  /// xi(s,t) at [s*n+t] for pairs with delay demand; -1 elsewhere; kInfDist
+  /// when disconnected.
+  std::vector<double> sd_delay_ms;
+  /// Per arc: 1 if the arc carries delay-sensitive traffic.
+  std::vector<std::uint8_t> carries_delay_traffic;
+
+  CostPair cost() const { return {lambda, phi}; }
+};
+
+/// Aggregate over a scenario set (the Kfail sums of Eqs. (4)/(7)).
+struct SweepResult {
+  double lambda = 0.0;
+  double phi = 0.0;
+  bool aborted = false;  ///< true if the early-abort bound was exceeded
+  std::size_t scenarios_evaluated = 0;
+
+  CostPair cost() const { return {lambda, phi}; }
+};
+
+/// Evaluates DTR weight settings on a network instance: runs both class
+/// routings (ECMP over each logical topology), derives total loads, link
+/// delays, SLA costs and congestion costs — under normal conditions or any
+/// failure scenario. The workhorse behind both optimization phases and all
+/// experiment harnesses.
+///
+/// The evaluator never mutates the graph: failures are arc liveness masks.
+class Evaluator {
+ public:
+  Evaluator(const Graph& g, const ClassedTraffic& traffic, EvalParams params);
+
+  const Graph& graph() const { return graph_; }
+  const ClassedTraffic& traffic() const { return traffic_; }
+  const EvalParams& params() const { return params_; }
+
+  EvalResult evaluate(const WeightSetting& w,
+                      const FailureScenario& scenario = FailureScenario::none(),
+                      EvalDetail detail = EvalDetail::kCostsOnly) const;
+
+  /// Sums Lambda/Phi over `scenarios`. When `abort_bound` is set, the sweep
+  /// stops as soon as the partial sums are lexicographically worse than the
+  /// bound (sound because per-scenario costs are non-negative); `aborted`
+  /// reports that outcome. This prunes most rejected Phase 2 candidates after
+  /// a handful of scenario evaluations.
+  ///
+  /// `scenario_weights` (optional, same length as `scenarios`, non-negative)
+  /// turn the sums into expectations over a probabilistic failure model
+  /// (the extension sketched in the paper's conclusion): each scenario's
+  /// contribution is multiplied by its weight. Early abort stays sound since
+  /// weighted terms remain non-negative.
+  SweepResult sweep(const WeightSetting& w, std::span<const FailureScenario> scenarios,
+                    const CostPair* abort_bound = nullptr,
+                    std::span<const double> scenario_weights = {}) const;
+
+  /// Per-scenario results (for the per-failure figures / metrics).
+  std::vector<EvalResult> sweep_detailed(const WeightSetting& w,
+                                         std::span<const FailureScenario> scenarios,
+                                         EvalDetail detail = EvalDetail::kCostsOnly) const;
+
+  /// Uncapacitated min-hop reference cost: sum over demands of
+  /// volume * hopcount. Figures report Phi / phi_uncap() (Fortz's Phi*
+  /// normalization) so series are O(1).
+  double phi_uncap() const { return phi_uncap_; }
+
+  /// Number of SD pairs with positive delay-class demand.
+  std::size_t delay_demand_pairs() const { return delay_pairs_; }
+
+ private:
+  const Graph& graph_;
+  ClassedTraffic traffic_;
+  EvalParams params_;
+  double phi_uncap_ = 0.0;
+  std::size_t delay_pairs_ = 0;
+};
+
+}  // namespace dtr

@@ -1,0 +1,82 @@
+#include "routing/failures.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dtr {
+
+std::string to_string(const FailureScenario& s) {
+  switch (s.kind) {
+    case FailureScenario::Kind::kNone: return "none";
+    case FailureScenario::Kind::kLink: return "link#" + std::to_string(s.id);
+    case FailureScenario::Kind::kNode: return "node#" + std::to_string(s.id);
+    case FailureScenario::Kind::kLinkPair:
+      return "links#" + std::to_string(s.id) + "+" + std::to_string(s.id2);
+  }
+  return "?";
+}
+
+std::vector<FailureScenario> all_link_failures(const Graph& g) {
+  std::vector<FailureScenario> out;
+  out.reserve(g.num_links());
+  for (LinkId l = 0; l < g.num_links(); ++l) out.push_back(FailureScenario::link(l));
+  return out;
+}
+
+std::vector<FailureScenario> all_node_failures(const Graph& g) {
+  std::vector<FailureScenario> out;
+  out.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) out.push_back(FailureScenario::node(v));
+  return out;
+}
+
+std::vector<FailureScenario> sample_dual_link_failures(const Graph& g,
+                                                       std::size_t count, Rng& rng) {
+  if (g.num_links() < 2)
+    throw std::invalid_argument("sample_dual_link_failures: need >= 2 links");
+  std::vector<FailureScenario> out;
+  out.reserve(count);
+  std::size_t guard = 64 * count + 64;
+  while (out.size() < count) {
+    if (guard-- == 0)
+      throw std::runtime_error("sample_dual_link_failures: sampling stalled");
+    auto a = static_cast<LinkId>(rng.uniform_index(g.num_links()));
+    auto b = static_cast<LinkId>(rng.uniform_index(g.num_links()));
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    const FailureScenario s = FailureScenario::link_pair(a, b);
+    if (std::find(out.begin(), out.end(), s) != out.end()) continue;
+    out.push_back(s);
+  }
+  return out;
+}
+
+void build_alive_mask(const Graph& g, const FailureScenario& s,
+                      std::vector<std::uint8_t>& mask) {
+  mask.assign(g.num_arcs(), 1);
+  switch (s.kind) {
+    case FailureScenario::Kind::kNone:
+      return;
+    case FailureScenario::Kind::kLink:
+      if (s.id >= g.num_links()) throw std::out_of_range("build_alive_mask: link id");
+      for (ArcId a : g.link_arcs(s.id)) mask[a] = 0;
+      return;
+    case FailureScenario::Kind::kNode:
+      if (s.id >= g.num_nodes()) throw std::out_of_range("build_alive_mask: node id");
+      for (ArcId a : g.out_arcs(s.id)) mask[a] = 0;
+      for (ArcId a : g.in_arcs(s.id)) mask[a] = 0;
+      return;
+    case FailureScenario::Kind::kLinkPair:
+      if (s.id >= g.num_links() || s.id2 >= g.num_links())
+        throw std::out_of_range("build_alive_mask: link pair id");
+      for (ArcId a : g.link_arcs(s.id)) mask[a] = 0;
+      for (ArcId a : g.link_arcs(s.id2)) mask[a] = 0;
+      return;
+  }
+}
+
+NodeId skipped_node(const FailureScenario& s) {
+  return s.kind == FailureScenario::Kind::kNode ? static_cast<NodeId>(s.id) : kInvalidNode;
+}
+
+}  // namespace dtr

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace dtr {
+
+/// A failure scenario. Link failures take down both directed arcs of a
+/// physical link (fiber-cut semantics); node failures take down every arc
+/// incident to the node AND remove the traffic it sources/sinks; link-pair
+/// failures (Sec. V-F footnote: "other failure patterns, e.g., multiple link
+/// failures") take down two physical links simultaneously.
+struct FailureScenario {
+  enum class Kind : std::uint8_t { kNone, kLink, kNode, kLinkPair };
+  Kind kind = Kind::kNone;
+  std::uint32_t id = 0;   ///< LinkId or NodeId depending on kind
+  std::uint32_t id2 = 0;  ///< second LinkId (kLinkPair only)
+
+  static FailureScenario none() { return {Kind::kNone, 0, 0}; }
+  static FailureScenario link(LinkId l) { return {Kind::kLink, l, 0}; }
+  static FailureScenario node(NodeId v) { return {Kind::kNode, v, 0}; }
+  static FailureScenario link_pair(LinkId a, LinkId b) {
+    return {Kind::kLinkPair, a, b};
+  }
+
+  bool operator==(const FailureScenario&) const = default;
+};
+
+std::string to_string(const FailureScenario& s);
+
+/// All single-link failure scenarios (one per physical link).
+std::vector<FailureScenario> all_link_failures(const Graph& g);
+
+/// All single-node failure scenarios.
+std::vector<FailureScenario> all_node_failures(const Graph& g);
+
+/// `count` distinct random dual-link failure scenarios (a != b). Used by the
+/// multiple-failure sensitivity study; enumerating all pairs is quadratic,
+/// so the bench samples. Requires >= 2 physical links.
+std::vector<FailureScenario> sample_dual_link_failures(const Graph& g,
+                                                       std::size_t count, Rng& rng);
+
+/// Builds the arc liveness mask for a scenario (1 = alive).
+void build_alive_mask(const Graph& g, const FailureScenario& s,
+                      std::vector<std::uint8_t>& mask);
+
+/// The node whose traffic must be ignored under this scenario
+/// (kInvalidNode except for node failures).
+NodeId skipped_node(const FailureScenario& s);
+
+}  // namespace dtr

@@ -1,0 +1,202 @@
+#include "routing/route_state.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dtr {
+
+namespace {
+constexpr double kTightEps = 1e-7;
+
+inline bool alive(ArcAliveMask mask, ArcId a) { return mask.empty() || mask[a] != 0; }
+}  // namespace
+
+bool arc_is_tight(const Arc& arc, double cost, std::span<const double> dist) {
+  const double du = dist[arc.src];
+  const double dv = dist[arc.dst];
+  if (du == kInfDist || dv == kInfDist) return false;
+  return std::abs(du - (cost + dv)) <= kTightEps * std::max(1.0, std::abs(du));
+}
+
+std::vector<std::vector<NodeId>> enumerate_ecmp_paths(
+    const Graph& g, std::span<const double> arc_cost, NodeId s, NodeId t,
+    ArcAliveMask alive_mask, std::size_t max_paths) {
+  if (s >= g.num_nodes() || t >= g.num_nodes())
+    throw std::out_of_range("enumerate_ecmp_paths: node id");
+  std::vector<std::vector<NodeId>> paths;
+  if (s == t || max_paths == 0) return paths;
+
+  std::vector<double> dist;
+  shortest_distances_to(g, t, arc_cost, alive_mask, dist);
+  if (dist[s] == kInfDist) return paths;
+
+  // DFS over the shortest-path DAG; next hops visited in ascending node id
+  // for deterministic output. The DAG is acyclic (distances strictly
+  // decrease along tight arcs with positive costs), so no visited-set needed.
+  std::vector<NodeId> current{s};
+  // Pre-sorted tight successor lists keep the traversal simple.
+  auto tight_successors = [&](NodeId u) {
+    std::vector<NodeId> next;
+    for (ArcId a : g.out_arcs(u)) {
+      if (!alive_mask.empty() && alive_mask[a] == 0) continue;
+      if (arc_is_tight(g.arc(a), arc_cost[a], dist)) next.push_back(g.arc(a).dst);
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    return next;
+  };
+
+  struct Frame {
+    std::vector<NodeId> successors;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({tight_successors(s), 0});
+  while (!stack.empty() && paths.size() < max_paths) {
+    Frame& frame = stack.back();
+    if (frame.next >= frame.successors.size()) {
+      stack.pop_back();
+      current.pop_back();
+      continue;
+    }
+    const NodeId v = frame.successors[frame.next++];
+    current.push_back(v);
+    if (v == t) {
+      paths.push_back(current);
+      current.pop_back();
+    } else {
+      stack.push_back({tight_successors(v), 0});
+    }
+  }
+  return paths;
+}
+
+ClassRouting::ClassRouting(const Graph& g, std::span<const double> arc_cost,
+                           const TrafficMatrix& demands, ArcAliveMask alive_mask,
+                           NodeId skip_node)
+    : graph_(g) {
+  if (demands.num_nodes() != g.num_nodes())
+    throw std::invalid_argument("ClassRouting: traffic matrix / graph size mismatch");
+
+  const std::size_t n = g.num_nodes();
+  arc_load_.assign(g.num_arcs(), 0.0);
+  dist_.resize(n);
+
+  std::vector<double> node_flow(n);
+  std::vector<NodeId> order(n);
+
+  for (NodeId t = 0; t < n; ++t) {
+    shortest_distances_to(g, t, arc_cost, alive_mask, dist_[t]);
+    if (t == skip_node) continue;
+    const auto& dist = dist_[t];
+
+    // Seed node flows with the demands toward t.
+    bool any_flow = false;
+    std::fill(node_flow.begin(), node_flow.end(), 0.0);
+    for (NodeId s = 0; s < n; ++s) {
+      if (s == t || s == skip_node) continue;
+      const double d = demands.at(s, t);
+      if (d <= 0.0) continue;
+      if (dist[s] == kInfDist) {
+        ++disconnected_;
+        disconnected_volume_ += d;
+        continue;
+      }
+      node_flow[s] = d;
+      any_flow = true;
+    }
+    if (!any_flow) continue;
+
+    // Process reachable nodes in decreasing distance; each node's flow splits
+    // evenly over its tight out-arcs.
+    order.clear();
+    for (NodeId u = 0; u < n; ++u)
+      if (u != t && dist[u] != kInfDist) order.push_back(u);
+    std::sort(order.begin(), order.end(),
+              [&](NodeId a, NodeId b) { return dist[a] > dist[b]; });
+
+    for (NodeId u : order) {
+      const double flow = node_flow[u];
+      if (flow <= 0.0) continue;
+      int tight_count = 0;
+      for (ArcId a : g.out_arcs(u))
+        if (alive(alive_mask, a) && arc_is_tight(g.arc(a), arc_cost[a], dist)) ++tight_count;
+      if (tight_count == 0) {
+        // Cannot happen for finite-dist nodes (a tight arc realizes dist),
+        // but guard against inconsistent masks.
+        throw std::logic_error("ClassRouting: node with flow has no tight out-arc");
+      }
+      const double share = flow / tight_count;
+      for (ArcId a : g.out_arcs(u)) {
+        if (!alive(alive_mask, a) || !arc_is_tight(g.arc(a), arc_cost[a], dist)) continue;
+        arc_load_[a] += share;
+        node_flow[g.arc(a).dst] += share;
+      }
+      node_flow[u] = 0.0;
+    }
+  }
+}
+
+void ClassRouting::end_to_end_delays(const Graph& g, std::span<const double> arc_cost,
+                                     ArcAliveMask alive_mask,
+                                     std::span<const double> arc_delay_ms,
+                                     const TrafficMatrix& demands, SlaDelayMode mode,
+                                     NodeId skip_node, std::vector<double>& out) const {
+  const std::size_t n = g.num_nodes();
+  if (arc_delay_ms.size() != g.num_arcs())
+    throw std::invalid_argument("end_to_end_delays: arc_delay size mismatch");
+  out.assign(n * n, -1.0);
+
+  std::vector<double> node_delay(n);
+  std::vector<NodeId> order(n);
+
+  for (NodeId t = 0; t < n; ++t) {
+    if (t == skip_node) continue;
+    const auto& dist = dist_[t];
+
+    bool any_demand = false;
+    for (NodeId s = 0; s < n && !any_demand; ++s)
+      any_demand = (s != t && s != skip_node && demands.at(s, t) > 0.0);
+    if (!any_demand) continue;
+
+    // DP over the shortest-path DAG in increasing distance order:
+    //   expected: E[u] = sum_k (1/k)(D_a + E[dst_a]) over tight arcs
+    //   worst:    W[u] = max_a (D_a + W[dst_a])
+    order.clear();
+    for (NodeId u = 0; u < n; ++u)
+      if (dist[u] != kInfDist) order.push_back(u);
+    std::sort(order.begin(), order.end(),
+              [&](NodeId a, NodeId b) { return dist[a] < dist[b]; });
+
+    std::fill(node_delay.begin(), node_delay.end(), 0.0);
+    for (NodeId u : order) {
+      if (u == t) continue;
+      int tight_count = 0;
+      double acc = (mode == SlaDelayMode::kWorstPath) ? -kInfDist : 0.0;
+      for (ArcId a : g.out_arcs(u)) {
+        if (!alive(alive_mask, a) || !arc_is_tight(g.arc(a), arc_cost[a], dist)) continue;
+        ++tight_count;
+        const double through = arc_delay_ms[a] + node_delay[g.arc(a).dst];
+        if (mode == SlaDelayMode::kWorstPath) {
+          acc = std::max(acc, through);
+        } else {
+          acc += through;
+        }
+      }
+      node_delay[u] = (mode == SlaDelayMode::kWorstPath)
+                          ? acc
+                          : (tight_count > 0 ? acc / tight_count : 0.0);
+    }
+
+    for (NodeId s = 0; s < n; ++s) {
+      if (s == t || s == skip_node) continue;
+      if (demands.at(s, t) <= 0.0) continue;
+      out[static_cast<std::size_t>(s) * n + t] =
+          (dist[s] == kInfDist) ? kInfDist : node_delay[s];
+    }
+  }
+}
+
+}  // namespace dtr

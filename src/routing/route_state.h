@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/spf.h"
+#include "traffic/traffic_matrix.h"
+
+namespace dtr {
+
+/// How an SD pair's end-to-end delay is summarized when ECMP spreads its
+/// traffic over several shortest paths.
+enum class SlaDelayMode : std::uint8_t {
+  /// Expected delay under even splitting (probe averaging — paper's SLA
+  /// measurement model). Default.
+  kExpected,
+  /// Maximum delay over all used paths (conservative).
+  kWorstPath,
+};
+
+/// Routing state of ONE traffic class under a given arc-cost vector and arc
+/// liveness mask: per-destination distance labels (defining the ECMP
+/// shortest-path DAGs) and the per-arc loads of this class's demands.
+///
+/// Load aggregation is the standard Fortz–Thorup sweep: per destination,
+/// process nodes in decreasing distance order and split each node's
+/// accumulated flow evenly across its tight out-arcs.
+class ClassRouting {
+ public:
+  /// `skip_node`: demands sourced or sunk at this node are ignored
+  /// (node-failure semantics); pass kInvalidNode for none.
+  ClassRouting(const Graph& g, std::span<const double> arc_cost,
+               const TrafficMatrix& demands, ArcAliveMask alive,
+               NodeId skip_node = kInvalidNode);
+
+  std::span<const double> arc_loads() const { return arc_load_; }
+  double arc_load(ArcId a) const { return arc_load_[a]; }
+
+  /// dist[t][u] = shortest cost from u to t (kInfDist if unreachable).
+  const std::vector<std::vector<double>>& distances() const { return dist_; }
+
+  bool pair_connected(NodeId s, NodeId t) const { return dist_[t][s] != kInfDist; }
+
+  /// Demands (s,t) with positive volume whose source cannot reach t.
+  std::size_t disconnected_demand_count() const { return disconnected_; }
+  double disconnected_demand_volume() const { return disconnected_volume_; }
+
+  /// Per-SD-pair end-to-end delay xi(s,t) for this class's DAGs, given
+  /// per-arc delays D_a (computed from TOTAL load across classes).
+  /// out[s*n + t] = delay in ms; untouched entries are set to -1 (pairs with
+  /// no demand). Disconnected pairs with demand get kInfDist.
+  void end_to_end_delays(const Graph& g, std::span<const double> arc_cost,
+                         ArcAliveMask alive, std::span<const double> arc_delay_ms,
+                         const TrafficMatrix& demands, SlaDelayMode mode,
+                         NodeId skip_node, std::vector<double>& out) const;
+
+ private:
+  const Graph& graph_;
+  std::vector<double> arc_load_;
+  std::vector<std::vector<double>> dist_;
+  std::size_t disconnected_ = 0;
+  double disconnected_volume_ = 0.0;
+};
+
+/// Tight-arc test: arc a lies on a shortest path toward t (distance labels
+/// `dist`) iff it is alive and dist[src] == cost[a] + dist[dst]. Weights are
+/// integers, so sums are exact in double; the epsilon only guards against
+/// callers with fractional costs.
+bool arc_is_tight(const Arc& arc, double cost, std::span<const double> dist);
+
+/// Enumerates the ECMP paths (node sequences s..t) a class would use for one
+/// SD pair under `arc_cost` and the liveness mask, in deterministic
+/// (lexicographic next-hop) order. Stops after `max_paths` (the DAG can hold
+/// exponentially many); returns an empty vector when t is unreachable.
+/// Diagnostic/reporting API — the load machinery never materializes paths.
+std::vector<std::vector<NodeId>> enumerate_ecmp_paths(
+    const Graph& g, std::span<const double> arc_cost, NodeId s, NodeId t,
+    ArcAliveMask alive = {}, std::size_t max_paths = 64);
+
+}  // namespace dtr

@@ -1,0 +1,53 @@
+#include "routing/weights.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dtr {
+
+WeightSetting::WeightSetting(std::size_t num_links, int initial_weight) {
+  if (initial_weight < 1) throw std::invalid_argument("WeightSetting: weight must be >= 1");
+  for (auto& w : weights_) w.assign(num_links, initial_weight);
+}
+
+void WeightSetting::set(TrafficClass c, LinkId l, int weight) {
+  if (weight < 1) throw std::invalid_argument("WeightSetting::set: weight must be >= 1");
+  weights_[idx(c)].at(l) = weight;
+}
+
+void WeightSetting::arc_costs(const Graph& g, TrafficClass c,
+                              std::vector<double>& out) const {
+  if (g.num_links() != num_links())
+    throw std::invalid_argument("WeightSetting::arc_costs: graph size mismatch");
+  out.resize(g.num_arcs());
+  for (ArcId a = 0; a < g.num_arcs(); ++a)
+    out[a] = static_cast<double>(weights_[idx(c)][g.arc(a).link]);
+}
+
+void randomize_weights(WeightSetting& w, int wmax, Rng& rng) {
+  if (wmax < 1) throw std::invalid_argument("randomize_weights: wmax must be >= 1");
+  for (TrafficClass c : kBothClasses)
+    for (LinkId l = 0; l < w.num_links(); ++l)
+      w.set(c, l, rng.uniform_int(1, wmax));
+}
+
+WeightSetting make_warm_start(const Graph& g, int wmax) {
+  WeightSetting w(g.num_links(), 1);
+  double max_delay = 0.0;
+  for (LinkId l = 0; l < g.num_links(); ++l)
+    max_delay = std::max(max_delay, g.arc(g.link_arcs(l).front()).prop_delay_ms);
+  // Map delays onto [1, 0.6*wmax]: enough integer levels that distinct-delay
+  // paths rarely tie (spurious ECMP ties inflate expected delay), while
+  // failure-emulating weights (>= 0.7*wmax) stay clearly "off-path".
+  const double scale = max_delay > 0.0 ? (0.6 * wmax) / max_delay : 1.0;
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    const double d = g.arc(g.link_arcs(l).front()).prop_delay_ms;
+    const int weight = std::max(1, static_cast<int>(std::lround(d * scale)));
+    w.set(TrafficClass::kDelay, l, std::min(weight, wmax));
+    w.set(TrafficClass::kThroughput, l, 1);
+  }
+  return w;
+}
+
+}  // namespace dtr

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace dtr {
+
+/// The two routed traffic classes of the DTR model.
+enum class TrafficClass : std::uint8_t {
+  kDelay = 0,       ///< delay-sensitive (SLA-bound, routing W^D)
+  kThroughput = 1,  ///< throughput-sensitive (congestion cost, routing W^T)
+};
+
+inline constexpr std::size_t kNumClasses = 2;
+inline constexpr TrafficClass kBothClasses[] = {TrafficClass::kDelay,
+                                                TrafficClass::kThroughput};
+
+/// A DTR weight setting W: two integer weights per physical link (both
+/// directions of a link share the weight, as in symmetric IGP deployments).
+/// Weights live in [1, wmax].
+class WeightSetting {
+ public:
+  WeightSetting() = default;
+  WeightSetting(std::size_t num_links, int initial_weight = 1);
+
+  std::size_t num_links() const { return weights_[0].size(); }
+
+  int get(TrafficClass c, LinkId l) const { return weights_[idx(c)][l]; }
+  void set(TrafficClass c, LinkId l, int weight);
+
+  std::span<const int> weights(TrafficClass c) const { return weights_[idx(c)]; }
+
+  /// Expands link weights into a per-arc cost array for SPF.
+  void arc_costs(const Graph& g, TrafficClass c, std::vector<double>& out) const;
+
+  bool operator==(const WeightSetting& other) const = default;
+
+ private:
+  static std::size_t idx(TrafficClass c) { return static_cast<std::size_t>(c); }
+  std::vector<int> weights_[kNumClasses];
+};
+
+/// Uniformly random weights in [1, wmax] for both classes.
+void randomize_weights(WeightSetting& w, int wmax, Rng& rng);
+
+/// Heuristic warm start: delay-class weights proportional to propagation
+/// delay (shortest-delay routing), throughput-class weights uniform
+/// (min-hop). Optional — the paper starts from random settings; this cuts
+/// Phase 1 convergence time and is exercised by the ablation bench.
+WeightSetting make_warm_start(const Graph& g, int wmax);
+
+}  // namespace dtr

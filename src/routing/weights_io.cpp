@@ -1,0 +1,67 @@
+#include "routing/weights_io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dtr {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("read_weights: " + what);
+}
+
+bool next_content_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_weights(std::ostream& os, const WeightSetting& w) {
+  os << "dtr-weights 1\n";
+  os << "links " << w.num_links() << "\n";
+  for (LinkId l = 0; l < w.num_links(); ++l)
+    os << w.get(TrafficClass::kDelay, l) << " " << w.get(TrafficClass::kThroughput, l)
+       << "\n";
+}
+
+WeightSetting read_weights(std::istream& is) {
+  std::string line, word;
+  if (!next_content_line(is, line)) fail("empty input");
+  {
+    std::istringstream ss(line);
+    int version = 0;
+    ss >> word >> version;
+    if (word != "dtr-weights" || version != 1) fail("bad header: " + line);
+  }
+  if (!next_content_line(is, line)) fail("missing links header");
+  std::size_t num_links = 0;
+  {
+    std::istringstream ss(line);
+    ss >> word >> num_links;
+    if (word != "links" || ss.fail()) fail("bad links header: " + line);
+  }
+  WeightSetting w(num_links);
+  for (std::size_t l = 0; l < num_links; ++l) {
+    if (!next_content_line(is, line)) fail("missing weight line");
+    std::istringstream ss(line);
+    int delay_weight = 0, tput_weight = 0;
+    ss >> delay_weight >> tput_weight;
+    if (ss.fail()) fail("bad weight line: " + line);
+    if (delay_weight < 1 || tput_weight < 1) fail("weights must be >= 1: " + line);
+    w.set(TrafficClass::kDelay, static_cast<LinkId>(l), delay_weight);
+    w.set(TrafficClass::kThroughput, static_cast<LinkId>(l), tput_weight);
+  }
+  return w;
+}
+
+}  // namespace dtr

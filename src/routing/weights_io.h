@@ -1,0 +1,21 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "routing/weights.h"
+
+namespace dtr {
+
+/// Plain-text persistence for DTR weight settings — the artifact an operator
+/// deploys (two IGP weights per link). Format (version 1, '#' comments):
+///
+///   dtr-weights 1
+///   links <M>
+///   <delay_weight> <throughput_weight>      (M lines, link id order)
+
+void write_weights(std::ostream& os, const WeightSetting& w);
+
+/// Parses the format above; throws std::runtime_error on malformed input.
+WeightSetting read_weights(std::istream& is);
+
+}  // namespace dtr

@@ -1,0 +1,44 @@
+#include "traffic/gravity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dtr {
+
+TrafficMatrix make_gravity_traffic(const Graph& g, const GravityParams& params) {
+  const std::size_t n = g.num_nodes();
+  if (n < 2) throw std::invalid_argument("make_gravity_traffic: need >= 2 nodes");
+  if (!(params.alpha > 0.0)) throw std::invalid_argument("make_gravity_traffic: alpha");
+
+  Rng rng(params.seed);
+  std::vector<double> origin(n), destination(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Draws floored away from zero so every pair has positive demand.
+    origin[i] = std::max(rng.uniform(), 1e-3);
+    destination[i] = std::max(rng.uniform(), 1e-3);
+  }
+
+  double delta = 0.0;
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      delta = std::max(delta, euclidean_distance(g.position(u), g.position(v)));
+  if (delta <= 0.0) delta = 1.0;  // co-located degenerate layouts
+
+  TrafficMatrix tm(n);
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) continue;
+      const double pair_factor = std::max(rng.uniform(), 1e-3);
+      const double dist = euclidean_distance(g.position(s), g.position(t));
+      const double decay = std::exp(-params.decay * dist / (2.0 * delta));
+      tm.set(s, t, params.alpha * origin[s] * destination[t] * pair_factor * decay);
+    }
+  }
+  return tm;
+}
+
+}  // namespace dtr

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "traffic/traffic_matrix.h"
+
+namespace dtr {
+
+/// Gravity-style synthetic traffic model (the Fortz–Thorup family used by the
+/// paper's reference [13]): demand(s,t) = alpha * o_s * d_t * c_{s,t} *
+/// exp(-dist(s,t) / (2 * Delta)), with o, d, c uniform in [0,1] and Delta the
+/// largest inter-node distance. Every ordered pair receives strictly positive
+/// demand, matching "each SD pair generates delay-sensitive traffic".
+struct GravityParams {
+  double alpha = 1.0;
+  /// Distance-decay strength multiplier; 1.0 reproduces exp(-d/2Delta).
+  double decay = 1.0;
+  std::uint64_t seed = 1;
+};
+
+TrafficMatrix make_gravity_traffic(const Graph& g, const GravityParams& params);
+
+}  // namespace dtr

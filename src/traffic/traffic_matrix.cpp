@@ -1,0 +1,72 @@
+#include "traffic/traffic_matrix.h"
+
+#include <stdexcept>
+
+namespace dtr {
+
+TrafficMatrix::TrafficMatrix(std::size_t num_nodes)
+    : n_(num_nodes), data_(num_nodes * num_nodes, 0.0) {}
+
+void TrafficMatrix::set(NodeId s, NodeId t, double volume) {
+  if (s >= n_ || t >= n_) throw std::out_of_range("TrafficMatrix::set: node id");
+  if (s == t) throw std::invalid_argument("TrafficMatrix: diagonal demand");
+  if (volume < 0.0) throw std::invalid_argument("TrafficMatrix: negative demand");
+  data_[index(s, t)] = volume;
+}
+
+void TrafficMatrix::add(NodeId s, NodeId t, double volume) {
+  set(s, t, at(s, t) + volume);
+}
+
+double TrafficMatrix::total() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v;
+  return sum;
+}
+
+std::size_t TrafficMatrix::num_positive_demands() const {
+  std::size_t count = 0;
+  for (double v : data_)
+    if (v > 0.0) ++count;
+  return count;
+}
+
+void TrafficMatrix::scale(double factor) {
+  if (factor < 0.0) throw std::invalid_argument("TrafficMatrix::scale: negative factor");
+  for (double& v : data_) v *= factor;
+}
+
+TrafficMatrix TrafficMatrix::scaled(double factor) const {
+  TrafficMatrix copy = *this;
+  copy.scale(factor);
+  return copy;
+}
+
+void TrafficMatrix::remove_node_traffic(NodeId node) {
+  if (node >= n_) throw std::out_of_range("TrafficMatrix::remove_node_traffic");
+  for (NodeId other = 0; other < n_; ++other) {
+    if (other == node) continue;
+    data_[index(node, other)] = 0.0;
+    data_[index(other, node)] = 0.0;
+  }
+}
+
+TrafficMatrix ClassedTraffic::combined() const {
+  TrafficMatrix sum(delay.num_nodes());
+  delay.for_each_demand([&](NodeId s, NodeId t, double v) { sum.add(s, t, v); });
+  throughput.for_each_demand([&](NodeId s, NodeId t, double v) { sum.add(s, t, v); });
+  return sum;
+}
+
+ClassedTraffic split_by_class(const TrafficMatrix& total, double delay_fraction) {
+  if (delay_fraction < 0.0 || delay_fraction > 1.0)
+    throw std::invalid_argument("split_by_class: fraction outside [0,1]");
+  ClassedTraffic out{TrafficMatrix(total.num_nodes()), TrafficMatrix(total.num_nodes())};
+  total.for_each_demand([&](NodeId s, NodeId t, double v) {
+    out.delay.set(s, t, v * delay_fraction);
+    out.throughput.set(s, t, v * (1.0 - delay_fraction));
+  });
+  return out;
+}
+
+}  // namespace dtr

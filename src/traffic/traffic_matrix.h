@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dtr {
+
+/// Dense source-destination demand matrix (volumes in Mbps). Diagonal is
+/// always zero.
+class TrafficMatrix {
+ public:
+  TrafficMatrix() = default;
+  explicit TrafficMatrix(std::size_t num_nodes);
+
+  std::size_t num_nodes() const { return n_; }
+
+  double at(NodeId s, NodeId t) const { return data_[index(s, t)]; }
+  void set(NodeId s, NodeId t, double volume);
+  void add(NodeId s, NodeId t, double volume);
+
+  /// Sum of all demands.
+  double total() const;
+
+  /// Number of SD pairs with strictly positive demand.
+  std::size_t num_positive_demands() const;
+
+  /// Multiplies every demand by `factor` (>= 0).
+  void scale(double factor);
+
+  /// Returns a copy scaled by `factor`.
+  TrafficMatrix scaled(double factor) const;
+
+  /// Zeroes every demand sourced or sunk at `node` (node-failure semantics:
+  /// "the failure of a node triggers ... the removal of all the traffic it
+  /// originates", Sec. V-F; we also remove traffic destined to it since it
+  /// can no longer be delivered).
+  void remove_node_traffic(NodeId node);
+
+  /// Invokes fn(s, t, volume) for every strictly positive demand.
+  template <typename Fn>
+  void for_each_demand(Fn&& fn) const {
+    for (NodeId s = 0; s < n_; ++s)
+      for (NodeId t = 0; t < n_; ++t)
+        if (data_[index(s, t)] > 0.0) fn(s, t, data_[index(s, t)]);
+  }
+
+ private:
+  std::size_t index(NodeId s, NodeId t) const { return static_cast<std::size_t>(s) * n_ + t; }
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+/// The two traffic classes of the DTR model (Sec. III).
+struct ClassedTraffic {
+  TrafficMatrix delay;       ///< delay-sensitive demands R_D
+  TrafficMatrix throughput;  ///< throughput-sensitive demands R_T
+
+  /// Elementwise sum (total load x_l drivers share FIFO queues).
+  TrafficMatrix combined() const;
+};
+
+/// Splits a total matrix into the two classes; `delay_fraction` of every
+/// demand is delay-sensitive (paper default: 0.30, and every SD pair
+/// generates delay-sensitive traffic).
+ClassedTraffic split_by_class(const TrafficMatrix& total, double delay_fraction);
+
+}  // namespace dtr

@@ -1,0 +1,67 @@
+#include "traffic/uncertainty.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dtr {
+
+TrafficMatrix apply_gaussian_fluctuation(const TrafficMatrix& base,
+                                         const GaussianFluctuation& model, Rng& rng) {
+  if (model.epsilon < 0.0)
+    throw std::invalid_argument("apply_gaussian_fluctuation: negative epsilon");
+  TrafficMatrix out(base.num_nodes());
+  base.for_each_demand([&](NodeId s, NodeId t, double v) {
+    const double fluctuated = v + rng.normal(0.0, model.epsilon * v);
+    out.set(s, t, std::max(fluctuated, 0.0));
+  });
+  return out;
+}
+
+ClassedTraffic apply_gaussian_fluctuation(const ClassedTraffic& base,
+                                          const GaussianFluctuation& model, Rng& rng) {
+  return {apply_gaussian_fluctuation(base.delay, model, rng),
+          apply_gaussian_fluctuation(base.throughput, model, rng)};
+}
+
+ClassedTraffic apply_hot_spot(const ClassedTraffic& base, const HotSpotParams& params,
+                              Rng& rng, HotSpotInstance* instance_out) {
+  const std::size_t n = base.delay.num_nodes();
+  if (n < 2) throw std::invalid_argument("apply_hot_spot: empty matrix");
+  if (params.server_fraction <= 0.0 || params.server_fraction > 1.0 ||
+      params.client_fraction <= 0.0 || params.client_fraction > 1.0)
+    throw std::invalid_argument("apply_hot_spot: fractions outside (0,1]");
+  if (!(params.scale_min > 1.0) || params.scale_max < params.scale_min)
+    throw std::invalid_argument("apply_hot_spot: scale range (must be > 1)");
+
+  std::vector<NodeId> nodes(n);
+  std::iota(nodes.begin(), nodes.end(), NodeId{0});
+  std::shuffle(nodes.begin(), nodes.end(), rng.engine());
+
+  const std::size_t num_servers =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::lround(params.server_fraction * n)));
+  const std::size_t num_clients = std::min(
+      n - num_servers,
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::lround(params.client_fraction * n))));
+
+  HotSpotInstance instance;
+  instance.servers.assign(nodes.begin(), nodes.begin() + num_servers);
+  ClassedTraffic out = base;
+  for (std::size_t i = 0; i < num_clients; ++i) {
+    const NodeId client = nodes[num_servers + i];
+    const NodeId server = instance.servers[rng.uniform_index(num_servers)];
+    instance.client_server.emplace_back(client, server);
+
+    const NodeId src = params.direction == HotSpotParams::Direction::kUpload ? client : server;
+    const NodeId dst = params.direction == HotSpotParams::Direction::kUpload ? server : client;
+    const double nu = rng.uniform(params.scale_min, params.scale_max);
+    const double mu = rng.uniform(params.scale_min, params.scale_max);
+    out.delay.set(src, dst, base.delay.at(src, dst) * nu);
+    out.throughput.set(src, dst, base.throughput.at(src, dst) * mu);
+  }
+  if (instance_out != nullptr) *instance_out = std::move(instance);
+  return out;
+}
+
+}  // namespace dtr

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "traffic/traffic_matrix.h"
+#include "util/rng.h"
+
+namespace dtr {
+
+/// Traffic-uncertainty models of Sec. V-F: a routing is computed against the
+/// *base* matrices but the network carries *actual* matrices drawn from one
+/// of these models.
+
+/// Random fluctuation: r~(s,t) = r(s,t) + N(0, epsilon * r(s,t)), clamped at
+/// zero. With epsilon = 0.2 actual intensities fluctuate by roughly +/-40%
+/// with ~95% likelihood (the paper's setting).
+struct GaussianFluctuation {
+  double epsilon = 0.2;
+};
+
+TrafficMatrix apply_gaussian_fluctuation(const TrafficMatrix& base,
+                                         const GaussianFluctuation& model, Rng& rng);
+
+ClassedTraffic apply_gaussian_fluctuation(const ClassedTraffic& base,
+                                          const GaussianFluctuation& model, Rng& rng);
+
+/// Hot-spot surges: a few "server" nodes see their traffic to/from assigned
+/// "client" nodes scaled by independent factors nu, mu ~ U[scale_min,
+/// scale_max] per pair and class (100-500% surges at the paper defaults).
+struct HotSpotParams {
+  enum class Direction {
+    kUpload,    ///< client -> server demands surge
+    kDownload,  ///< server -> client demands surge
+  };
+  Direction direction = Direction::kDownload;
+  double server_fraction = 0.1;
+  double client_fraction = 0.5;
+  double scale_min = 2.0;
+  double scale_max = 6.0;
+};
+
+/// The sampled hot-spot instance (exposed for logging / assertions).
+struct HotSpotInstance {
+  std::vector<NodeId> servers;
+  /// client_server[i] = (client node, its assigned server node)
+  std::vector<std::pair<NodeId, NodeId>> client_server;
+};
+
+/// Draws servers/clients and returns the perturbed matrices.
+ClassedTraffic apply_hot_spot(const ClassedTraffic& base, const HotSpotParams& params,
+                              Rng& rng, HotSpotInstance* instance_out = nullptr);
+
+}  // namespace dtr

@@ -1,0 +1,52 @@
+#include "util/presets.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace dtr {
+
+namespace {
+const char* getenv_or_null(const char* name) { return std::getenv(name); }
+}  // namespace
+
+Effort effort_from_env(Effort fallback) {
+  const char* raw = getenv_or_null("DTR_EFFORT");
+  if (raw == nullptr) return fallback;
+  const std::string v(raw);
+  if (v == "smoke") return Effort::kSmoke;
+  if (v == "quick") return Effort::kQuick;
+  if (v == "full") return Effort::kFull;
+  return fallback;
+}
+
+int repeats_from_env(int fallback) {
+  const char* raw = getenv_or_null("DTR_REPEATS");
+  if (raw == nullptr) return fallback;
+  const int v = std::atoi(raw);
+  return v > 0 ? v : fallback;
+}
+
+unsigned long long seed_from_env(unsigned long long fallback) {
+  const char* raw = getenv_or_null("DTR_SEED");
+  if (raw == nullptr) return fallback;
+  const unsigned long long v = std::strtoull(raw, nullptr, 10);
+  return v != 0 ? v : fallback;
+}
+
+int nodes_from_env(int fallback) {
+  const char* raw = getenv_or_null("DTR_NODES");
+  if (raw == nullptr) return fallback;
+  const int v = std::atoi(raw);
+  return v >= 4 ? v : fallback;
+}
+
+std::string to_string(Effort e) {
+  switch (e) {
+    case Effort::kSmoke: return "smoke";
+    case Effort::kQuick: return "quick";
+    case Effort::kFull: return "full";
+  }
+  return "quick";
+}
+
+}  // namespace dtr

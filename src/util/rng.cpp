@@ -1,0 +1,41 @@
+#include "util/rng.h"
+
+#include <stdexcept>
+
+namespace dtr {
+
+int Rng::uniform_int(int lo, int hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::uniform_index: n == 0");
+  return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (stddev <= 0.0) return mean;
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+Rng Rng::split() {
+  // SplitMix-style scramble of a fresh draw keeps child streams decorrelated
+  // even for adjacent parent states.
+  std::uint64_t z = engine_() + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return Rng(z ^ (z >> 31));
+}
+
+}  // namespace dtr

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace dtr {
+
+/// Deterministic pseudo-random generator used throughout the library.
+///
+/// Every stochastic component (topology generation, traffic synthesis, local
+/// search, uncertainty models) receives its own Rng instance so that
+/// experiments are reproducible from a single top-level seed and components
+/// never interleave draws. `split()` derives an independent child stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Uniform 64-bit unsigned in [0, n) . Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p);
+
+  /// Derives a statistically independent child generator. Successive calls
+  /// yield distinct streams; the parent advances by one draw per call.
+  Rng split();
+
+  /// Seed this generator was constructed with (for logging/repro).
+  std::uint64_t seed() const { return seed_; }
+
+  /// Access to the raw engine for std:: distributions and std::shuffle.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dtr

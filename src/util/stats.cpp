@@ -1,0 +1,87 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dtr {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+namespace {
+
+std::vector<double> sorted_copy(std::span<const double> xs) {
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::size_t tail_count(std::size_t n, double fraction) {
+  if (fraction < 0.0 || fraction > 1.0)
+    throw std::invalid_argument("tail fraction must be in [0,1]");
+  auto k = static_cast<std::size_t>(std::floor(fraction * static_cast<double>(n)));
+  return std::max<std::size_t>(k, 1);
+}
+
+}  // namespace
+
+double left_tail_mean(std::span<const double> xs, double fraction) {
+  if (xs.empty()) return 0.0;
+  auto v = sorted_copy(xs);
+  const std::size_t k = tail_count(v.size(), fraction);
+  return mean(std::span<const double>(v.data(), k));
+}
+
+double top_tail_mean(std::span<const double> xs, double fraction) {
+  if (xs.empty()) return 0.0;
+  auto v = sorted_copy(xs);
+  const std::size_t k = tail_count(v.size(), fraction);
+  return mean(std::span<const double>(v.data() + (v.size() - k), k));
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  auto v = sorted_copy(xs);
+  if (v.size() == 1) return v[0];
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
+double max_value(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+void RunningStats::add(double x) {
+  // Welford's online update.
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+}  // namespace dtr

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dtr {
+
+/// Descriptive statistics helpers shared by the criticality machinery and the
+/// experiment harnesses. All functions tolerate empty input by returning 0.
+
+/// Arithmetic mean.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(std::span<const double> xs);
+
+/// Mean of the smallest `fraction` of the samples (the paper's "left tail",
+/// fraction = 0.10). At least one sample is always included when xs is
+/// non-empty. Does not modify the input.
+double left_tail_mean(std::span<const double> xs, double fraction);
+
+/// Mean of the largest `fraction` of the samples (used for "top-10% worst
+/// failures" metrics). At least one sample is included when non-empty.
+double top_tail_mean(std::span<const double> xs, double fraction);
+
+/// `q`-quantile (0 <= q <= 1) using linear interpolation between order
+/// statistics. Does not modify the input.
+double quantile(std::span<const double> xs, double q);
+
+/// Largest element; 0 for empty input.
+double max_value(std::span<const double> xs);
+
+/// Accumulates mean/stddev across experiment repetitions.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample standard deviation; 0 for fewer than two samples.
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace dtr

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dtr {
+
+/// Minimal aligned-text table writer used by the benchmark harnesses to print
+/// paper-style tables. Cells are strings; numeric helpers format consistently.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row. Subsequent add_* calls fill it left to right.
+  Table& row();
+
+  Table& cell(std::string text);
+  Table& num(double value, int precision = 2);
+  /// "mean (stddev)" cell, the paper's convention for repeated experiments.
+  Table& mean_std(double mean, double stddev, int precision = 2);
+  Table& integer(long long value);
+
+  /// Renders with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Renders as comma-separated values (for EXPERIMENTS.md / plotting).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with log output).
+std::string format_double(double value, int precision = 2);
+
+/// Prints a section banner ("== title ==") used to delimit bench output.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace dtr

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/baseline_selectors.h"
+#include "test_helpers.h"
+
+namespace dtr {
+namespace {
+
+TEST(RandomSelectorTest, SizeAndUniqueness) {
+  Rng rng(1);
+  const auto sel = select_random_links(20, 5, rng);
+  EXPECT_EQ(sel.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(sel.begin(), sel.end()));
+  EXPECT_EQ(std::adjacent_find(sel.begin(), sel.end()), sel.end());
+  for (LinkId l : sel) EXPECT_LT(l, 20u);
+}
+
+TEST(RandomSelectorTest, CoversAllLinksOverDraws) {
+  Rng rng(2);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 200; ++i)
+    for (LinkId l : select_random_links(10, 3, rng)) ++hits[l];
+  for (int h : hits) EXPECT_GT(h, 0);
+}
+
+TEST(RandomSelectorTest, TargetTooLargeThrows) {
+  Rng rng(3);
+  EXPECT_THROW(select_random_links(5, 6, rng), std::invalid_argument);
+}
+
+TEST(LoadSelectorTest, PicksHighestUtilizationLinks) {
+  // Chain with a bottleneck: middle link carries everything and has smaller
+  // capacity; it must rank first.
+  Graph g(4);
+  g.add_link(0, 1, 1000.0, 1.0);
+  const LinkId bottleneck = g.add_link(1, 2, 50.0, 1.0);
+  g.add_link(2, 3, 1000.0, 1.0);
+  ClassedTraffic traffic{TrafficMatrix(4), TrafficMatrix(4)};
+  traffic.throughput.set(0, 3, 30.0);
+  const Evaluator ev(g, traffic, EvalParams{});
+  const WeightSetting w(g.num_links());
+  const auto sel = select_by_load(ev, w, 1);
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0], bottleneck);
+}
+
+TEST(LoadSelectorTest, SizeRespected) {
+  const test::TestInstance inst = test::make_test_instance(10, 4.0, 4);
+  const Evaluator ev(inst.graph, inst.traffic, inst.params);
+  const WeightSetting w(inst.graph.num_links());
+  const auto sel = select_by_load(ev, w, 4);
+  EXPECT_EQ(sel.size(), 4u);
+}
+
+TEST(ThresholdSelectorTest, RanksFrequentBadPerformers) {
+  CriticalityParams p;
+  p.tau = 1000;  // no rank updates needed here
+  CriticalityCollector collector(3, 100, 100.0, p, 1);
+  // Link 0: always terrible. Link 1: mixed. Link 2: always good.
+  for (int i = 0; i < 40; ++i) {
+    collector.add_sample(0, {1000.0, 1000.0});
+    collector.add_sample(1, {i % 2 ? 1000.0 : 0.0, 0.0});
+    collector.add_sample(2, {0.0, 0.0});
+  }
+  const auto sel = select_by_threshold_crossings(collector, 2);
+  EXPECT_EQ(sel.size(), 2u);
+  EXPECT_NE(std::find(sel.begin(), sel.end(), 0u), sel.end());
+  EXPECT_NE(std::find(sel.begin(), sel.end(), 1u), sel.end());
+}
+
+TEST(ThresholdSelectorTest, HandlesEmptySamples) {
+  CriticalityParams p;
+  CriticalityCollector collector(3, 100, 100.0, p, 1);
+  const auto sel = select_by_threshold_crossings(collector, 2);
+  EXPECT_EQ(sel.size(), 2u);  // degenerate but well-defined (ties by id)
+}
+
+TEST(ThresholdSelectorTest, QuantileValidation) {
+  CriticalityParams p;
+  CriticalityCollector collector(2, 100, 100.0, p, 1);
+  EXPECT_THROW(select_by_threshold_crossings(collector, 1, {1.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dtr

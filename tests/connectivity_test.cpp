@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/topology.h"
+#include "test_helpers.h"
+
+namespace dtr {
+namespace {
+
+TEST(ConnectivityTest, EmptyGraphHasZeroComponents) {
+  Graph g;
+  EXPECT_EQ(component_count(g), 0);
+}
+
+TEST(ConnectivityTest, IsolatedNodesAreSeparateComponents) {
+  Graph g(3);
+  EXPECT_EQ(component_count(g), 3);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(ConnectivityTest, RingIsConnected) {
+  const Graph g = test::make_ring(6);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(component_count(g), 1);
+}
+
+TEST(ConnectivityTest, TwoComponentsLabeled) {
+  Graph g(4);
+  g.add_link(0, 1, 100.0, 1.0);
+  g.add_link(2, 3, 100.0, 1.0);
+  const auto label = connected_components(g);
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_EQ(label[2], label[3]);
+  EXPECT_NE(label[0], label[2]);
+  EXPECT_EQ(component_count(g), 2);
+}
+
+TEST(ConnectivityTest, RingHasNoBridges) {
+  const Graph g = test::make_ring(5);
+  EXPECT_TRUE(find_bridges(g).empty());
+  EXPECT_TRUE(is_two_edge_connected(g));
+}
+
+TEST(ConnectivityTest, ChainIsAllBridges) {
+  Graph g(4);
+  g.add_link(0, 1, 100.0, 1.0);
+  g.add_link(1, 2, 100.0, 1.0);
+  g.add_link(2, 3, 100.0, 1.0);
+  const auto bridges = find_bridges(g);
+  EXPECT_EQ(bridges.size(), 3u);
+  EXPECT_FALSE(is_two_edge_connected(g));
+}
+
+TEST(ConnectivityTest, BarbellBridgeDetected) {
+  // Two triangles joined by one link: only the joiner is a bridge.
+  Graph g(6);
+  g.add_link(0, 1, 100.0, 1.0);
+  g.add_link(1, 2, 100.0, 1.0);
+  g.add_link(2, 0, 100.0, 1.0);
+  g.add_link(3, 4, 100.0, 1.0);
+  g.add_link(4, 5, 100.0, 1.0);
+  g.add_link(5, 3, 100.0, 1.0);
+  const LinkId bridge = g.add_link(0, 3, 100.0, 1.0);
+  const auto bridges = find_bridges(g);
+  ASSERT_EQ(bridges.size(), 1u);
+  EXPECT_EQ(bridges[0], bridge);
+}
+
+TEST(ConnectivityTest, ParallelLinksAreNotBridges) {
+  Graph g(2);
+  g.add_link(0, 1, 100.0, 1.0);
+  g.add_link(0, 1, 100.0, 1.0);
+  EXPECT_TRUE(find_bridges(g).empty());
+}
+
+TEST(ConnectivityTest, SingleLinkIsBridge) {
+  Graph g(2);
+  g.add_link(0, 1, 100.0, 1.0);
+  EXPECT_EQ(find_bridges(g).size(), 1u);
+}
+
+TEST(ConnectivityTest, ConnectedWithoutLink) {
+  const Graph ring = test::make_ring(4);
+  for (LinkId l = 0; l < ring.num_links(); ++l)
+    EXPECT_TRUE(connected_without_link(ring, l));
+
+  Graph chain(3);
+  const LinkId l0 = chain.add_link(0, 1, 100.0, 1.0);
+  chain.add_link(1, 2, 100.0, 1.0);
+  EXPECT_FALSE(connected_without_link(chain, l0));
+}
+
+TEST(ConnectivityTest, ConnectedWithoutNode) {
+  const Graph ring = test::make_ring(5);
+  for (NodeId v = 0; v < ring.num_nodes(); ++v)
+    EXPECT_TRUE(connected_without_node(ring, v));
+
+  // Star: removing the hub disconnects the leaves.
+  Graph star(4);
+  star.add_link(0, 1, 100.0, 1.0);
+  star.add_link(0, 2, 100.0, 1.0);
+  star.add_link(0, 3, 100.0, 1.0);
+  EXPECT_FALSE(connected_without_node(star, 0));
+  EXPECT_TRUE(connected_without_node(star, 1));
+}
+
+TEST(ConnectivityTest, DirectedArcWalkableBothWaysInUndirectedView) {
+  Graph g(2);
+  g.add_arc(0, 1, 100.0, 1.0);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(ConnectivityTest, GeneratedTopologiesAreTwoEdgeConnected) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Graph g = make_rand_topo({20, 4.0, 500.0, seed});
+    EXPECT_TRUE(is_two_edge_connected(g)) << "rand seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dtr

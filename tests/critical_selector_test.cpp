@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/critical_selector.h"
+
+namespace dtr {
+namespace {
+
+CriticalityEstimates make_estimates(std::vector<double> rho_lambda,
+                                    std::vector<double> rho_phi) {
+  CriticalityEstimates est;
+  est.rho_lambda = std::move(rho_lambda);
+  est.rho_phi = std::move(rho_phi);
+  const std::size_t n = est.rho_lambda.size();
+  // Default tails/means make the normalization denominator 1 per class so the
+  // hand-computed expectations below stay legible.
+  est.tail_lambda.assign(n, 1.0 / static_cast<double>(n));
+  est.tail_phi.assign(n, 1.0 / static_cast<double>(n));
+  est.mean_lambda.assign(n, 1.0);
+  est.mean_phi.assign(n, 1.0);
+  return est;
+}
+
+bool contains(const std::vector<LinkId>& v, LinkId l) {
+  return std::find(v.begin(), v.end(), l) != v.end();
+}
+
+TEST(NormalizeTest, DividesByTailSum) {
+  const std::vector<double> rho{2.0, 4.0};
+  const std::vector<double> tail{3.0, 5.0};  // sum 8
+  const std::vector<double> mean{10.0, 10.0};
+  const auto norm = normalize_criticality(rho, tail, mean);
+  EXPECT_DOUBLE_EQ(norm[0], 0.25);
+  EXPECT_DOUBLE_EQ(norm[1], 0.5);
+}
+
+TEST(NormalizeTest, FallsBackToMeanSumThenOne) {
+  const std::vector<double> rho{2.0, 4.0};
+  const std::vector<double> zero{0.0, 0.0};
+  const std::vector<double> mean{1.0, 3.0};  // sum 4
+  const auto by_mean = normalize_criticality(rho, zero, mean);
+  EXPECT_DOUBLE_EQ(by_mean[0], 0.5);
+  EXPECT_DOUBLE_EQ(by_mean[1], 1.0);
+  const auto by_one = normalize_criticality(rho, zero, zero);
+  EXPECT_DOUBLE_EQ(by_one[0], 2.0);
+  EXPECT_DOUBLE_EQ(by_one[1], 4.0);
+}
+
+TEST(NormalizeTest, SizeMismatchThrows) {
+  EXPECT_THROW(normalize_criticality(std::vector<double>{1.0}, std::vector<double>{},
+                                     std::vector<double>{}),
+               std::invalid_argument);
+}
+
+TEST(SelectorTest, KeepsMostCriticalOfBothClasses) {
+  // Link 0 is Lambda-critical only; link 3 is Phi-critical only.
+  const auto est = make_estimates({10.0, 1.0, 0.5, 0.1}, {0.1, 0.5, 1.0, 10.0});
+  const auto sel = select_critical_links(est, 2);
+  EXPECT_LE(sel.critical.size(), 2u);
+  EXPECT_TRUE(contains(sel.critical, 0));
+  EXPECT_TRUE(contains(sel.critical, 3));
+}
+
+TEST(SelectorTest, TargetSizeRespected) {
+  const auto est = make_estimates({8.0, 7.0, 6.0, 5.0, 4.0, 3.0},
+                                  {3.0, 4.0, 5.0, 6.0, 7.0, 8.0});
+  for (std::size_t target = 1; target <= 6; ++target) {
+    const auto sel = select_critical_links(est, target);
+    EXPECT_LE(sel.critical.size(), target);
+    EXPECT_GE(sel.critical.size(), std::min<std::size_t>(target, 1));
+  }
+}
+
+TEST(SelectorTest, FullTargetKeepsEverything) {
+  const auto est = make_estimates({1.0, 2.0, 3.0}, {3.0, 2.0, 1.0});
+  const auto sel = select_critical_links(est, 3);
+  EXPECT_EQ(sel.critical.size(), 3u);
+  EXPECT_EQ(sel.n1, 3u);
+  EXPECT_EQ(sel.n2, 3u);
+  EXPECT_DOUBLE_EQ(sel.expected_error_lambda, 0.0);
+  EXPECT_DOUBLE_EQ(sel.expected_error_phi, 0.0);
+}
+
+TEST(SelectorTest, ShrinksListWithSmallerMarginalError) {
+  // Lambda criticality is concentrated (dropping its tail costs little);
+  // Phi criticality is uniform (every drop costs the same). Algorithm 1
+  // should prefer shrinking the Lambda list... carefully: it shrinks the list
+  // whose (n-1)-truncation error is SMALLER.
+  const auto est = make_estimates({100.0, 0.001, 0.001, 0.001},
+                                  {5.0, 5.0, 5.0, 5.0});
+  const auto sel = select_critical_links(est, 2);
+  // Link 0 (huge Lambda rho) must survive; remaining slot goes to Phi's list,
+  // whose order is 0,1,2,3 (ties by id) -> expect {0, 1}.
+  EXPECT_TRUE(contains(sel.critical, 0));
+  EXPECT_EQ(sel.critical.size(), 2u);
+  // The Lambda list should have been truncated aggressively.
+  EXPECT_LT(sel.n1, sel.n2);
+}
+
+TEST(SelectorTest, OrdersSortedByNormalizedRho) {
+  const auto est = make_estimates({1.0, 5.0, 3.0}, {2.0, 0.0, 9.0});
+  const auto sel = select_critical_links(est, 3);
+  EXPECT_EQ(sel.order_lambda[0], 1u);
+  EXPECT_EQ(sel.order_lambda[1], 2u);
+  EXPECT_EQ(sel.order_lambda[2], 0u);
+  EXPECT_EQ(sel.order_phi[0], 2u);
+}
+
+TEST(SelectorTest, ExpectedErrorsAreSuffixSums) {
+  const auto est = make_estimates({4.0, 3.0, 2.0, 1.0}, {1.0, 2.0, 3.0, 4.0});
+  const auto sel = select_critical_links(est, 2);
+  // Whatever n1/n2 the algorithm chose, the reported errors must equal the
+  // sum of normalized rho over excluded links.
+  double err_lambda = 0.0;
+  for (std::size_t i = sel.n1; i < 4; ++i)
+    err_lambda += sel.norm_rho_lambda[sel.order_lambda[i]];
+  EXPECT_NEAR(sel.expected_error_lambda, err_lambda, 1e-12);
+  double err_phi = 0.0;
+  for (std::size_t i = sel.n2; i < 4; ++i)
+    err_phi += sel.norm_rho_phi[sel.order_phi[i]];
+  EXPECT_NEAR(sel.expected_error_phi, err_phi, 1e-12);
+}
+
+TEST(SelectorTest, HandlesAllZeroCriticality) {
+  const auto est = make_estimates({0.0, 0.0, 0.0}, {0.0, 0.0, 0.0});
+  const auto sel = select_critical_links(est, 2);
+  EXPECT_LE(sel.critical.size(), 2u);
+  EXPECT_GE(sel.critical.size(), 1u);
+}
+
+TEST(SelectorTest, SingleTarget) {
+  const auto est = make_estimates({1.0, 9.0}, {2.0, 3.0});
+  const auto sel = select_critical_links(est, 1);
+  EXPECT_EQ(sel.critical.size(), 1u);
+  EXPECT_EQ(sel.critical[0], 1u);  // most critical in both orderings
+}
+
+TEST(SelectorTest, Validation) {
+  CriticalityEstimates empty;
+  EXPECT_THROW(select_critical_links(empty, 1), std::invalid_argument);
+  const auto est = make_estimates({1.0}, {1.0});
+  EXPECT_THROW(select_critical_links(est, 0), std::invalid_argument);
+  CriticalityEstimates mismatched = est;
+  mismatched.rho_phi.push_back(1.0);
+  EXPECT_THROW(select_critical_links(mismatched, 1), std::invalid_argument);
+}
+
+TEST(SelectorTest, CriticalListIsSortedUniqueLinkIds) {
+  const auto est = make_estimates({5.0, 1.0, 4.0, 2.0, 3.0},
+                                  {3.0, 5.0, 1.0, 4.0, 2.0});
+  const auto sel = select_critical_links(est, 3);
+  EXPECT_TRUE(std::is_sorted(sel.critical.begin(), sel.critical.end()));
+  EXPECT_EQ(std::adjacent_find(sel.critical.begin(), sel.critical.end()),
+            sel.critical.end());
+  for (LinkId l : sel.critical) EXPECT_LT(l, 5u);
+}
+
+}  // namespace
+}  // namespace dtr

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/acceptable_store.h"
+#include "core/local_search.h"
+
+namespace dtr {
+namespace {
+
+/// Convex separable toy objective: each link has an ideal weight per class;
+/// cost = sum of squared distances. Unique global optimum, easy to verify.
+class QuadraticObjective final : public SearchObjective {
+ public:
+  QuadraticObjective(std::vector<int> ideal_delay, std::vector<int> ideal_tput)
+      : ideal_delay_(std::move(ideal_delay)), ideal_tput_(std::move(ideal_tput)) {}
+
+  std::optional<CostPair> evaluate(const WeightSetting& w, const CostPair*) override {
+    ++calls_;
+    double cost = 0.0;
+    for (LinkId l = 0; l < w.num_links(); ++l) {
+      const double dd = w.get(TrafficClass::kDelay, l) - ideal_delay_[l];
+      const double dt = w.get(TrafficClass::kThroughput, l) - ideal_tput_[l];
+      cost += dd * dd + dt * dt;
+    }
+    return CostPair{cost, 0.0};
+  }
+
+  long calls() const { return calls_; }
+
+ private:
+  std::vector<int> ideal_delay_, ideal_tput_;
+  long calls_ = 0;
+};
+
+/// Objective infeasible whenever any delay weight exceeds a cap — exercises
+/// the constraint path.
+class CappedObjective final : public SearchObjective {
+ public:
+  explicit CappedObjective(int cap) : cap_(cap) {}
+  std::optional<CostPair> evaluate(const WeightSetting& w, const CostPair*) override {
+    double sum = 0.0;
+    for (LinkId l = 0; l < w.num_links(); ++l) {
+      const int wd = w.get(TrafficClass::kDelay, l);
+      if (wd > cap_) return std::nullopt;
+      sum += wd;
+    }
+    return CostPair{sum, 0.0};
+  }
+
+ private:
+  int cap_;
+};
+
+LocalSearch::Config quick_config(std::uint64_t seed) {
+  LocalSearch::Config c;
+  c.phase = {5, 3, 0.01, 0};
+  c.wmax = 20;
+  c.seed = seed;
+  return c;
+}
+
+TEST(LocalSearchTest, DescendsNearQuadraticOptimum) {
+  // Per-link joint random reassignment is hill climbing: the exact optimum
+  // needs the exact (delay, tput) pair drawn per link, so we require strong
+  // descent rather than zero. Initial cost from all-1 weights is 706.
+  QuadraticObjective obj({7, 3, 15, 9}, {2, 18, 5, 11});
+  LocalSearch::Config config = quick_config(1);
+  config.phase = {20, 6, 0.001, 0};
+  LocalSearch search(config);
+  const auto result = search.run(obj, WeightSetting(4));
+  EXPECT_LT(result.best_cost.lambda, 50.0);
+  EXPECT_GT(result.accepted_moves, 0);
+}
+
+TEST(LocalSearchTest, NeverWorsensBestCost) {
+  QuadraticObjective obj({5, 5, 5}, {5, 5, 5});
+  LocalSearch search(quick_config(2));
+  std::vector<double> accepted_costs;
+  search.set_on_accept([&](const WeightSetting&, const CostPair& c) {
+    accepted_costs.push_back(c.lambda);
+  });
+  const auto result = search.run(obj, WeightSetting(3));
+  // Accepted trajectory is monotone within a diversification; the BEST is
+  // globally monotone: final best <= initial cost.
+  const WeightSetting init(3);
+  const auto init_cost = obj.evaluate(init, nullptr);
+  EXPECT_LE(result.best_cost.lambda, init_cost->lambda);
+}
+
+TEST(LocalSearchTest, DeterministicForSeed) {
+  QuadraticObjective obj1({7, 3, 15}, {2, 18, 5});
+  QuadraticObjective obj2({7, 3, 15}, {2, 18, 5});
+  LocalSearch s1(quick_config(9)), s2(quick_config(9));
+  const auto r1 = s1.run(obj1, WeightSetting(3));
+  const auto r2 = s2.run(obj2, WeightSetting(3));
+  EXPECT_EQ(r1.best_cost.lambda, r2.best_cost.lambda);
+  EXPECT_EQ(r1.evaluations, r2.evaluations);
+  EXPECT_TRUE(r1.best == r2.best);
+}
+
+TEST(LocalSearchTest, ObserverSeesEveryProbe) {
+  QuadraticObjective obj({3, 3}, {3, 3});
+  LocalSearch search(quick_config(3));
+  long events = 0, accepted_events = 0;
+  search.set_observer([&](const PerturbationEvent& e) {
+    ++events;
+    EXPECT_LT(e.link, 2u);
+    EXPECT_GE(e.new_weight_delay, 1);
+    EXPECT_LE(e.new_weight_delay, 20);
+    EXPECT_TRUE(e.cost_after.has_value());
+    if (e.accepted) ++accepted_events;
+  });
+  const auto result = search.run(obj, WeightSetting(2));
+  EXPECT_GT(events, 0);
+  EXPECT_EQ(accepted_events, result.accepted_moves);
+  // Every probe except the initial/restart evaluations fires the observer.
+  EXPECT_GE(result.evaluations, events);
+}
+
+TEST(LocalSearchTest, InfeasibleCandidatesRejected) {
+  CappedObjective obj(10);
+  LocalSearch search(quick_config(4));
+  const auto result = search.run(obj, WeightSetting(3, 5));
+  // All weights must remain within the cap (moves violating it are rejected).
+  for (LinkId l = 0; l < 3; ++l)
+    EXPECT_LE(result.best.get(TrafficClass::kDelay, l), 10);
+  // And the search still improves toward the minimum sum = 3.
+  EXPECT_LE(result.best_cost.lambda, 15.0);
+}
+
+TEST(LocalSearchTest, ThrowsOnInfeasibleInitial) {
+  CappedObjective obj(10);
+  LocalSearch search(quick_config(5));
+  EXPECT_THROW(search.run(obj, WeightSetting(3, 15)), std::invalid_argument);
+}
+
+TEST(LocalSearchTest, RestartHookUsed) {
+  QuadraticObjective obj({10, 10, 10, 10, 10}, {10, 10, 10, 10, 10});
+  LocalSearch::Config config = quick_config(6);
+  config.phase = {2, 2, 0.5, 0};  // diversify fast, stall fast
+  LocalSearch search(config);
+  int restarts = 0;
+  search.set_restart([&](Rng&) {
+    ++restarts;
+    return WeightSetting(5, 10);  // the optimum
+  });
+  const auto result = search.run(obj, WeightSetting(5, 1));
+  EXPECT_GT(restarts, 0);
+  EXPECT_NEAR(result.best_cost.lambda, 0.0, 1e-12);
+}
+
+TEST(LocalSearchTest, DiversificationCountedAndBounded) {
+  QuadraticObjective obj({1, 1}, {1, 1});
+  LocalSearch::Config config = quick_config(7);
+  config.phase = {1, 2, 0.9, 0};  // nearly impossible improvement bar
+  LocalSearch search(config);
+  const auto result = search.run(obj, WeightSetting(2, 1));
+  // Starting at the optimum: every diversification stalls; stops after 2.
+  EXPECT_EQ(result.diversifications, 2);
+}
+
+TEST(LocalSearchTest, HardCapOnDiversifications) {
+  QuadraticObjective obj({10, 10}, {10, 10});
+  LocalSearch::Config config = quick_config(8);
+  config.phase = {1, 1000, 0.0, 3};  // improvement threshold 0: never stalls
+  LocalSearch search(config);
+  const auto result = search.run(obj, WeightSetting(2, 1));
+  EXPECT_LE(result.diversifications, 3);
+}
+
+TEST(LocalSearchTest, ConfigValidation) {
+  EXPECT_THROW(LocalSearch({{0, 5, 0.1, 0}, 10, 1}), std::invalid_argument);
+  EXPECT_THROW(LocalSearch({{5, 0, 0.1, 0}, 10, 1}), std::invalid_argument);
+  EXPECT_THROW(LocalSearch({{5, 5, 0.1, 0}, 1, 1}), std::invalid_argument);
+  LocalSearch ok({{5, 5, 0.1, 0}, 10, 1});
+  QuadraticObjective obj({}, {});
+  EXPECT_THROW(ok.run(obj, WeightSetting(0)), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ store
+
+TEST(AcceptableStoreTest, KeepsEverythingBelowCapacity) {
+  AcceptableStore store(10, 1);
+  for (int i = 0; i < 5; ++i)
+    store.offer(WeightSetting(2, i + 1), {static_cast<double>(i), 0.0});
+  EXPECT_EQ(store.size(), 5u);
+}
+
+TEST(AcceptableStoreTest, BoundedByCapacity) {
+  AcceptableStore store(8, 2);
+  for (int i = 0; i < 100; ++i)
+    store.offer(WeightSetting(2, (i % 19) + 1), {static_cast<double>(i), 0.0});
+  EXPECT_EQ(store.size(), 8u);
+}
+
+TEST(AcceptableStoreTest, ReservoirKeepsOldAndNew) {
+  AcceptableStore store(16, 3);
+  for (int i = 0; i < 400; ++i)
+    store.offer(WeightSetting(1, 1), {static_cast<double>(i), 0.0});
+  // With reservoir sampling the retained indices should span early and late
+  // offers (probability of all 16 being from one half is astronomically low).
+  int early = 0, late = 0;
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    if (store.entry(i).cost.lambda < 200.0) ++early;
+    else ++late;
+  }
+  EXPECT_GT(early, 0);
+  EXPECT_GT(late, 0);
+}
+
+TEST(AcceptableStoreTest, FeasibleFilterAppliesConstraints) {
+  AcceptableStore store(10, 4);
+  store.offer(WeightSetting(1, 1), {0.0, 100.0});   // feasible
+  store.offer(WeightSetting(1, 2), {0.0, 119.0});   // feasible (chi=0.2)
+  store.offer(WeightSetting(1, 3), {0.0, 121.0});   // Phi too high
+  store.offer(WeightSetting(1, 4), {5.0, 100.0});   // Lambda mismatch
+  const auto feasible = store.feasible_entries(0.0, 100.0, 0.2);
+  EXPECT_EQ(feasible.size(), 2u);
+}
+
+TEST(AcceptableStoreTest, SampleFromEmptyThrows) {
+  AcceptableStore store(4, 5);
+  Rng rng(1);
+  EXPECT_THROW(store.sample(rng), std::logic_error);
+  store.offer(WeightSetting(1, 1), {0.0, 0.0});
+  EXPECT_NO_THROW(store.sample(rng));
+}
+
+TEST(AcceptableStoreTest, ZeroCapacityRejected) {
+  EXPECT_THROW(AcceptableStore(0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dtr

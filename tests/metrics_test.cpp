@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "test_helpers.h"
+
+namespace dtr {
+namespace {
+
+TEST(FailureProfileTest, BetaIsMeanViolations) {
+  FailureProfile p;
+  p.violations = {0.0, 2.0, 4.0, 10.0};
+  EXPECT_DOUBLE_EQ(p.beta(), 4.0);
+}
+
+TEST(FailureProfileTest, TopTailPicksWorst) {
+  FailureProfile p;
+  for (int i = 1; i <= 10; ++i) p.violations.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(p.beta_top(0.10), 10.0);
+  EXPECT_DOUBLE_EQ(p.beta_top(0.20), 9.5);
+}
+
+TEST(FailureProfileTest, SumsAndNormalization) {
+  FailureProfile p;
+  p.lambda = {1.0, 2.0};
+  p.phi = {10.0, 30.0};
+  p.phi_uncap = 20.0;
+  EXPECT_DOUBLE_EQ(p.lambda_sum(), 3.0);
+  EXPECT_DOUBLE_EQ(p.phi_sum(), 40.0);
+  const auto norm = p.normalized_phi();
+  EXPECT_DOUBLE_EQ(norm[0], 0.5);
+  EXPECT_DOUBLE_EQ(norm[1], 1.5);
+}
+
+TEST(ProfileFailuresTest, MatchesDirectEvaluation) {
+  const test::TestInstance inst = test::make_test_instance(9, 4.0, 2, 0.5);
+  const Evaluator ev(inst.graph, inst.traffic, inst.params);
+  const WeightSetting w(inst.graph.num_links());
+  const auto scenarios = all_link_failures(inst.graph);
+  const FailureProfile profile = profile_failures(ev, w, scenarios);
+  ASSERT_EQ(profile.violations.size(), scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const EvalResult r = ev.evaluate(w, scenarios[i]);
+    EXPECT_DOUBLE_EQ(profile.lambda[i], r.lambda);
+    EXPECT_DOUBLE_EQ(profile.phi[i], r.phi);
+    EXPECT_DOUBLE_EQ(profile.violations[i], r.sla_violations);
+  }
+}
+
+TEST(BetaPhiPercentTest, SymmetricAbsoluteDifference) {
+  FailureProfile a, b;
+  a.phi = {110.0};
+  b.phi = {100.0};
+  EXPECT_DOUBLE_EQ(beta_phi_percent(a, b), 10.0);
+  a.phi = {90.0};
+  EXPECT_DOUBLE_EQ(beta_phi_percent(a, b), 10.0);
+  b.phi = {0.0};
+  EXPECT_DOUBLE_EQ(beta_phi_percent(a, b), 0.0);  // guarded
+}
+
+TEST(CompareLoadsTest, CountsIncreasedLinks) {
+  const test::TestInstance inst = test::make_test_instance(10, 4.0, 6, 0.5);
+  const Evaluator ev(inst.graph, inst.traffic, inst.params);
+  const WeightSetting w(inst.graph.num_links());
+  const EvalResult normal = ev.evaluate(w, FailureScenario::none(), EvalDetail::kFull);
+  const EvalResult failed = ev.evaluate(w, FailureScenario::link(0), EvalDetail::kFull);
+  const LoadRedistribution lr = compare_loads(inst.graph, normal, failed);
+  // Rerouted traffic must land somewhere.
+  EXPECT_GT(lr.links_with_increase, 0);
+  EXPECT_GT(lr.average_increase, 0.0);
+  EXPECT_GT(lr.max_utilization, 0.0);
+}
+
+TEST(CompareLoadsTest, IdenticalResultsNoIncrease) {
+  const test::TestInstance inst = test::make_test_instance(8, 4.0, 6);
+  const Evaluator ev(inst.graph, inst.traffic, inst.params);
+  const WeightSetting w(inst.graph.num_links());
+  const EvalResult normal = ev.evaluate(w, FailureScenario::none(), EvalDetail::kFull);
+  const LoadRedistribution lr = compare_loads(inst.graph, normal, normal);
+  EXPECT_EQ(lr.links_with_increase, 0);
+  EXPECT_DOUBLE_EQ(lr.average_increase, 0.0);
+}
+
+TEST(CompareLoadsTest, RequiresFullDetail) {
+  const test::TestInstance inst = test::make_test_instance(8, 4.0, 6);
+  const Evaluator ev(inst.graph, inst.traffic, inst.params);
+  const WeightSetting w(inst.graph.num_links());
+  const EvalResult cheap = ev.evaluate(w);
+  EXPECT_THROW(compare_loads(inst.graph, cheap, cheap), std::invalid_argument);
+}
+
+TEST(UtilizationStatsTest, AverageAndMax) {
+  EvalResult r;
+  r.arc_utilization = {0.2, 0.4, 0.9};
+  const UtilizationStats s = utilization_stats(r);
+  EXPECT_NEAR(s.average, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(s.max, 0.9);
+  EvalResult empty;
+  EXPECT_THROW(utilization_stats(empty), std::invalid_argument);
+}
+
+TEST(MaxPathUtilizationTest, SinglePathEqualsBottleneck) {
+  Graph g(3);
+  g.add_link(0, 1, 100.0, 1.0);
+  g.add_link(1, 2, 10.0, 1.0);  // bottleneck
+  ClassedTraffic traffic{TrafficMatrix(3), TrafficMatrix(3)};
+  traffic.delay.set(0, 2, 5.0);
+  const Evaluator ev(g, traffic, EvalParams{});
+  const WeightSetting w(g.num_links());
+  // Utilizations: 5/100 and 5/10; the one delay pair sees max 0.5.
+  EXPECT_NEAR(average_max_path_utilization(ev, w), 0.5, 1e-9);
+}
+
+TEST(MaxPathUtilizationTest, BoundedByGlobalMax) {
+  const test::TestInstance inst = test::make_test_instance(10, 4.0, 7, 0.6);
+  const Evaluator ev(inst.graph, inst.traffic, inst.params);
+  const WeightSetting w(inst.graph.num_links());
+  const EvalResult full = ev.evaluate(w, FailureScenario::none(), EvalDetail::kFull);
+  const UtilizationStats stats = utilization_stats(full);
+  const double avg_max = average_max_path_utilization(ev, w);
+  EXPECT_LE(avg_max, stats.max + 1e-9);
+  EXPECT_GT(avg_max, 0.0);
+}
+
+TEST(SortedDescTest, Sorts) {
+  const auto out = sorted_desc(std::vector<double>{1.0, 5.0, 3.0});
+  EXPECT_EQ(out, (std::vector<double>{5.0, 3.0, 1.0}));
+}
+
+TEST(UnavoidableViolationsTest, CountsPropagationLimitedPairs) {
+  // Diamond with one fast path (2ms+2ms) and one slow (30ms+30ms); theta=25.
+  Graph g(4);
+  g.add_link(0, 1, 100.0, 2.0);
+  g.add_link(1, 3, 100.0, 2.0);
+  g.add_link(0, 2, 100.0, 30.0);
+  g.add_link(2, 3, 100.0, 30.0);
+  ClassedTraffic traffic{TrafficMatrix(4), TrafficMatrix(4)};
+  traffic.delay.set(0, 3, 1.0);
+  const Evaluator ev(g, traffic, EvalParams{});
+  // Normal: fast path exists -> avoidable.
+  EXPECT_EQ(unavoidable_violations(ev, FailureScenario::none()), 0);
+  // Fail the fast path's first hop: only the 60ms detour remains.
+  EXPECT_EQ(unavoidable_violations(ev, FailureScenario::link(0)), 1);
+}
+
+TEST(UnavoidableViolationsTest, DisconnectionIsUnavoidable) {
+  Graph g(3);
+  g.add_link(0, 1, 100.0, 1.0);
+  g.add_link(1, 2, 100.0, 1.0);
+  ClassedTraffic traffic{TrafficMatrix(3), TrafficMatrix(3)};
+  traffic.delay.set(0, 2, 1.0);
+  const Evaluator ev(g, traffic, EvalParams{});
+  EXPECT_EQ(unavoidable_violations(ev, FailureScenario::link(1)), 1);
+}
+
+TEST(UnavoidableViolationsTest, LowerBoundsAnyRoutingProfile) {
+  const test::TestInstance inst = test::make_test_instance(10, 4.0, 11, 0.6);
+  const Evaluator ev(inst.graph, inst.traffic, inst.params);
+  const auto scenarios = all_link_failures(inst.graph);
+  const auto lower = unavoidable_violation_profile(ev, scenarios);
+  const WeightSetting w(inst.graph.num_links());
+  const FailureProfile profile = profile_failures(ev, w, scenarios);
+  ASSERT_EQ(lower.size(), profile.violations.size());
+  for (std::size_t i = 0; i < lower.size(); ++i)
+    EXPECT_LE(lower[i], profile.violations[i]) << "scenario " << i;
+}
+
+TEST(UnavoidableViolationsTest, NodeFailureSkipsItsTraffic) {
+  const Graph g = test::make_ring(4);
+  ClassedTraffic traffic{TrafficMatrix(4), TrafficMatrix(4)};
+  traffic.delay.set(1, 3, 1.0);  // sourced at failing node -> not counted
+  EvalParams params;
+  params.sla.theta_ms = 0.5;  // everything violates if counted
+  const Evaluator ev(g, traffic, params);
+  EXPECT_EQ(unavoidable_violations(ev, FailureScenario::node(1)), 0);
+}
+
+}  // namespace
+}  // namespace dtr

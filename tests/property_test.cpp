@@ -1,0 +1,159 @@
+/// Parameterized property tests (TEST_P sweeps) over topology families,
+/// seeds and load levels: invariants of the routing/cost pipeline that must
+/// hold for ANY instance, not just hand-built ones.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "graph/connectivity.h"
+#include "graph/isp.h"
+#include "graph/topology.h"
+#include "routing/evaluator.h"
+#include "test_helpers.h"
+#include "traffic/gravity.h"
+#include "traffic/scaling.h"
+#include "util/rng.h"
+
+namespace dtr {
+namespace {
+
+enum class Family { kRand, kNear, kPl, kIsp };
+
+std::string family_name(Family f) {
+  switch (f) {
+    case Family::kRand: return "Rand";
+    case Family::kNear: return "Near";
+    case Family::kPl: return "Pl";
+    case Family::kIsp: return "Isp";
+  }
+  return "?";
+}
+
+Graph build_graph(Family f, std::uint64_t seed) {
+  switch (f) {
+    case Family::kRand: return make_rand_topo({12, 5.0, 500.0, seed});
+    case Family::kNear: return make_near_topo({12, 5.0, 500.0, seed});
+    case Family::kPl: return make_pl_topo({12, 3, 500.0, seed});
+    case Family::kIsp: return make_isp_backbone().graph;
+  }
+  throw std::logic_error("unreachable");
+}
+
+class PipelineProperty
+    : public ::testing::TestWithParam<std::tuple<Family, int, double>> {
+ protected:
+  void SetUp() override {
+    const auto& [family, seed, util] = GetParam();
+    graph_ = build_graph(family, static_cast<std::uint64_t>(seed));
+    calibrate_delays_to_sla(graph_, params_.sla.theta_ms);
+    traffic_ = split_by_class(
+        make_gravity_traffic(graph_, {1.0, 1.0, static_cast<std::uint64_t>(seed) + 7}),
+        0.30);
+    scale_to_utilization(graph_, traffic_,
+                         {UtilizationTarget::Kind::kAverage, util});
+    evaluator_ = std::make_unique<Evaluator>(graph_, traffic_, params_);
+    weights_ = WeightSetting(graph_.num_links());
+    Rng rng(static_cast<std::uint64_t>(seed) * 13 + 1);
+    randomize_weights(weights_, 60, rng);
+  }
+
+  Graph graph_;
+  ClassedTraffic traffic_;
+  EvalParams params_;
+  std::unique_ptr<Evaluator> evaluator_;
+  WeightSetting weights_;
+};
+
+TEST_P(PipelineProperty, GeneratedTopologySurvivesAnySingleLinkFailure) {
+  for (LinkId l = 0; l < graph_.num_links(); ++l)
+    EXPECT_TRUE(connected_without_link(graph_, l)) << "link " << l;
+}
+
+TEST_P(PipelineProperty, CostsAreNonNegativeAndFinite) {
+  const EvalResult normal = evaluator_->evaluate(weights_);
+  EXPECT_GE(normal.lambda, 0.0);
+  EXPECT_GE(normal.phi, 0.0);
+  EXPECT_TRUE(std::isfinite(normal.lambda));
+  EXPECT_TRUE(std::isfinite(normal.phi));
+}
+
+TEST_P(PipelineProperty, ViolationsBoundedByDemandPairs) {
+  const std::size_t pairs = traffic_.delay.num_positive_demands();
+  for (LinkId l = 0; l < graph_.num_links(); ++l) {
+    const EvalResult r = evaluator_->evaluate(weights_, FailureScenario::link(l));
+    EXPECT_LE(static_cast<std::size_t>(r.sla_violations), pairs);
+    EXPECT_GE(r.sla_violations, 0);
+  }
+}
+
+TEST_P(PipelineProperty, LambdaZeroImpliesNoViolations) {
+  for (LinkId l = 0; l < graph_.num_links(); ++l) {
+    const EvalResult r = evaluator_->evaluate(weights_, FailureScenario::link(l));
+    if (r.lambda == 0.0) EXPECT_EQ(r.sla_violations, 0);
+    if (r.sla_violations > 0) EXPECT_GE(r.lambda, params_.sla.b1);
+  }
+}
+
+TEST_P(PipelineProperty, NoFailureScenarioEqualsNormal) {
+  const EvalResult a = evaluator_->evaluate(weights_);
+  const EvalResult b = evaluator_->evaluate(weights_, FailureScenario::none());
+  EXPECT_DOUBLE_EQ(a.lambda, b.lambda);
+  EXPECT_DOUBLE_EQ(a.phi, b.phi);
+}
+
+TEST_P(PipelineProperty, UniformWeightScalingPreservesRouting) {
+  // Shortest paths are invariant under scaling all weights by a constant;
+  // ECMP ties are preserved exactly for integer weights.
+  WeightSetting scaled = weights_;
+  for (TrafficClass c : kBothClasses)
+    for (LinkId l = 0; l < scaled.num_links(); ++l)
+      scaled.set(c, l, weights_.get(c, l) * 3);
+  const EvalResult a = evaluator_->evaluate(weights_, FailureScenario::none());
+  const EvalResult b = evaluator_->evaluate(scaled, FailureScenario::none());
+  EXPECT_NEAR(a.lambda, b.lambda, 1e-9);
+  EXPECT_NEAR(a.phi, b.phi, 1e-9);
+  EXPECT_EQ(a.sla_violations, b.sla_violations);
+}
+
+TEST_P(PipelineProperty, DelayClassWeightsDoNotMoveThroughputLoad) {
+  // Throughput-class routing depends only on W^T: changing W^D must leave
+  // the throughput-class arc loads untouched (loads are per class; total
+  // delay changes, Phi's load argument for throughput-carrying links can
+  // change only via the DELAY class's contribution to total load).
+  std::vector<double> costs_t;
+  weights_.arc_costs(graph_, TrafficClass::kThroughput, costs_t);
+  const ClassRouting before(graph_, costs_t, traffic_.throughput, {});
+  WeightSetting perturbed = weights_;
+  Rng rng(123);
+  for (LinkId l = 0; l < perturbed.num_links(); ++l)
+    perturbed.set(TrafficClass::kDelay, l, rng.uniform_int(1, 60));
+  perturbed.arc_costs(graph_, TrafficClass::kThroughput, costs_t);
+  const ClassRouting after(graph_, costs_t, traffic_.throughput, {});
+  for (ArcId a = 0; a < graph_.num_arcs(); ++a)
+    EXPECT_DOUBLE_EQ(before.arc_load(a), after.arc_load(a));
+}
+
+TEST_P(PipelineProperty, SweepNeverExceedsScenarioCount) {
+  const auto scenarios = all_link_failures(graph_);
+  const SweepResult sum = evaluator_->sweep(weights_, scenarios);
+  EXPECT_EQ(sum.scenarios_evaluated, scenarios.size());
+  const CostPair zero{0.0, 0.0};
+  const SweepResult bounded = evaluator_->sweep(weights_, scenarios, &zero);
+  EXPECT_LE(bounded.scenarios_evaluated, scenarios.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, PipelineProperty,
+    ::testing::Combine(::testing::Values(Family::kRand, Family::kNear, Family::kPl,
+                                         Family::kIsp),
+                       ::testing::Values(1, 2),
+                       ::testing::Values(0.3, 0.6)),
+    [](const auto& info) {
+      return family_name(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param)) + "_util" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 10));
+    });
+
+}  // namespace
+}  // namespace dtr

@@ -1,0 +1,442 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/topology.h"
+#include "routing/failures.h"
+#include "routing/route_state.h"
+#include "routing/weights.h"
+#include "test_helpers.h"
+#include "traffic/gravity.h"
+#include "util/rng.h"
+
+namespace dtr {
+namespace {
+
+// ------------------------------------------------------------ weights
+
+TEST(WeightSettingTest, InitialValue) {
+  const WeightSetting w(5, 3);
+  for (LinkId l = 0; l < 5; ++l)
+    for (TrafficClass c : kBothClasses) EXPECT_EQ(w.get(c, l), 3);
+}
+
+TEST(WeightSettingTest, SetPerClassIndependent) {
+  WeightSetting w(3);
+  w.set(TrafficClass::kDelay, 1, 7);
+  w.set(TrafficClass::kThroughput, 1, 9);
+  EXPECT_EQ(w.get(TrafficClass::kDelay, 1), 7);
+  EXPECT_EQ(w.get(TrafficClass::kThroughput, 1), 9);
+  EXPECT_EQ(w.get(TrafficClass::kDelay, 0), 1);
+}
+
+TEST(WeightSettingTest, RejectsNonPositiveWeights) {
+  WeightSetting w(2);
+  EXPECT_THROW(w.set(TrafficClass::kDelay, 0, 0), std::invalid_argument);
+  EXPECT_THROW(WeightSetting(2, 0), std::invalid_argument);
+}
+
+TEST(WeightSettingTest, ArcCostsShareLinkWeight) {
+  const Graph g = test::make_diamond();
+  WeightSetting w(g.num_links());
+  w.set(TrafficClass::kDelay, 2, 11);
+  std::vector<double> costs;
+  w.arc_costs(g, TrafficClass::kDelay, costs);
+  ASSERT_EQ(costs.size(), g.num_arcs());
+  for (ArcId a : g.link_arcs(2)) EXPECT_DOUBLE_EQ(costs[a], 11.0);
+  for (ArcId a : g.link_arcs(0)) EXPECT_DOUBLE_EQ(costs[a], 1.0);
+}
+
+TEST(WeightSettingTest, ArcCostsSizeMismatchThrows) {
+  const Graph g = test::make_diamond();
+  WeightSetting w(2);  // wrong size
+  std::vector<double> costs;
+  EXPECT_THROW(w.arc_costs(g, TrafficClass::kDelay, costs), std::invalid_argument);
+}
+
+TEST(WeightSettingTest, EqualityComparison) {
+  WeightSetting a(3), b(3);
+  EXPECT_EQ(a, b);
+  b.set(TrafficClass::kDelay, 0, 5);
+  EXPECT_NE(a, b);
+}
+
+TEST(WeightSettingTest, RandomizeStaysInRange) {
+  WeightSetting w(20);
+  Rng rng(5);
+  randomize_weights(w, 64, rng);
+  for (LinkId l = 0; l < 20; ++l)
+    for (TrafficClass c : kBothClasses) {
+      EXPECT_GE(w.get(c, l), 1);
+      EXPECT_LE(w.get(c, l), 64);
+    }
+}
+
+TEST(WeightSettingTest, WarmStartTracksDelay) {
+  Graph g(3);
+  g.add_link(0, 1, 100.0, 2.0);
+  g.add_link(1, 2, 100.0, 20.0);
+  const WeightSetting w = make_warm_start(g, 100);
+  EXPECT_LT(w.get(TrafficClass::kDelay, 0), w.get(TrafficClass::kDelay, 1));
+  EXPECT_EQ(w.get(TrafficClass::kThroughput, 0), 1);
+  EXPECT_LE(w.get(TrafficClass::kDelay, 1), 100);
+}
+
+// ------------------------------------------------------------ routing / loads
+
+TEST(ClassRoutingTest, SinglePathCarriesFullDemand) {
+  Graph g(3);
+  g.add_link(0, 1, 100.0, 1.0);
+  g.add_link(1, 2, 100.0, 1.0);
+  TrafficMatrix tm(3);
+  tm.set(0, 2, 10.0);
+  const std::vector<double> costs(g.num_arcs(), 1.0);
+  const ClassRouting r(g, costs, tm, {});
+  // Arc 0 is 0->1, arc 2 is 1->2.
+  EXPECT_DOUBLE_EQ(r.arc_load(0), 10.0);
+  EXPECT_DOUBLE_EQ(r.arc_load(2), 10.0);
+  EXPECT_DOUBLE_EQ(r.arc_load(1), 0.0);  // reverse arcs unused
+}
+
+TEST(ClassRoutingTest, EcmpSplitsEvenly) {
+  const Graph g = test::make_diamond();
+  TrafficMatrix tm(4);
+  tm.set(0, 3, 8.0);
+  const std::vector<double> costs(g.num_arcs(), 1.0);
+  const ClassRouting r(g, costs, tm, {});
+  // Two equal paths 0-1-3 and 0-2-3: 4 units each.
+  EXPECT_DOUBLE_EQ(r.arc_load(0), 4.0);  // 0->1
+  EXPECT_DOUBLE_EQ(r.arc_load(2), 4.0);  // 0->2
+  EXPECT_DOUBLE_EQ(r.arc_load(4), 4.0);  // 1->3
+  EXPECT_DOUBLE_EQ(r.arc_load(6), 4.0);  // 2->3
+}
+
+TEST(ClassRoutingTest, WeightsSteerTraffic) {
+  const Graph g = test::make_diamond();
+  TrafficMatrix tm(4);
+  tm.set(0, 3, 8.0);
+  WeightSetting w(g.num_links());
+  w.set(TrafficClass::kDelay, 0, 10);  // make 0-1 expensive
+  std::vector<double> costs;
+  w.arc_costs(g, TrafficClass::kDelay, costs);
+  const ClassRouting r(g, costs, tm, {});
+  EXPECT_DOUBLE_EQ(r.arc_load(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.arc_load(2), 8.0);  // all via 0-2-3
+}
+
+TEST(ClassRoutingTest, FlowConservationProperty) {
+  // Property: at every node, inflow + sourced == outflow + sunk (per class).
+  for (std::uint64_t seed : {1ull, 5ull, 9ull}) {
+    const Graph g = make_rand_topo({14, 4.0, 500.0, seed});
+    const TrafficMatrix tm = make_gravity_traffic(g, {3.0, 1.0, seed + 1});
+    WeightSetting w(g.num_links());
+    Rng rng(seed);
+    randomize_weights(w, 50, rng);
+    std::vector<double> costs;
+    w.arc_costs(g, TrafficClass::kDelay, costs);
+    const ClassRouting r(g, costs, tm, {});
+
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      double in = 0.0, out = 0.0, sourced = 0.0, sunk = 0.0;
+      for (ArcId a : g.in_arcs(u)) in += r.arc_load(a);
+      for (ArcId a : g.out_arcs(u)) out += r.arc_load(a);
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (v == u) continue;
+        sourced += tm.at(u, v);
+        sunk += tm.at(v, u);
+      }
+      EXPECT_NEAR(in + sourced, out + sunk, 1e-6) << "node " << u << " seed " << seed;
+    }
+  }
+}
+
+TEST(ClassRoutingTest, TotalLoadEqualsDemandTimesPathLength) {
+  // Sum of arc loads == sum over demands of (demand * SP length in hops)
+  // under unit weights (ECMP paths all have equal length).
+  const Graph g = make_rand_topo({12, 4.0, 500.0, 3});
+  const TrafficMatrix tm = make_gravity_traffic(g, {2.0, 1.0, 4});
+  const std::vector<double> costs(g.num_arcs(), 1.0);
+  const ClassRouting r(g, costs, tm, {});
+  double load_sum = 0.0;
+  for (ArcId a = 0; a < g.num_arcs(); ++a) load_sum += r.arc_load(a);
+  double expected = 0.0;
+  tm.for_each_demand(
+      [&](NodeId s, NodeId t, double v) { expected += v * r.distances()[t][s]; });
+  EXPECT_NEAR(load_sum, expected, 1e-6);
+}
+
+TEST(ClassRoutingTest, DisconnectedDemandCounted) {
+  Graph g(3);
+  g.add_link(0, 1, 100.0, 1.0);
+  TrafficMatrix tm(3);
+  tm.set(0, 2, 5.0);  // node 2 unreachable
+  tm.set(0, 1, 1.0);
+  const std::vector<double> costs(g.num_arcs(), 1.0);
+  const ClassRouting r(g, costs, tm, {});
+  EXPECT_EQ(r.disconnected_demand_count(), 1u);
+  EXPECT_DOUBLE_EQ(r.disconnected_demand_volume(), 5.0);
+  EXPECT_FALSE(r.pair_connected(0, 2));
+  EXPECT_TRUE(r.pair_connected(0, 1));
+}
+
+TEST(ClassRoutingTest, SkipNodeIgnoresItsTraffic) {
+  const Graph g = test::make_ring(4);
+  TrafficMatrix tm(4);
+  tm.set(0, 2, 10.0);
+  tm.set(1, 2, 4.0);
+  const std::vector<double> costs(g.num_arcs(), 1.0);
+  const ClassRouting r(g, costs, tm, {}, /*skip_node=*/1);
+  double total = 0.0;
+  for (ArcId a = 0; a < g.num_arcs(); ++a) total += r.arc_load(a);
+  // Only the 0->2 demand routes (2 hops around the ring either way).
+  EXPECT_NEAR(total, 10.0 * 2.0, 1e-9);
+}
+
+TEST(ClassRoutingTest, AliveMaskReroutes) {
+  const Graph g = test::make_diamond();
+  TrafficMatrix tm(4);
+  tm.set(0, 3, 8.0);
+  const std::vector<double> costs(g.num_arcs(), 1.0);
+  std::vector<std::uint8_t> alive(g.num_arcs(), 1);
+  for (ArcId a : g.link_arcs(0)) alive[a] = 0;  // fail 0-1
+  const ClassRouting r(g, costs, tm, alive);
+  EXPECT_DOUBLE_EQ(r.arc_load(2), 8.0);
+  EXPECT_DOUBLE_EQ(r.arc_load(0), 0.0);
+}
+
+// ------------------------------------------------------------ end-to-end delays
+
+TEST(EndToEndDelayTest, SumsArcDelaysOnSinglePath) {
+  Graph g(3);
+  g.add_link(0, 1, 100.0, 2.0);
+  g.add_link(1, 2, 100.0, 3.0);
+  TrafficMatrix tm(3);
+  tm.set(0, 2, 1.0);
+  const std::vector<double> costs(g.num_arcs(), 1.0);
+  const ClassRouting r(g, costs, tm, {});
+  std::vector<double> arc_delay(g.num_arcs());
+  for (ArcId a = 0; a < g.num_arcs(); ++a) arc_delay[a] = g.arc(a).prop_delay_ms;
+  std::vector<double> out;
+  r.end_to_end_delays(g, costs, {}, arc_delay, tm, SlaDelayMode::kExpected, kInvalidNode,
+                      out);
+  EXPECT_DOUBLE_EQ(out[0 * 3 + 2], 5.0);
+  EXPECT_DOUBLE_EQ(out[1 * 3 + 2], -1.0);  // no demand
+}
+
+TEST(EndToEndDelayTest, ExpectedVsWorstPath) {
+  // Diamond with asymmetric delays: 0-1-3 takes 2ms, 0-2-3 takes 8ms.
+  Graph g(4);
+  g.add_link(0, 1, 100.0, 1.0);
+  g.add_link(0, 2, 100.0, 4.0);
+  g.add_link(1, 3, 100.0, 1.0);
+  g.add_link(2, 3, 100.0, 4.0);
+  TrafficMatrix tm(4);
+  tm.set(0, 3, 1.0);
+  const std::vector<double> costs(g.num_arcs(), 1.0);
+  const ClassRouting r(g, costs, tm, {});
+  std::vector<double> arc_delay(g.num_arcs());
+  for (ArcId a = 0; a < g.num_arcs(); ++a) arc_delay[a] = g.arc(a).prop_delay_ms;
+
+  std::vector<double> expected, worst;
+  r.end_to_end_delays(g, costs, {}, arc_delay, tm, SlaDelayMode::kExpected, kInvalidNode,
+                      expected);
+  r.end_to_end_delays(g, costs, {}, arc_delay, tm, SlaDelayMode::kWorstPath, kInvalidNode,
+                      worst);
+  EXPECT_DOUBLE_EQ(expected[3], 5.0);  // (2+8)/2
+  EXPECT_DOUBLE_EQ(worst[3], 8.0);
+}
+
+TEST(EndToEndDelayTest, DisconnectedIsInfinite) {
+  Graph g(3);
+  g.add_link(0, 1, 100.0, 1.0);
+  TrafficMatrix tm(3);
+  tm.set(0, 2, 1.0);
+  const std::vector<double> costs(g.num_arcs(), 1.0);
+  const ClassRouting r(g, costs, tm, {});
+  std::vector<double> arc_delay(g.num_arcs(), 1.0);
+  std::vector<double> out;
+  r.end_to_end_delays(g, costs, {}, arc_delay, tm, SlaDelayMode::kExpected, kInvalidNode,
+                      out);
+  EXPECT_EQ(out[0 * 3 + 2], kInfDist);
+}
+
+// ------------------------------------------------------------ path enumeration
+
+TEST(EcmpPathsTest, DiamondYieldsBothPaths) {
+  const Graph g = test::make_diamond();
+  const std::vector<double> costs(g.num_arcs(), 1.0);
+  const auto paths = enumerate_ecmp_paths(g, costs, 0, 3);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], (std::vector<NodeId>{0, 1, 3}));
+  EXPECT_EQ(paths[1], (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(EcmpPathsTest, WeightsPruneToUniquePath) {
+  const Graph g = test::make_diamond();
+  WeightSetting w(g.num_links());
+  w.set(TrafficClass::kDelay, 0, 5);  // 0-1 expensive
+  std::vector<double> costs;
+  w.arc_costs(g, TrafficClass::kDelay, costs);
+  const auto paths = enumerate_ecmp_paths(g, costs, 0, 3);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<NodeId>{0, 2, 3}));
+}
+
+TEST(EcmpPathsTest, RespectsMaskAndUnreachable) {
+  const Graph g = test::make_diamond();
+  const std::vector<double> costs(g.num_arcs(), 1.0);
+  std::vector<std::uint8_t> alive(g.num_arcs(), 1);
+  for (ArcId a : g.link_arcs(0)) alive[a] = 0;  // no 0-1
+  const auto paths = enumerate_ecmp_paths(g, costs, 0, 3, alive);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (std::vector<NodeId>{0, 2, 3}));
+
+  for (ArcId a : g.link_arcs(1)) alive[a] = 0;  // no 0-2 either
+  EXPECT_TRUE(enumerate_ecmp_paths(g, costs, 0, 3, alive).empty());
+}
+
+TEST(EcmpPathsTest, MaxPathsCap) {
+  // Chain of diamonds: 2^k paths; cap must bound the enumeration.
+  Graph g(7);
+  g.add_link(0, 1, 100.0, 1.0);
+  g.add_link(0, 2, 100.0, 1.0);
+  g.add_link(1, 3, 100.0, 1.0);
+  g.add_link(2, 3, 100.0, 1.0);
+  g.add_link(3, 4, 100.0, 1.0);
+  g.add_link(3, 5, 100.0, 1.0);
+  g.add_link(4, 6, 100.0, 1.0);
+  g.add_link(5, 6, 100.0, 1.0);
+  const std::vector<double> costs(g.num_arcs(), 1.0);
+  EXPECT_EQ(enumerate_ecmp_paths(g, costs, 0, 6).size(), 4u);
+  EXPECT_EQ(enumerate_ecmp_paths(g, costs, 0, 6, {}, 3).size(), 3u);
+}
+
+TEST(EcmpPathsTest, EveryPathIsShortelyTight) {
+  // All enumerated paths must have equal cost == dist(s,t).
+  const test::TestInstance inst = test::make_test_instance(10, 4.0, 19);
+  WeightSetting w(inst.graph.num_links());
+  Rng rng(4);
+  randomize_weights(w, 30, rng);
+  std::vector<double> costs;
+  w.arc_costs(inst.graph, TrafficClass::kThroughput, costs);
+  std::vector<double> dist;
+  shortest_distances_to(inst.graph, 7, costs, {}, dist);
+  const auto paths = enumerate_ecmp_paths(inst.graph, costs, 0, 7);
+  ASSERT_FALSE(paths.empty());
+  for (const auto& path : paths) {
+    EXPECT_EQ(path.front(), 0u);
+    EXPECT_EQ(path.back(), 7u);
+    double cost = 0.0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      bool found = false;
+      for (ArcId a : inst.graph.out_arcs(path[i])) {
+        if (inst.graph.arc(a).dst == path[i + 1]) {
+          cost += costs[a];
+          found = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(found);
+    }
+    EXPECT_DOUBLE_EQ(cost, dist[0]);
+  }
+}
+
+TEST(EcmpPathsTest, Validation) {
+  const Graph g = test::make_diamond();
+  const std::vector<double> costs(g.num_arcs(), 1.0);
+  EXPECT_THROW(enumerate_ecmp_paths(g, costs, 99, 0), std::out_of_range);
+  EXPECT_TRUE(enumerate_ecmp_paths(g, costs, 2, 2).empty());  // s == t
+}
+
+// ------------------------------------------------------------ failures
+
+TEST(FailuresTest, EnumerationCounts) {
+  const Graph g = test::make_diamond();
+  EXPECT_EQ(all_link_failures(g).size(), g.num_links());
+  EXPECT_EQ(all_node_failures(g).size(), g.num_nodes());
+}
+
+TEST(FailuresTest, LinkMaskKillsBothArcs) {
+  const Graph g = test::make_diamond();
+  std::vector<std::uint8_t> mask;
+  build_alive_mask(g, FailureScenario::link(1), mask);
+  int dead = 0;
+  for (ArcId a = 0; a < g.num_arcs(); ++a)
+    if (!mask[a]) {
+      ++dead;
+      EXPECT_EQ(g.arc(a).link, 1u);
+    }
+  EXPECT_EQ(dead, 2);
+}
+
+TEST(FailuresTest, NodeMaskKillsIncidentArcs) {
+  const Graph g = test::make_diamond();
+  std::vector<std::uint8_t> mask;
+  build_alive_mask(g, FailureScenario::node(0), mask);
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const bool incident = g.arc(a).src == 0 || g.arc(a).dst == 0;
+    EXPECT_EQ(mask[a] == 0, incident);
+  }
+}
+
+TEST(FailuresTest, NoneMaskAllAlive) {
+  const Graph g = test::make_diamond();
+  std::vector<std::uint8_t> mask;
+  build_alive_mask(g, FailureScenario::none(), mask);
+  for (auto m : mask) EXPECT_EQ(m, 1);
+}
+
+TEST(FailuresTest, SkippedNode) {
+  EXPECT_EQ(skipped_node(FailureScenario::node(3)), 3u);
+  EXPECT_EQ(skipped_node(FailureScenario::link(3)), kInvalidNode);
+  EXPECT_EQ(skipped_node(FailureScenario::none()), kInvalidNode);
+}
+
+TEST(FailuresTest, LinkPairMaskKillsBothLinks) {
+  const Graph g = test::make_diamond();
+  std::vector<std::uint8_t> mask;
+  build_alive_mask(g, FailureScenario::link_pair(0, 2), mask);
+  int dead = 0;
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    if (mask[a]) continue;
+    ++dead;
+    EXPECT_TRUE(g.arc(a).link == 0 || g.arc(a).link == 2);
+  }
+  EXPECT_EQ(dead, 4);
+}
+
+TEST(FailuresTest, SampleDualLinkFailuresDistinct) {
+  const Graph g = test::make_ring(8);
+  Rng rng(3);
+  const auto scenarios = sample_dual_link_failures(g, 10, rng);
+  EXPECT_EQ(scenarios.size(), 10u);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    EXPECT_EQ(scenarios[i].kind, FailureScenario::Kind::kLinkPair);
+    EXPECT_NE(scenarios[i].id, scenarios[i].id2);
+    EXPECT_LT(scenarios[i].id, scenarios[i].id2);  // canonical order
+    for (std::size_t j = i + 1; j < scenarios.size(); ++j)
+      EXPECT_FALSE(scenarios[i] == scenarios[j]);
+  }
+}
+
+TEST(FailuresTest, SampleDualLinkFailuresValidation) {
+  Graph g(2);
+  g.add_link(0, 1, 100.0, 1.0);
+  Rng rng(1);
+  EXPECT_THROW(sample_dual_link_failures(g, 3, rng), std::invalid_argument);
+}
+
+TEST(FailuresTest, ToStringAndValidation) {
+  EXPECT_EQ(to_string(FailureScenario::link(2)), "link#2");
+  EXPECT_EQ(to_string(FailureScenario::node(7)), "node#7");
+  EXPECT_EQ(to_string(FailureScenario::none()), "none");
+  EXPECT_EQ(to_string(FailureScenario::link_pair(1, 3)), "links#1+3");
+  const Graph g = test::make_diamond();
+  std::vector<std::uint8_t> mask;
+  EXPECT_THROW(build_alive_mask(g, FailureScenario::link(99), mask), std::out_of_range);
+  EXPECT_THROW(build_alive_mask(g, FailureScenario::node(99), mask), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dtr

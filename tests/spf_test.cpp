@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/spf.h"
+#include "graph/topology.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace dtr {
+namespace {
+
+std::vector<double> unit_costs(const Graph& g) {
+  return std::vector<double>(g.num_arcs(), 1.0);
+}
+
+TEST(SpfTest, DiamondDistances) {
+  const Graph g = test::make_diamond();
+  std::vector<double> dist;
+  shortest_distances_to(g, 3, unit_costs(g), {}, dist);
+  EXPECT_DOUBLE_EQ(dist[3], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist[2], 1.0);
+  EXPECT_DOUBLE_EQ(dist[0], 2.0);
+}
+
+TEST(SpfTest, ForwardAndReverseAgreeOnSymmetricCosts) {
+  const Graph g = test::make_ring_with_chords(8);
+  const auto costs = unit_costs(g);
+  std::vector<double> to_t, from_t;
+  shortest_distances_to(g, 5, costs, {}, to_t);
+  shortest_distances_from(g, 5, costs, {}, from_t);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) EXPECT_DOUBLE_EQ(to_t[u], from_t[u]);
+}
+
+TEST(SpfTest, RespectsAliveMask) {
+  const Graph g = test::make_diamond();
+  std::vector<std::uint8_t> alive(g.num_arcs(), 1);
+  // Kill link 0-1 (both arcs of link 0).
+  for (ArcId a : g.link_arcs(0)) alive[a] = 0;
+  std::vector<double> dist;
+  shortest_distances_to(g, 3, unit_costs(g), alive, dist);
+  EXPECT_DOUBLE_EQ(dist[0], 2.0);  // still via 2
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+}
+
+TEST(SpfTest, UnreachableIsInfinity) {
+  Graph g(3);
+  g.add_link(0, 1, 100.0, 1.0);
+  std::vector<double> dist;
+  shortest_distances_to(g, 0, unit_costs(g), {}, dist);
+  EXPECT_EQ(dist[2], kInfDist);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+}
+
+TEST(SpfTest, AsymmetricCostsUseArcDirection) {
+  Graph g(2);
+  g.add_link(0, 1, 100.0, 1.0);  // arcs 0 (0->1) and 1 (1->0)
+  std::vector<double> costs{5.0, 9.0};
+  std::vector<double> dist;
+  shortest_distances_to(g, 1, costs, {}, dist);
+  EXPECT_DOUBLE_EQ(dist[0], 5.0);
+  shortest_distances_to(g, 0, costs, {}, dist);
+  EXPECT_DOUBLE_EQ(dist[1], 9.0);
+}
+
+TEST(SpfTest, InputValidation) {
+  const Graph g = test::make_diamond();
+  std::vector<double> dist;
+  std::vector<double> short_costs(2, 1.0);
+  EXPECT_THROW(shortest_distances_to(g, 0, short_costs, {}, dist), std::invalid_argument);
+  EXPECT_THROW(shortest_distances_to(g, 99, unit_costs(g), {}, dist), std::out_of_range);
+  std::vector<std::uint8_t> bad_mask(3, 1);
+  EXPECT_THROW(shortest_distances_to(g, 0, unit_costs(g), bad_mask, dist),
+               std::invalid_argument);
+}
+
+// Property: Dijkstra equals Floyd–Warshall on random weighted graphs.
+TEST(SpfTest, MatchesFloydWarshallReference) {
+  Rng rng(123);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = make_rand_topo({12, 4.0, 500.0, static_cast<std::uint64_t>(trial + 1)});
+    std::vector<double> costs(g.num_arcs());
+    for (double& c : costs) c = rng.uniform_int(1, 50);
+
+    // Floyd–Warshall over arcs.
+    const std::size_t n = g.num_nodes();
+    std::vector<std::vector<double>> fw(n, std::vector<double>(n, kInfDist));
+    for (std::size_t i = 0; i < n; ++i) fw[i][i] = 0.0;
+    for (ArcId a = 0; a < g.num_arcs(); ++a)
+      fw[g.arc(a).src][g.arc(a).dst] = std::min(fw[g.arc(a).src][g.arc(a).dst], costs[a]);
+    for (std::size_t k = 0; k < n; ++k)
+      for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+          if (fw[i][k] + fw[k][j] < fw[i][j]) fw[i][j] = fw[i][k] + fw[k][j];
+
+    const auto d = all_pairs_distances_to(g, costs);
+    for (NodeId t = 0; t < n; ++t)
+      for (NodeId u = 0; u < n; ++u)
+        EXPECT_DOUBLE_EQ(d[t][u], fw[u][t]) << "trial " << trial;
+  }
+}
+
+TEST(SpfTest, HopDistances) {
+  const Graph g = test::make_diamond();
+  std::vector<int> hops;
+  hop_distances_from(g, 0, {}, hops);
+  EXPECT_EQ(hops[0], 0);
+  EXPECT_EQ(hops[1], 1);
+  EXPECT_EQ(hops[2], 1);
+  EXPECT_EQ(hops[3], 2);
+}
+
+TEST(SpfTest, HopDistancesUnreachable) {
+  Graph g(3);
+  g.add_link(0, 1, 100.0, 1.0);
+  std::vector<int> hops;
+  hop_distances_from(g, 0, {}, hops);
+  EXPECT_EQ(hops[2], -1);
+}
+
+TEST(SpfTest, HopDistancesWithMask) {
+  const Graph g = test::make_diamond();
+  std::vector<std::uint8_t> alive(g.num_arcs(), 1);
+  for (ArcId a : g.link_arcs(0)) alive[a] = 0;  // no 0-1
+  for (ArcId a : g.link_arcs(1)) alive[a] = 0;  // no 0-2
+  std::vector<int> hops;
+  hop_distances_from(g, 0, alive, hops);
+  EXPECT_EQ(hops[3], -1);
+}
+
+TEST(SpfTest, PropagationDiameterOfRing) {
+  // Ring of 6 with 1ms links: farthest pair is 3 hops = 3ms.
+  const Graph g = test::make_ring(6);
+  EXPECT_DOUBLE_EQ(propagation_diameter_ms(g), 3.0);
+}
+
+TEST(SpfTest, PropagationDiameterDegenerate) {
+  Graph g(1);
+  EXPECT_DOUBLE_EQ(propagation_diameter_ms(g), 0.0);
+}
+
+}  // namespace
+}  // namespace dtr

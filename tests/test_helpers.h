@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/topology.h"
+#include "routing/evaluator.h"
+#include "traffic/gravity.h"
+#include "traffic/scaling.h"
+#include "traffic/traffic_matrix.h"
+
+namespace dtr::test {
+
+/// Diamond: 0 -(1)- 1 -(1)- 3 and 0 -(1)- 2 -(1)- 3, plus nothing else.
+/// With unit weights there are two equal-cost 0->3 paths (ECMP splits 50/50).
+inline Graph make_diamond(double capacity = 100.0, double delay_ms = 1.0) {
+  Graph g(4);
+  g.set_position(0, {0.0, 0.5});
+  g.set_position(1, {0.5, 1.0});
+  g.set_position(2, {0.5, 0.0});
+  g.set_position(3, {1.0, 0.5});
+  g.add_link(0, 1, capacity, delay_ms);
+  g.add_link(0, 2, capacity, delay_ms);
+  g.add_link(1, 3, capacity, delay_ms);
+  g.add_link(2, 3, capacity, delay_ms);
+  return g;
+}
+
+/// Cycle of n nodes (2-edge-connected, exactly two paths between any pair).
+inline Graph make_ring(int n, double capacity = 100.0, double delay_ms = 1.0) {
+  Graph g(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    g.set_position(static_cast<NodeId>(i), {static_cast<double>(i), 0.0});
+  for (int i = 0; i < n; ++i)
+    g.add_link(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n), capacity, delay_ms);
+  return g;
+}
+
+/// Ring + chords: enough path diversity for optimizer integration tests.
+inline Graph make_ring_with_chords(int n, double capacity = 100.0) {
+  Graph g = make_ring(n, capacity);
+  for (int i = 0; i + n / 2 < n; ++i)
+    g.add_link(static_cast<NodeId>(i), static_cast<NodeId>(i + n / 2), capacity, 1.0);
+  return g;
+}
+
+/// A complete small-network instance: RandTopo graph, gravity traffic scaled
+/// to a target average utilization, SLA-calibrated delays.
+struct TestInstance {
+  Graph graph;
+  ClassedTraffic traffic;
+  EvalParams params;
+};
+
+inline TestInstance make_test_instance(int nodes = 10, double degree = 4.0,
+                                       std::uint64_t seed = 7,
+                                       double avg_utilization = 0.4,
+                                       double theta_ms = 25.0) {
+  TestInstance inst;
+  inst.graph = make_rand_topo({nodes, degree, 500.0, seed});
+  inst.params.sla.theta_ms = theta_ms;
+  calibrate_delays_to_sla(inst.graph, theta_ms);
+  TrafficMatrix total = make_gravity_traffic(inst.graph, {1.0, 1.0, seed + 1});
+  inst.traffic = split_by_class(total, 0.30);
+  scale_to_utilization(inst.graph, inst.traffic,
+                       {UtilizationTarget::Kind::kAverage, avg_utilization});
+  return inst;
+}
+
+}  // namespace dtr::test

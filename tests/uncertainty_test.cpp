@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/topology.h"
+#include "traffic/gravity.h"
+#include "traffic/traffic_matrix.h"
+#include "traffic/uncertainty.h"
+
+namespace dtr {
+namespace {
+
+ClassedTraffic make_base(int nodes = 12, std::uint64_t seed = 4) {
+  const Graph g = make_rand_topo({nodes, 4.0, 500.0, seed});
+  return split_by_class(make_gravity_traffic(g, {10.0, 1.0, seed + 1}), 0.3);
+}
+
+// ------------------------------------------------ Gaussian fluctuation
+
+TEST(GaussianFluctuationTest, ZeroEpsilonIsIdentity) {
+  const ClassedTraffic base = make_base();
+  Rng rng(1);
+  const TrafficMatrix out = apply_gaussian_fluctuation(base.delay, {0.0}, rng);
+  base.delay.for_each_demand(
+      [&](NodeId s, NodeId t, double v) { EXPECT_DOUBLE_EQ(out.at(s, t), v); });
+}
+
+TEST(GaussianFluctuationTest, NeverNegative) {
+  const ClassedTraffic base = make_base();
+  Rng rng(2);
+  const TrafficMatrix out = apply_gaussian_fluctuation(base.delay, {2.0}, rng);
+  out.for_each_demand([&](NodeId, NodeId, double v) { EXPECT_GE(v, 0.0); });
+  for (NodeId s = 0; s < out.num_nodes(); ++s)
+    for (NodeId t = 0; t < out.num_nodes(); ++t)
+      if (s != t) EXPECT_GE(out.at(s, t), 0.0);
+}
+
+TEST(GaussianFluctuationTest, MeanPreservedApproximately) {
+  const ClassedTraffic base = make_base();
+  Rng rng(3);
+  double sum = 0.0;
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i)
+    sum += apply_gaussian_fluctuation(base.delay, {0.2}, rng).total();
+  EXPECT_NEAR(sum / trials, base.delay.total(), 0.02 * base.delay.total());
+}
+
+TEST(GaussianFluctuationTest, EpsilonControlsSpread) {
+  const ClassedTraffic base = make_base();
+  Rng rng_small(4), rng_large(4);
+  double dev_small = 0.0, dev_large = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const auto s = apply_gaussian_fluctuation(base.delay, {0.05}, rng_small);
+    const auto l = apply_gaussian_fluctuation(base.delay, {0.5}, rng_large);
+    base.delay.for_each_demand([&](NodeId a, NodeId b, double v) {
+      dev_small += std::abs(s.at(a, b) - v);
+      dev_large += std::abs(l.at(a, b) - v);
+    });
+  }
+  EXPECT_GT(dev_large, 3.0 * dev_small);
+}
+
+TEST(GaussianFluctuationTest, ClassedVariantPerturbsBoth) {
+  const ClassedTraffic base = make_base();
+  Rng rng(5);
+  const ClassedTraffic out = apply_gaussian_fluctuation(base, {0.3}, rng);
+  EXPECT_NE(out.delay.total(), base.delay.total());
+  EXPECT_NE(out.throughput.total(), base.throughput.total());
+}
+
+TEST(GaussianFluctuationTest, RejectsNegativeEpsilon) {
+  const ClassedTraffic base = make_base();
+  Rng rng(6);
+  EXPECT_THROW(apply_gaussian_fluctuation(base.delay, {-0.1}, rng), std::invalid_argument);
+}
+
+// ------------------------------------------------ hot spots
+
+TEST(HotSpotTest, OnlySurgedPairsChange) {
+  const ClassedTraffic base = make_base();
+  Rng rng(7);
+  HotSpotInstance instance;
+  const ClassedTraffic out =
+      apply_hot_spot(base, {HotSpotParams::Direction::kDownload, 0.1, 0.5, 2.0, 6.0},
+                     rng, &instance);
+
+  // Build the set of surged (src,dst) pairs.
+  std::vector<std::pair<NodeId, NodeId>> surged;
+  for (const auto& [client, server] : instance.client_server)
+    surged.emplace_back(server, client);  // download: server -> client
+
+  const std::size_t n = base.delay.num_nodes();
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t) continue;
+      const bool is_surged =
+          std::find(surged.begin(), surged.end(), std::make_pair(s, t)) != surged.end();
+      if (is_surged) {
+        EXPECT_GE(out.delay.at(s, t), 2.0 * base.delay.at(s, t) - 1e-9);
+        EXPECT_LE(out.delay.at(s, t), 6.0 * base.delay.at(s, t) + 1e-9);
+        EXPECT_GE(out.throughput.at(s, t), 2.0 * base.throughput.at(s, t) - 1e-9);
+      } else {
+        EXPECT_DOUBLE_EQ(out.delay.at(s, t), base.delay.at(s, t));
+        EXPECT_DOUBLE_EQ(out.throughput.at(s, t), base.throughput.at(s, t));
+      }
+    }
+  }
+}
+
+TEST(HotSpotTest, UploadDirectionSurgesClientToServer) {
+  const ClassedTraffic base = make_base();
+  Rng rng(8);
+  HotSpotInstance instance;
+  const ClassedTraffic out = apply_hot_spot(
+      base, {HotSpotParams::Direction::kUpload, 0.1, 0.5, 2.0, 6.0}, rng, &instance);
+  ASSERT_FALSE(instance.client_server.empty());
+  for (const auto& [client, server] : instance.client_server) {
+    EXPECT_GT(out.delay.at(client, server), base.delay.at(client, server));
+  }
+}
+
+TEST(HotSpotTest, ServerAndClientCountsMatchFractions) {
+  const ClassedTraffic base = make_base(20, 10);
+  Rng rng(9);
+  HotSpotInstance instance;
+  apply_hot_spot(base, {HotSpotParams::Direction::kDownload, 0.1, 0.5, 2.0, 6.0}, rng,
+                 &instance);
+  EXPECT_EQ(instance.servers.size(), 2u);        // 10% of 20
+  EXPECT_EQ(instance.client_server.size(), 10u); // 50% of 20
+  // Clients and servers are disjoint.
+  for (const auto& [client, server] : instance.client_server) {
+    EXPECT_EQ(std::count(instance.servers.begin(), instance.servers.end(), client), 0);
+    EXPECT_EQ(std::count(instance.servers.begin(), instance.servers.end(), server), 1);
+  }
+}
+
+TEST(HotSpotTest, TotalTrafficIncreases) {
+  const ClassedTraffic base = make_base();
+  Rng rng(11);
+  const ClassedTraffic out = apply_hot_spot(base, {}, rng);
+  EXPECT_GT(out.delay.total(), base.delay.total());
+  EXPECT_GT(out.throughput.total(), base.throughput.total());
+}
+
+TEST(HotSpotTest, Validation) {
+  const ClassedTraffic base = make_base();
+  Rng rng(12);
+  EXPECT_THROW(
+      apply_hot_spot(base, {HotSpotParams::Direction::kDownload, 0.0, 0.5, 2.0, 6.0}, rng),
+      std::invalid_argument);
+  EXPECT_THROW(
+      apply_hot_spot(base, {HotSpotParams::Direction::kDownload, 0.1, 0.5, 0.5, 6.0}, rng),
+      std::invalid_argument);
+  EXPECT_THROW(
+      apply_hot_spot(base, {HotSpotParams::Direction::kDownload, 0.1, 0.5, 6.0, 2.0}, rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dtr

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/presets.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace dtr {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(2);
+  std::vector<int> seen(5, 0);
+  for (int i = 0; i < 2000; ++i) ++seen[rng.uniform_int(0, 4)];
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(RngTest, UniformIntRejectsInvertedRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_int(6, 5), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIndexBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) EXPECT_LT(rng.uniform_index(7), 7u);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+TEST(RngTest, UniformRealInHalfOpenInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 50; ++i)
+    if (a.uniform_int(0, 1 << 20) != b.uniform_int(0, 1 << 20)) ++differences;
+  EXPECT_GT(differences, 40);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(9);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  // Children should have distinct streams from each other and the parent.
+  int same12 = 0;
+  for (int i = 0; i < 50; ++i)
+    if (child1.uniform_int(0, 1 << 20) == child2.uniform_int(0, 1 << 20)) ++same12;
+  EXPECT_LT(same12, 5);
+}
+
+TEST(RngTest, SplitDeterministicFromSeed) {
+  Rng a(77), b(77);
+  Rng ca = a.split(), cb = b.split();
+  EXPECT_EQ(ca.uniform_int(0, 1 << 30), cb.uniform_int(0, 1 << 30));
+}
+
+TEST(RngTest, NormalMeanApproximately) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, NormalZeroStddevReturnsMean) {
+  Rng rng(6);
+  EXPECT_EQ(rng.normal(3.5, 0.0), 3.5);
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng rng(8);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_FALSE(rng.chance(-0.5));
+  EXPECT_TRUE(rng.chance(1.5));
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(StatsTest, MeanBasics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, StddevKnownValue) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample stddev with n-1: variance = 32/7.
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, StddevDegenerate) {
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, LeftTailMeanTakesSmallestFraction) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  // Smallest 10% of 100 samples = {1..10}, mean 5.5.
+  EXPECT_DOUBLE_EQ(left_tail_mean(xs, 0.10), 5.5);
+}
+
+TEST(StatsTest, LeftTailMeanAtLeastOneSample) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  // floor(0.1*3)=0 -> clamped to 1 sample -> min element.
+  EXPECT_DOUBLE_EQ(left_tail_mean(xs, 0.10), 1.0);
+}
+
+TEST(StatsTest, LeftTailDoesNotMutateInput) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  auto copy = xs;
+  left_tail_mean(xs, 0.5);
+  EXPECT_EQ(xs, copy);
+}
+
+TEST(StatsTest, TopTailMeanTakesLargestFraction) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(top_tail_mean(xs, 0.10), 95.5);
+}
+
+TEST(StatsTest, TailFractionValidation) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW(left_tail_mean(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW(left_tail_mean(xs, 1.1), std::invalid_argument);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(StatsTest, QuantileValidation) {
+  EXPECT_THROW(quantile(std::vector<double>{1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(StatsTest, MaxValue) {
+  EXPECT_DOUBLE_EQ(max_value(std::vector<double>{1.0, 9.0, 3.0}), 9.0);
+  EXPECT_DOUBLE_EQ(max_value(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-12);
+}
+
+TEST(StatsTest, RunningStatsEmpty) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(TableTest, PrintsAlignedColumnsAndSeparator) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").num(1.5, 1);
+  t.row().cell("b").integer(42);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TableTest, MeanStdFormatting) {
+  Table t({"x"});
+  t.row().mean_std(1.234, 0.567, 2);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("1.23 (0.57)"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().cell("x").cell("y");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,y\n");
+}
+
+TEST(TableTest, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.row().cell("1");
+  t.row().cell("2");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+// ---------------------------------------------------------------- presets
+
+TEST(PresetsTest, EffortFromEnvDefaults) {
+  unsetenv("DTR_EFFORT");
+  EXPECT_EQ(effort_from_env(Effort::kQuick), Effort::kQuick);
+  EXPECT_EQ(effort_from_env(Effort::kSmoke), Effort::kSmoke);
+}
+
+TEST(PresetsTest, EffortFromEnvParses) {
+  setenv("DTR_EFFORT", "full", 1);
+  EXPECT_EQ(effort_from_env(Effort::kQuick), Effort::kFull);
+  setenv("DTR_EFFORT", "smoke", 1);
+  EXPECT_EQ(effort_from_env(Effort::kQuick), Effort::kSmoke);
+  setenv("DTR_EFFORT", "bogus", 1);
+  EXPECT_EQ(effort_from_env(Effort::kQuick), Effort::kQuick);
+  unsetenv("DTR_EFFORT");
+}
+
+TEST(PresetsTest, RepeatsFromEnv) {
+  unsetenv("DTR_REPEATS");
+  EXPECT_EQ(repeats_from_env(5), 5);
+  setenv("DTR_REPEATS", "3", 1);
+  EXPECT_EQ(repeats_from_env(5), 3);
+  setenv("DTR_REPEATS", "-2", 1);
+  EXPECT_EQ(repeats_from_env(5), 5);
+  unsetenv("DTR_REPEATS");
+}
+
+TEST(PresetsTest, SeedFromEnv) {
+  unsetenv("DTR_SEED");
+  EXPECT_EQ(seed_from_env(11ull), 11ull);
+  setenv("DTR_SEED", "123", 1);
+  EXPECT_EQ(seed_from_env(11ull), 123ull);
+  unsetenv("DTR_SEED");
+}
+
+TEST(PresetsTest, NodesFromEnv) {
+  unsetenv("DTR_NODES");
+  EXPECT_EQ(nodes_from_env(16), 16);
+  setenv("DTR_NODES", "30", 1);
+  EXPECT_EQ(nodes_from_env(16), 30);
+  setenv("DTR_NODES", "2", 1);  // below minimum -> fallback
+  EXPECT_EQ(nodes_from_env(16), 16);
+  unsetenv("DTR_NODES");
+}
+
+TEST(PresetsTest, ToString) {
+  EXPECT_EQ(to_string(Effort::kSmoke), "smoke");
+  EXPECT_EQ(to_string(Effort::kQuick), "quick");
+  EXPECT_EQ(to_string(Effort::kFull), "full");
+}
+
+}  // namespace
+}  // namespace dtr

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "experiments/workloads.h"
+#include "graph/connectivity.h"
+#include "graph/spf.h"
+
+namespace dtr::experiments {
+namespace {
+
+TEST(WorkloadsTest, LabelsAndNames) {
+  EXPECT_EQ(to_string(TopologyKind::kRand), "RandTopo");
+  EXPECT_EQ(to_string(TopologyKind::kIsp), "ISP");
+  WorkloadSpec spec;
+  spec.nodes = 30;
+  EXPECT_EQ(spec.label(), "RandTopo[30]");
+  spec.kind = TopologyKind::kIsp;
+  EXPECT_EQ(spec.label(), "ISP");
+}
+
+TEST(WorkloadsTest, MakeWorkloadIsDeterministic) {
+  WorkloadSpec spec;
+  spec.nodes = 12;
+  spec.degree = 4.0;
+  spec.seed = 5;
+  const Workload a = make_workload(spec);
+  const Workload b = make_workload(spec);
+  EXPECT_EQ(a.graph.num_links(), b.graph.num_links());
+  EXPECT_DOUBLE_EQ(a.traffic.delay.total(), b.traffic.delay.total());
+}
+
+TEST(WorkloadsTest, CalibratesDiameterToSla) {
+  for (TopologyKind kind : {TopologyKind::kRand, TopologyKind::kNear,
+                            TopologyKind::kPl, TopologyKind::kIsp}) {
+    WorkloadSpec spec;
+    spec.kind = kind;
+    spec.nodes = 12;
+    spec.degree = 4.0;
+    const Workload w = make_workload(spec);
+    EXPECT_NEAR(propagation_diameter_ms(w.graph), 0.85 * 25.0, 1e-6)
+        << to_string(kind);
+  }
+}
+
+TEST(WorkloadsTest, HitsUtilizationTarget) {
+  WorkloadSpec spec;
+  spec.nodes = 12;
+  spec.degree = 4.0;
+  spec.util = {UtilizationTarget::Kind::kMax, 0.74};
+  const Workload w = make_workload(spec);
+  const UtilizationSummary s =
+      min_hop_utilization(w.graph, w.traffic.combined());
+  EXPECT_NEAR(s.max, 0.74, 1e-9);
+}
+
+TEST(WorkloadsTest, DelayFractionApplied) {
+  WorkloadSpec spec;
+  spec.nodes = 10;
+  spec.degree = 4.0;
+  spec.delay_fraction = 0.30;
+  const Workload w = make_workload(spec);
+  const double total = w.traffic.delay.total() + w.traffic.throughput.total();
+  EXPECT_NEAR(w.traffic.delay.total() / total, 0.30, 1e-9);
+}
+
+TEST(WorkloadsTest, PaperTopologiesCoverAllFamilies) {
+  const auto specs = paper_topologies(Effort::kQuick, 1);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].kind, TopologyKind::kRand);
+  EXPECT_EQ(specs[1].kind, TopologyKind::kNear);
+  EXPECT_EQ(specs[2].kind, TopologyKind::kPl);
+  EXPECT_EQ(specs[3].kind, TopologyKind::kIsp);
+  for (const auto& spec : specs) {
+    const Workload w = make_workload(spec);
+    EXPECT_TRUE(is_two_edge_connected(w.graph)) << spec.label();
+  }
+}
+
+TEST(WorkloadsTest, FullEffortUsesPaperSizes) {
+  unsetenv("DTR_NODES");
+  EXPECT_EQ(paper_topologies(Effort::kFull, 1)[0].nodes, 30);
+  EXPECT_EQ(paper_topologies(Effort::kQuick, 1)[0].nodes, 16);
+  EXPECT_EQ(default_rand_spec(Effort::kFull, 1).degree, 6.0);
+}
+
+TEST(WorkloadsTest, NodesEnvOverride) {
+  setenv("DTR_NODES", "20", 1);
+  EXPECT_EQ(paper_topologies(Effort::kQuick, 1)[0].nodes, 20);
+  EXPECT_EQ(default_rand_spec(Effort::kQuick, 1).nodes, 20);
+  unsetenv("DTR_NODES");
+}
+
+TEST(WorkloadsTest, ContextFromEnvDefaults) {
+  unsetenv("DTR_EFFORT");
+  unsetenv("DTR_REPEATS");
+  unsetenv("DTR_SEED");
+  const BenchContext ctx = context_from_env();
+  EXPECT_EQ(ctx.effort, Effort::kQuick);
+  EXPECT_EQ(ctx.repeats, 3);
+  EXPECT_EQ(ctx.seed, 1u);
+}
+
+TEST(WorkloadsTest, PrintContextMentionsSettings) {
+  std::ostringstream os;
+  print_context(os, "my bench", {Effort::kSmoke, 2, 7});
+  EXPECT_NE(os.str().find("my bench"), std::string::npos);
+  EXPECT_NE(os.str().find("smoke"), std::string::npos);
+  EXPECT_NE(os.str().find("repeats=2"), std::string::npos);
+}
+
+TEST(WorkloadsTest, RunOptimizerAppliesTweak) {
+  WorkloadSpec spec;
+  spec.nodes = 8;
+  spec.degree = 4.0;
+  const Workload w = make_workload(spec);
+  const Evaluator ev(w.graph, w.traffic, w.params);
+  const OptimizeResult r = run_optimizer(
+      ev, Effort::kSmoke, 1,
+      [](OptimizerConfig& c) { c.selector = SelectorKind::kFullSearch; });
+  EXPECT_EQ(r.critical.size(), w.graph.num_links());
+}
+
+TEST(WorkloadsTest, LinkFailureProfileCoversAllLinks) {
+  WorkloadSpec spec;
+  spec.nodes = 8;
+  spec.degree = 4.0;
+  const Workload w = make_workload(spec);
+  const Evaluator ev(w.graph, w.traffic, w.params);
+  const WeightSetting weights(w.graph.num_links());
+  const FailureProfile p = link_failure_profile(ev, weights);
+  EXPECT_EQ(p.violations.size(), w.graph.num_links());
+}
+
+}  // namespace
+}  // namespace dtr::experiments
