@@ -11,8 +11,11 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <thread>
 
 #include "bench_common.h"
+#include "routing/failures.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -68,6 +71,51 @@ void BM_FullSearch(benchmark::State& state) {
   report_phases(state, last);
 }
 BENCHMARK(BM_FullSearch)->Unit(benchmark::kSecond)->Iterations(1);
+
+// ---------------------------------------------------------------------------
+// Parallel scenario-evaluation engine scaling (OptimizerConfig::num_threads).
+// Results are bit-identical across thread counts; only wall-clock changes.
+// Arg(1) = the seed's sequential path, Arg(0) = one worker per hardware
+// thread. On a >= 4-core machine the full failure sweep should scale ~linearly
+// until memory bandwidth saturates.
+// ---------------------------------------------------------------------------
+
+void BM_FailureSweepThreads(benchmark::State& state) {
+  const Evaluator& ev = *fixture().evaluator;
+  WeightSetting w(ev.graph().num_links());
+  Rng rng(seed_from_env(1));
+  randomize_weights(w, 30, rng);
+  const std::vector<FailureScenario> scenarios = all_link_failures(ev.graph());
+
+  const int num_threads = static_cast<int>(state.range(0));
+  ThreadPool pool(num_threads);
+  double checksum = 0.0;
+  for (auto _ : state) {
+    const auto results = ev.evaluate_failures(w, scenarios, &pool);
+    checksum += results.front().phi;
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.counters["links"] = static_cast<double>(ev.graph().num_links());
+  state.counters["workers"] = static_cast<double>(pool.num_workers());
+}
+BENCHMARK(BM_FailureSweepThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CriticalSearchThreads(benchmark::State& state) {
+  const Effort effort = effort_from_env(Effort::kQuick);
+  const int num_threads = static_cast<int>(state.range(0));
+  OptimizeResult last;
+  for (auto _ : state) {
+    last = run_optimizer(*fixture().evaluator, effort, seed_from_env(1),
+                         [&](OptimizerConfig& c) { c.num_threads = num_threads; });
+  }
+  report_phases(state, last);
+  state.counters["workers"] = static_cast<double>(
+      num_threads == 0 ? std::thread::hardware_concurrency() : num_threads);
+}
+BENCHMARK(BM_CriticalSearchThreads)->Arg(1)->Arg(0)->Unit(benchmark::kSecond)
+    ->Iterations(1);
 
 }  // namespace
 

@@ -4,10 +4,20 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace dtr {
+
+std::string to_string(SamplingMode m) {
+  switch (m) {
+    case SamplingMode::kEmulatedWeights: return "emulated-weights";
+    case SamplingMode::kExactFailure: return "exact-failure";
+  }
+  return "?";
+}
 
 CriticalityCollector::CriticalityCollector(std::size_t num_links, int wmax, double b1,
                                            const CriticalityParams& params,
@@ -119,6 +129,76 @@ CriticalityEstimates CriticalityCollector::estimates() const {
 
 bool CriticalityCollector::converged() const {
   return lambda_tracker_.converged() && phi_tracker_.converged();
+}
+
+std::size_t CriticalityCollector::samples_until_next_rank_update() const {
+  return next_rank_update_at_ > total_samples_ ? next_rank_update_at_ - total_samples_
+                                               : 1;
+}
+
+long top_up_criticality_samples(const Evaluator& evaluator,
+                                CriticalityCollector& collector,
+                                std::span<const AcceptableStore::Entry* const> entries,
+                                SamplingMode mode, int wmax, long budget, Rng& rng,
+                                ThreadPool* pool) {
+  if (entries.empty())
+    throw std::invalid_argument("top_up_criticality_samples: empty entry pool");
+
+  long generated = 0;
+  const int floor = collector.emulation_weight_floor();
+
+  // One pending sample: the link it belongs to plus the evaluation job that
+  // produces its cost. Emulated mode evaluates a perturbed copy of the drawn
+  // setting under normal conditions; exact mode evaluates the drawn setting
+  // under the true failure of the link.
+  struct PendingSample {
+    LinkId link;
+    WeightSetting perturbed;  // emulated mode only
+  };
+  std::vector<PendingSample> pending;
+  std::vector<EvalJob> jobs;
+
+  while (!collector.converged() && generated < budget) {
+    const std::vector<LinkId> order = collector.links_by_sample_need();
+    std::size_t pos = 0;
+    while (pos < order.size()) {
+      if (collector.converged() || generated >= budget) break;
+
+      // Batch at most up to the next rank refresh: convergence cannot change
+      // mid-batch, so drawing/evaluating these jobs ahead of time replays the
+      // sequential loop exactly.
+      const std::size_t batch =
+          std::min({order.size() - pos, static_cast<std::size_t>(budget - generated),
+                    collector.samples_until_next_rank_update()});
+      pending.clear();
+      jobs.clear();
+      for (std::size_t i = 0; i < batch; ++i) {
+        const LinkId link = order[pos + i];
+        const AcceptableStore::Entry& entry = *entries[rng.uniform_index(entries.size())];
+        if (mode == SamplingMode::kEmulatedWeights) {
+          WeightSetting w = entry.setting;
+          w.set(TrafficClass::kDelay, link, rng.uniform_int(floor, wmax));
+          w.set(TrafficClass::kThroughput, link, rng.uniform_int(floor, wmax));
+          pending.push_back({link, std::move(w)});
+        } else {
+          pending.push_back({link, WeightSetting()});
+          jobs.push_back({&entry.setting, FailureScenario::link(link)});
+        }
+      }
+      if (mode == SamplingMode::kEmulatedWeights) {
+        for (const PendingSample& p : pending)
+          jobs.push_back({&p.perturbed, FailureScenario::none()});
+      }
+
+      const std::vector<CostPair> costs = evaluator.evaluate_costs(jobs, pool);
+      for (std::size_t i = 0; i < batch; ++i) {
+        collector.add_sample(pending[i].link, costs[i]);
+        ++generated;
+      }
+      pos += batch;
+    }
+  }
+  return generated;
 }
 
 }  // namespace dtr

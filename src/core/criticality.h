@@ -1,16 +1,38 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "core/acceptable_store.h"
 #include "core/local_search.h"
 #include "core/rank_convergence.h"
 #include "cost/cost_types.h"
 #include "graph/graph.h"
+#include "routing/evaluator.h"
 #include "util/rng.h"
 
 namespace dtr {
+
+class ThreadPool;
+
+/// How post-failure cost samples are generated for criticality estimation.
+enum class SamplingMode : std::uint8_t {
+  /// The paper's literal scheme: piggyback on Phase 1a weight perturbations
+  /// that land both weights in [q*wmax, wmax] (failure emulation); Phase 1b
+  /// tops up with the same kind of perturbations until the ranking converges.
+  /// Fidelity depends on wmax dominating typical path costs.
+  kEmulatedWeights,
+  /// Default: same trigger points, but the recorded sample evaluates the
+  /// TRUE link failure (the paper motivates emulation as approximating an
+  /// "infinite weight"; this removes the approximation for one extra
+  /// evaluation per trigger). bench_selector_ablation compares both.
+  kExactFailure,
+};
+
+std::string to_string(SamplingMode m);
 
 /// Parameters of the criticality estimation pipeline (Sec. IV-D1).
 struct CriticalityParams {
@@ -82,6 +104,10 @@ class CriticalityCollector {
   /// True once both classes' rank orders have stabilized (S <= e for both,
   /// with at least two tau-spaced updates).
   bool converged() const;
+  /// Samples that can still be added before the next rank-list refresh (the
+  /// only event that can change `converged()`). Phase 1b batches up to this
+  /// many evaluations in parallel without altering the sequential semantics.
+  std::size_t samples_until_next_rank_update() const;
   double last_lambda_index() const { return lambda_tracker_.last_index(); }
   double last_phi_index() const { return phi_tracker_.last_index(); }
   std::size_t rank_updates() const { return lambda_tracker_.updates(); }
@@ -110,5 +136,21 @@ class CriticalityCollector {
   RankTracker phi_tracker_;
   Rng rng_;
 };
+
+/// Phase 1b top-up sampling (Fig. 1): draws acceptable settings from
+/// `entries`, generates failure(-like) cost samples for the least-sampled
+/// links, and feeds the collector until the criticality ranking converges or
+/// `budget` samples were generated. Returns the number generated.
+///
+/// The evaluation of each batch runs on `pool` (nullptr = sequential), but
+/// the result stream is bit-identical for any worker count: jobs are drawn
+/// from `rng` in exactly the order the sequential loop would draw them, and
+/// a batch never crosses a rank-update boundary — the only point where
+/// `collector.converged()` can flip.
+long top_up_criticality_samples(const Evaluator& evaluator,
+                                CriticalityCollector& collector,
+                                std::span<const AcceptableStore::Entry* const> entries,
+                                SamplingMode mode, int wmax, long budget, Rng& rng,
+                                ThreadPool* pool = nullptr);
 
 }  // namespace dtr

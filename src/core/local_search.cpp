@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
 
 namespace dtr {
 
@@ -61,44 +64,97 @@ LocalSearch::Result LocalSearch::run(SearchObjective& objective,
   int idle_iterations = 0;   // iterations since the global best last improved
   CostPair best_at_div_start = result.best_cost;
 
+  // Speculative scoring state: up to `speculation` probes are evaluated
+  // concurrently under the assumption that none is accepted; an accept
+  // invalidates (and re-scores) the batch tail. All buffers are reused
+  // across batches so the hot loop stays allocation-free.
+  const std::size_t speculation = ThreadPool::workers_of(config_.pool);
+  std::vector<int> probe_delay(num_links);
+  std::vector<int> probe_tput(num_links);
+  std::vector<std::size_t> evaluable;
+  evaluable.reserve(num_links);
+  std::vector<WeightSetting> candidates(speculation);
+  std::vector<std::optional<CostPair>> probe_costs(speculation);
+
   while (stalled_divs < config_.phase.stall_diversifications &&
          completed_divs < max_divs && result.iterations < max_iterations) {
     ++result.iterations;
     std::shuffle(visit_order.begin(), visit_order.end(), rng.engine());
     const CostPair best_at_iteration_start = result.best_cost;
 
-    for (LinkId link : visit_order) {
-      const int old_delay = current.get(TrafficClass::kDelay, link);
-      const int old_tput = current.get(TrafficClass::kThroughput, link);
-      const int new_delay = rng.uniform_int(1, config_.wmax);
-      const int new_tput = rng.uniform_int(1, config_.wmax);
-      if (new_delay == old_delay && new_tput == old_tput) continue;
+    // Pre-draw both weights for every link in visit order. The sequential
+    // loop draws them per link regardless of acceptance, so this consumes
+    // the RNG stream identically.
+    for (std::size_t p = 0; p < num_links; ++p) {
+      probe_delay[p] = rng.uniform_int(1, config_.wmax);
+      probe_tput[p] = rng.uniform_int(1, config_.wmax);
+    }
 
-      current.set(TrafficClass::kDelay, link, new_delay);
-      current.set(TrafficClass::kThroughput, link, new_tput);
-      const auto candidate_cost = objective.evaluate(current, &current_cost);
-      ++result.evaluations;
+    // Positions whose probe actually changes the setting. Each link is
+    // visited once per iteration and rejected probes are restored, so a
+    // probe's no-op status cannot change mid-iteration.
+    evaluable.clear();
+    for (std::size_t p = 0; p < num_links; ++p) {
+      const LinkId link = visit_order[p];
+      if (probe_delay[p] != current.get(TrafficClass::kDelay, link) ||
+          probe_tput[p] != current.get(TrafficClass::kThroughput, link))
+        evaluable.push_back(p);
+    }
 
-      const bool accepted =
-          candidate_cost.has_value() && order.less(*candidate_cost, current_cost);
-
-      if (observer_) {
-        observer_({link, new_delay, new_tput, current_cost, result.best_cost,
-                   candidate_cost, accepted, &current});
+    std::size_t next = 0;
+    while (next < evaluable.size()) {
+      const std::size_t batch = std::min(speculation, evaluable.size() - next);
+      for (std::size_t i = 0; i < batch; ++i) {
+        const std::size_t p = evaluable[next + i];
+        candidates[i] = current;
+        candidates[i].set(TrafficClass::kDelay, visit_order[p], probe_delay[p]);
+        candidates[i].set(TrafficClass::kThroughput, visit_order[p], probe_tput[p]);
+      }
+      if (batch == 1) {
+        probe_costs[0] = objective.evaluate(candidates[0], &current_cost);
+      } else {
+        parallel_for(config_.pool, batch, [&](std::size_t, std::size_t i) {
+          probe_costs[i] = objective.evaluate(candidates[i], &current_cost);
+        });
       }
 
-      if (accepted) {
-        current_cost = *candidate_cost;
-        ++result.accepted_moves;
-        if (on_accept_) on_accept_(current, current_cost);
-        if (order.less(current_cost, result.best_cost)) {
-          result.best = current;
-          result.best_cost = current_cost;
+      // Commit in probe order; stop at the first accept — later speculative
+      // results were scored against a stale setting and are re-scored in the
+      // next batch.
+      std::size_t consumed = batch;
+      for (std::size_t i = 0; i < batch; ++i) {
+        const std::size_t p = evaluable[next + i];
+        const LinkId link = visit_order[p];
+        const int old_delay = current.get(TrafficClass::kDelay, link);
+        const int old_tput = current.get(TrafficClass::kThroughput, link);
+        current.set(TrafficClass::kDelay, link, probe_delay[p]);
+        current.set(TrafficClass::kThroughput, link, probe_tput[p]);
+        const std::optional<CostPair>& candidate_cost = probe_costs[i];
+        ++result.evaluations;
+
+        const bool accepted =
+            candidate_cost.has_value() && order.less(*candidate_cost, current_cost);
+
+        if (observer_) {
+          observer_({link, probe_delay[p], probe_tput[p], current_cost, result.best_cost,
+                     candidate_cost, accepted, &current});
         }
-      } else {
+
+        if (accepted) {
+          current_cost = *candidate_cost;
+          ++result.accepted_moves;
+          if (on_accept_) on_accept_(current, current_cost);
+          if (order.less(current_cost, result.best_cost)) {
+            result.best = current;
+            result.best_cost = current_cost;
+          }
+          consumed = i + 1;
+          break;
+        }
         current.set(TrafficClass::kDelay, link, old_delay);
         current.set(TrafficClass::kThroughput, link, old_tput);
       }
+      next += consumed;
     }
 
     // Only MEANINGFUL global-best progress (the c% criterion) resets the

@@ -9,6 +9,8 @@
 
 namespace dtr {
 
+class ThreadPool;
+
 /// Stopping/diversification parameters for one search phase (Sec. IV-A).
 struct PhaseParams {
   /// Iterations without improvement before restarting from a fresh setting
@@ -71,6 +73,16 @@ class LocalSearch {
     PhaseParams phase;
     int wmax = 100;
     std::uint64_t seed = 1;
+    /// Optional worker pool for speculative candidate scoring: the next
+    /// `pool->num_workers()` probes are evaluated concurrently under the
+    /// assumption that none is accepted; on an accept the stale tail is
+    /// discarded and re-scored. Acceptance decisions, observer events and the
+    /// RNG stream are bit-identical to the sequential search for any worker
+    /// count — accepts are rare in descent, so most speculation pays off.
+    /// Requires `objective.evaluate` to be safe to call concurrently
+    /// (observers and accept hooks still run on the calling thread, in
+    /// order). nullptr = sequential.
+    ThreadPool* pool = nullptr;
   };
 
   struct Result {

@@ -2,9 +2,11 @@
 
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "core/baseline_selectors.h"
+#include "util/thread_pool.h"
 
 namespace dtr {
 
@@ -35,12 +37,14 @@ class NormalObjective final : public SearchObjective {
 class RobustObjective final : public SearchObjective {
  public:
   RobustObjective(const Evaluator& evaluator, std::vector<FailureScenario> scenarios,
-                  std::vector<double> scenario_weights, CostPair star, double chi)
+                  std::vector<double> scenario_weights, CostPair star, double chi,
+                  ThreadPool* pool)
       : evaluator_(evaluator),
         scenarios_(std::move(scenarios)),
         scenario_weights_(std::move(scenario_weights)),
         star_(star),
-        chi_(chi) {}
+        chi_(chi),
+        pool_(pool) {}
 
   std::optional<CostPair> evaluate(const WeightSetting& w,
                                    const CostPair* incumbent) override {
@@ -49,7 +53,7 @@ class RobustObjective final : public SearchObjective {
     if (!order.values_equal(normal.lambda, star_.lambda)) return std::nullopt;  // Eq. (5)
     if (normal.phi > (1.0 + chi_) * star_.phi + order.abs_tol()) return std::nullopt;  // Eq. (6)
     const SweepResult sweep =
-        evaluator_.sweep(w, scenarios_, incumbent, scenario_weights_);
+        evaluator_.sweep(w, scenarios_, incumbent, scenario_weights_, pool_);
     scenario_evaluations_ += static_cast<long>(sweep.scenarios_evaluated);
     return sweep.cost();
   }
@@ -62,18 +66,11 @@ class RobustObjective final : public SearchObjective {
   std::vector<double> scenario_weights_;
   CostPair star_;
   double chi_;
+  ThreadPool* pool_;
   long scenario_evaluations_ = 0;
 };
 
 }  // namespace
-
-std::string to_string(SamplingMode m) {
-  switch (m) {
-    case SamplingMode::kEmulatedWeights: return "emulated-weights";
-    case SamplingMode::kExactFailure: return "exact-failure";
-  }
-  return "?";
-}
 
 std::string to_string(SelectorKind k) {
   switch (k) {
@@ -137,6 +134,17 @@ OptimizeResult RobustOptimizer::optimize() {
   const std::size_t num_links = graph.num_links();
   Rng rng(config_.seed);
 
+  // Failure-scenario evaluation pool. num_threads == 1 keeps everything on
+  // the calling thread (the seed's sequential path); the engine is
+  // deterministic, so any other value changes wall-clock time only.
+  if (config_.num_threads < 0)
+    throw std::invalid_argument("RobustOptimizer: negative num_threads");
+  std::unique_ptr<ThreadPool> pool;
+  if (config_.num_threads != 1) {
+    pool = std::make_unique<ThreadPool>(config_.num_threads);
+    if (pool->num_workers() <= 1) pool.reset();
+  }
+
   OptimizeResult result;
 
   // ---------------- Phase 1: regular optimization (Eq. 3) -----------------
@@ -150,7 +158,9 @@ OptimizeResult RobustOptimizer::optimize() {
       config_.selector == SelectorKind::kDistributionGap ||
       config_.selector == SelectorKind::kThresholdCrossing;
 
-  LocalSearch phase1_search({config_.phase1, config_.wmax, rng.split().seed()});
+  // Phase 1a probes score under NormalObjective, which is stateless and
+  // therefore safe for LocalSearch's speculative parallel scoring.
+  LocalSearch phase1_search({config_.phase1, config_.wmax, rng.split().seed(), pool.get()});
   if (selector_needs_samples) {
     if (config_.sampling_mode == SamplingMode::kEmulatedWeights) {
       // Paper-literal: the failure-emulating perturbation's own cost is the
@@ -198,34 +208,18 @@ OptimizeResult RobustOptimizer::optimize() {
     // Samples must stay conditioned on acceptable routings: build the pool of
     // acceptable stored settings once. The Phase 1 incumbent is acceptable by
     // definition, so the pool is never empty.
-    std::vector<const AcceptableStore::Entry*> pool;
+    std::vector<const AcceptableStore::Entry*> entry_pool;
     const AcceptableStore::Entry incumbent{result.regular, result.regular_cost};
-    pool.push_back(&incumbent);
+    entry_pool.push_back(&incumbent);
     for (std::size_t i = 0; i < store.size(); ++i) {
       const AcceptableStore::Entry& entry = store.entry(i);
       if (collector.cost_acceptable(entry.cost, result.regular_cost))
-        pool.push_back(&entry);
+        entry_pool.push_back(&entry);
     }
 
-    long generated = 0;
-    const int floor = collector.emulation_weight_floor();
-    while (!collector.converged() && generated < budget) {
-      for (LinkId link : collector.links_by_sample_need()) {
-        if (collector.converged() || generated >= budget) break;
-        const AcceptableStore::Entry& entry = *pool[rng.uniform_index(pool.size())];
-        CostPair sample;
-        if (config_.sampling_mode == SamplingMode::kEmulatedWeights) {
-          WeightSetting w = entry.setting;
-          w.set(TrafficClass::kDelay, link, rng.uniform_int(floor, config_.wmax));
-          w.set(TrafficClass::kThroughput, link, rng.uniform_int(floor, config_.wmax));
-          sample = evaluator_.evaluate(w).cost();
-        } else {
-          sample = evaluator_.evaluate(entry.setting, FailureScenario::link(link)).cost();
-        }
-        collector.add_sample(link, sample);
-        ++generated;
-      }
-    }
+    const long generated = top_up_criticality_samples(
+        evaluator_, collector, entry_pool, config_.sampling_mode, config_.wmax, budget,
+        rng, pool.get());
     result.phase1b_samples = static_cast<std::size_t>(generated);
     result.criticality_converged = collector.converged();
     result.estimates = collector.estimates();
@@ -279,8 +273,10 @@ OptimizeResult RobustOptimizer::optimize() {
       scenario_weights.push_back(config_.link_failure_probabilities.at(l));
   }
 
+  // Phase 2 parallelism lives inside the critical-scenario sweep (RobustObjective
+  // is stateful, so its candidates are scored one at a time).
   RobustObjective robust_objective(evaluator_, scenarios, scenario_weights,
-                                   result.regular_cost, config_.chi);
+                                   result.regular_cost, config_.chi, pool.get());
 
   const auto feasible =
       store.feasible_entries(result.regular_cost.lambda, result.regular_cost.phi,

@@ -12,20 +12,6 @@
 
 namespace dtr {
 
-/// How post-failure cost samples are generated for criticality estimation.
-enum class SamplingMode : std::uint8_t {
-  /// The paper's literal scheme: piggyback on Phase 1a weight perturbations
-  /// that land both weights in [q*wmax, wmax] (failure emulation); Phase 1b
-  /// tops up with the same kind of perturbations until the ranking converges.
-  /// Fidelity depends on wmax dominating typical path costs.
-  kEmulatedWeights,
-  /// Default: same trigger points, but the recorded sample evaluates the
-  /// TRUE link failure (the paper motivates emulation as approximating an
-  /// "infinite weight"; this removes the approximation for one extra
-  /// evaluation per trigger). bench_selector_ablation compares both.
-  kExactFailure,
-};
-
 /// Which critical-link selector drives Phase 2 (Sec. IV-C comparison).
 enum class SelectorKind : std::uint8_t {
   kDistributionGap,    ///< this paper: mean minus left-tail mean + Algorithm 1
@@ -35,7 +21,6 @@ enum class SelectorKind : std::uint8_t {
   kFullSearch,         ///< Ec = E (brute force reference)
 };
 
-std::string to_string(SamplingMode m);
 std::string to_string(SelectorKind k);
 
 struct OptimizerConfig {
@@ -56,6 +41,13 @@ struct OptimizerConfig {
   long max_phase1b_samples = 0;
   SamplingMode sampling_mode = SamplingMode::kExactFailure;
   SelectorKind selector = SelectorKind::kDistributionGap;
+  /// Failure-scenario evaluation parallelism: 0 = one worker per hardware
+  /// thread, 1 = strictly sequential (the seed behavior), N = N workers.
+  /// The engine is deterministic — results are bit-identical for ANY value;
+  /// only wall-clock time changes. Parallelism covers Phase 1a candidate
+  /// scoring (speculative probes), Phase 1b sampling batches, and the
+  /// Phase 2 critical-scenario sweeps.
+  int num_threads = 1;
   /// Probabilistic failure model (the extension sketched in the paper's
   /// conclusion). When non-empty (one weight per physical link, >= 0),
   /// Phase 2 minimizes the failure-probability-weighted compound cost

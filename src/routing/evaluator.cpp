@@ -1,9 +1,11 @@
 #include "routing/evaluator.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "cost/fortz.h"
 #include "graph/spf.h"
+#include "util/thread_pool.h"
 
 namespace dtr {
 
@@ -27,27 +29,41 @@ Evaluator::Evaluator(const Graph& g, const ClassedTraffic& traffic, EvalParams p
   delay_pairs_ = traffic_.delay.num_positive_demands();
 }
 
+Evaluator::Scratch& Evaluator::worker_scratch() {
+  thread_local Scratch scratch;
+  return scratch;
+}
+
 EvalResult Evaluator::evaluate(const WeightSetting& w, const FailureScenario& scenario,
                                EvalDetail detail) const {
   if (w.num_links() != graph_.num_links())
     throw std::invalid_argument("Evaluator::evaluate: weight setting size mismatch");
 
-  std::vector<std::uint8_t> mask;
-  build_alive_mask(graph_, scenario, mask);
+  Scratch& scratch = worker_scratch();
+  w.arc_costs(graph_, TrafficClass::kDelay, scratch.cost_delay);
+  w.arc_costs(graph_, TrafficClass::kThroughput, scratch.cost_tput);
+  return evaluate_impl(scratch.cost_delay, scratch.cost_tput, scenario, detail, scratch);
+}
+
+EvalResult Evaluator::evaluate_impl(std::span<const double> cost_delay,
+                                    std::span<const double> cost_tput,
+                                    const FailureScenario& scenario, EvalDetail detail,
+                                    Scratch& s) const {
+  build_alive_mask(graph_, scenario, s.mask);
   const NodeId skip = skipped_node(scenario);
 
-  std::vector<double> cost_delay, cost_tput;
-  w.arc_costs(graph_, TrafficClass::kDelay, cost_delay);
-  w.arc_costs(graph_, TrafficClass::kThroughput, cost_tput);
-
-  const ClassRouting delay_routing(graph_, cost_delay, traffic_.delay, mask, skip);
-  const ClassRouting tput_routing(graph_, cost_tput, traffic_.throughput, mask, skip);
+  s.delay_routing.compute(graph_, cost_delay, traffic_.delay, s.mask, skip);
+  s.tput_routing.compute(graph_, cost_tput, traffic_.throughput, s.mask, skip);
+  const ClassRouting& delay_routing = s.delay_routing;
+  const ClassRouting& tput_routing = s.tput_routing;
 
   // Total load and per-arc delay (classes share FIFO queues: D_a depends on
   // the SUM of both classes' loads).
   const std::size_t num_arcs = graph_.num_arcs();
-  std::vector<double> total_load(num_arcs);
-  std::vector<double> arc_delay(num_arcs);
+  s.total_load.resize(num_arcs);
+  s.arc_delay.resize(num_arcs);
+  std::vector<double>& total_load = s.total_load;
+  std::vector<double>& arc_delay = s.arc_delay;
   for (ArcId a = 0; a < num_arcs; ++a) {
     total_load[a] = delay_routing.arc_load(a) + tput_routing.arc_load(a);
     const Arc& arc = graph_.arc(a);
@@ -58,8 +74,8 @@ EvalResult Evaluator::evaluate(const WeightSetting& w, const FailureScenario& sc
   EvalResult result;
 
   // Lambda: SLA cost over delay-class SD pairs.
-  std::vector<double> sd_delay;
-  delay_routing.end_to_end_delays(graph_, cost_delay, mask, arc_delay, traffic_.delay,
+  std::vector<double>& sd_delay = s.sd_delay;
+  delay_routing.end_to_end_delays(graph_, cost_delay, s.mask, arc_delay, traffic_.delay,
                                   params_.sla_delay_mode, skip, sd_delay);
   const double disconnect_delay =
       params_.sla.theta_ms + params_.disconnect_delay_excess_ms;
@@ -81,32 +97,71 @@ EvalResult Evaluator::evaluate(const WeightSetting& w, const FailureScenario& sc
   result.disconnected_tput_pairs = tput_routing.disconnected_demand_count();
 
   if (detail == EvalDetail::kFull) {
-    result.arc_total_load = std::move(total_load);
+    result.arc_total_load = total_load;
     result.arc_utilization.resize(num_arcs);
     result.carries_delay_traffic.resize(num_arcs);
     for (ArcId a = 0; a < num_arcs; ++a) {
       result.arc_utilization[a] = result.arc_total_load[a] / graph_.arc(a).capacity;
       result.carries_delay_traffic[a] = delay_routing.arc_load(a) > 0.0 ? 1 : 0;
     }
-    result.sd_delay_ms = std::move(sd_delay);
+    result.sd_delay_ms = sd_delay;
   }
   return result;
+}
+
+std::vector<EvalResult> Evaluator::evaluate_failures(
+    const WeightSetting& w, std::span<const FailureScenario> scenarios, ThreadPool* pool,
+    EvalDetail detail) const {
+  if (w.num_links() != graph_.num_links())
+    throw std::invalid_argument("Evaluator::evaluate_failures: weight setting size mismatch");
+
+  // Arc costs depend only on the weights: expand once, share across scenarios.
+  std::vector<double> cost_delay, cost_tput;
+  w.arc_costs(graph_, TrafficClass::kDelay, cost_delay);
+  w.arc_costs(graph_, TrafficClass::kThroughput, cost_tput);
+
+  std::vector<EvalResult> out(scenarios.size());
+  parallel_for(pool, scenarios.size(), [&](std::size_t, std::size_t i) {
+    out[i] = evaluate_impl(cost_delay, cost_tput, scenarios[i], detail, worker_scratch());
+  });
+  return out;
+}
+
+std::vector<CostPair> Evaluator::evaluate_costs(std::span<const EvalJob> jobs,
+                                                ThreadPool* pool) const {
+  for (const EvalJob& job : jobs) {
+    if (job.weights == nullptr || job.weights->num_links() != graph_.num_links())
+      throw std::invalid_argument("Evaluator::evaluate_costs: bad job weights");
+  }
+  std::vector<CostPair> out(jobs.size());
+  parallel_for(pool, jobs.size(), [&](std::size_t, std::size_t i) {
+    Scratch& s = worker_scratch();
+    jobs[i].weights->arc_costs(graph_, TrafficClass::kDelay, s.cost_delay);
+    jobs[i].weights->arc_costs(graph_, TrafficClass::kThroughput, s.cost_tput);
+    out[i] = evaluate_impl(s.cost_delay, s.cost_tput, jobs[i].scenario,
+                           EvalDetail::kCostsOnly, s)
+                 .cost();
+  });
+  return out;
 }
 
 SweepResult Evaluator::sweep(const WeightSetting& w,
                              std::span<const FailureScenario> scenarios,
                              const CostPair* abort_bound,
-                             std::span<const double> scenario_weights) const {
+                             std::span<const double> scenario_weights,
+                             ThreadPool* pool) const {
   if (!scenario_weights.empty() && scenario_weights.size() != scenarios.size())
     throw std::invalid_argument("Evaluator::sweep: scenario_weights size mismatch");
+
   SweepResult sum;
   const LexicographicOrder order;
-  for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    const double weight = scenario_weights.empty() ? 1.0 : scenario_weights[i];
-    if (weight < 0.0) throw std::invalid_argument("Evaluator::sweep: negative weight");
-    const EvalResult r = evaluate(w, scenarios[i], EvalDetail::kCostsOnly);
-    sum.lambda += weight * r.lambda;
-    sum.phi += weight * r.phi;
+
+  // Accumulates scenario i's (already weighted) costs in order and applies
+  // the abort bound; returns true to stop. Shared by both paths so the
+  // parallel sweep is term-for-term identical to the sequential one.
+  auto accumulate = [&](double lambda, double phi) -> bool {
+    sum.lambda += lambda;
+    sum.phi += phi;
     ++sum.scenarios_evaluated;
     if (abort_bound != nullptr) {
       // Partial sums only grow, so once they are lexicographically worse than
@@ -118,8 +173,47 @@ SweepResult Evaluator::sweep(const WeightSetting& w,
           sum.phi > abort_bound->phi && !order.values_equal(sum.phi, abort_bound->phi);
       if (lambda_worse || phi_worse_at_equal_lambda) {
         sum.aborted = true;
-        return sum;
+        return true;
       }
+    }
+    return false;
+  };
+
+  if (w.num_links() != graph_.num_links())
+    throw std::invalid_argument("Evaluator::sweep: weight setting size mismatch");
+
+  // Arc costs depend only on the weights: expand once, share across the sweep.
+  std::vector<double> cost_delay, cost_tput;
+  w.arc_costs(graph_, TrafficClass::kDelay, cost_delay);
+  w.arc_costs(graph_, TrafficClass::kThroughput, cost_tput);
+
+  if (pool == nullptr || pool->num_workers() <= 1 || scenarios.size() <= 1) {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      const double weight = scenario_weights.empty() ? 1.0 : scenario_weights[i];
+      if (weight < 0.0) throw std::invalid_argument("Evaluator::sweep: negative weight");
+      const CostPair r = evaluate_impl(cost_delay, cost_tput, scenarios[i],
+                                       EvalDetail::kCostsOnly, worker_scratch())
+                             .cost();
+      if (accumulate(weight * r.lambda, weight * r.phi)) return sum;
+    }
+    return sum;
+  }
+
+  const std::size_t workers = pool->num_workers();
+  std::vector<CostPair> chunk(workers);
+  for (std::size_t begin = 0; begin < scenarios.size(); begin += workers) {
+    const std::size_t count = std::min(workers, scenarios.size() - begin);
+    parallel_for(pool, count, [&](std::size_t, std::size_t i) {
+      chunk[i] = evaluate_impl(cost_delay, cost_tput, scenarios[begin + i],
+                               EvalDetail::kCostsOnly, worker_scratch())
+                     .cost();
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      // Validated here, not upfront, so an invalid weight past an abort point
+      // behaves exactly like the sequential path (abort wins over throw).
+      const double weight = scenario_weights.empty() ? 1.0 : scenario_weights[begin + i];
+      if (weight < 0.0) throw std::invalid_argument("Evaluator::sweep: negative weight");
+      if (accumulate(weight * chunk[i].lambda, weight * chunk[i].phi)) return sum;
     }
   }
   return sum;
@@ -127,11 +221,8 @@ SweepResult Evaluator::sweep(const WeightSetting& w,
 
 std::vector<EvalResult> Evaluator::sweep_detailed(
     const WeightSetting& w, std::span<const FailureScenario> scenarios,
-    EvalDetail detail) const {
-  std::vector<EvalResult> out;
-  out.reserve(scenarios.size());
-  for (const FailureScenario& s : scenarios) out.push_back(evaluate(w, s, detail));
-  return out;
+    EvalDetail detail, ThreadPool* pool) const {
+  return evaluate_failures(w, scenarios, pool, detail);
 }
 
 }  // namespace dtr

@@ -15,6 +15,8 @@
 
 namespace dtr {
 
+class ThreadPool;
+
 /// Cost-model parameters shared by every evaluation (Sec. III / V-A3).
 struct EvalParams {
   DelayModelParams delay_model;
@@ -47,6 +49,13 @@ struct EvalResult {
   std::vector<std::uint8_t> carries_delay_traffic;
 
   CostPair cost() const { return {lambda, phi}; }
+};
+
+/// One unit of batched evaluation work: a weight setting under a failure
+/// scenario. `weights` must outlive the batch call.
+struct EvalJob {
+  const WeightSetting* weights = nullptr;
+  FailureScenario scenario = FailureScenario::none();
 };
 
 /// Aggregate over a scenario set (the Kfail sums of Eqs. (4)/(7)).
@@ -89,14 +98,39 @@ class Evaluator {
   /// (the extension sketched in the paper's conclusion): each scenario's
   /// contribution is multiplied by its weight. Early abort stays sound since
   /// weighted terms remain non-negative.
+  ///
+  /// When `pool` is given (and has > 1 worker), scenarios are evaluated in
+  /// parallel chunks while sums accumulate in scenario order with the abort
+  /// bound checked after every term — so the returned SweepResult (sums,
+  /// aborted flag AND scenarios_evaluated) is bit-identical to the
+  /// sequential sweep for any worker count; parallelism only costs up to one
+  /// chunk of wasted evaluations past an abort point.
   SweepResult sweep(const WeightSetting& w, std::span<const FailureScenario> scenarios,
                     const CostPair* abort_bound = nullptr,
-                    std::span<const double> scenario_weights = {}) const;
+                    std::span<const double> scenario_weights = {},
+                    ThreadPool* pool = nullptr) const;
 
   /// Per-scenario results (for the per-failure figures / metrics).
   std::vector<EvalResult> sweep_detailed(const WeightSetting& w,
                                          std::span<const FailureScenario> scenarios,
-                                         EvalDetail detail = EvalDetail::kCostsOnly) const;
+                                         EvalDetail detail = EvalDetail::kCostsOnly,
+                                         ThreadPool* pool = nullptr) const;
+
+  /// Batch failure-scenario evaluation: one EvalResult per scenario, all for
+  /// the same weight setting. Arc costs are expanded once and shared across
+  /// scenarios; each pool worker reuses its own SPF/routing scratch buffers.
+  /// Results are bit-identical for any worker count (each scenario is an
+  /// independent pure evaluation written to its own output slot).
+  std::vector<EvalResult> evaluate_failures(const WeightSetting& w,
+                                            std::span<const FailureScenario> scenarios,
+                                            ThreadPool* pool = nullptr,
+                                            EvalDetail detail = EvalDetail::kCostsOnly) const;
+
+  /// Batch cost evaluation over heterogeneous (weights, scenario) jobs — the
+  /// Phase 1b sampling workload. Same determinism contract as
+  /// `evaluate_failures`.
+  std::vector<CostPair> evaluate_costs(std::span<const EvalJob> jobs,
+                                       ThreadPool* pool = nullptr) const;
 
   /// Uncapacitated min-hop reference cost: sum over demands of
   /// volume * hopcount. Figures report Phi / phi_uncap() (Fortz's Phi*
@@ -107,6 +141,29 @@ class Evaluator {
   std::size_t delay_demand_pairs() const { return delay_pairs_; }
 
  private:
+  /// Reusable per-evaluation buffers. One instance per worker thread; reusing
+  /// it across scenario evaluations keeps the hot path allocation-free.
+  struct Scratch {
+    std::vector<std::uint8_t> mask;
+    std::vector<double> cost_delay;
+    std::vector<double> cost_tput;
+    std::vector<double> total_load;
+    std::vector<double> arc_delay;
+    std::vector<double> sd_delay;
+    ClassRouting delay_routing;
+    ClassRouting tput_routing;
+  };
+
+  /// Core evaluation with pre-expanded arc costs and caller-owned scratch.
+  EvalResult evaluate_impl(std::span<const double> cost_delay,
+                           std::span<const double> cost_tput,
+                           const FailureScenario& scenario, EvalDetail detail,
+                           Scratch& scratch) const;
+
+  /// The calling thread's persistent scratch. Pool workers are long-lived,
+  /// so batched evaluations reuse buffers across calls, not just within one.
+  static Scratch& worker_scratch();
+
   const Graph& graph_;
   ClassedTraffic traffic_;
   EvalParams params_;

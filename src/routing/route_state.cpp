@@ -75,17 +75,27 @@ std::vector<std::vector<NodeId>> enumerate_ecmp_paths(
 
 ClassRouting::ClassRouting(const Graph& g, std::span<const double> arc_cost,
                            const TrafficMatrix& demands, ArcAliveMask alive_mask,
-                           NodeId skip_node)
-    : graph_(g) {
+                           NodeId skip_node) {
+  compute(g, arc_cost, demands, alive_mask, skip_node);
+}
+
+void ClassRouting::compute(const Graph& g, std::span<const double> arc_cost,
+                           const TrafficMatrix& demands, ArcAliveMask alive_mask,
+                           NodeId skip_node) {
   if (demands.num_nodes() != g.num_nodes())
     throw std::invalid_argument("ClassRouting: traffic matrix / graph size mismatch");
 
   const std::size_t n = g.num_nodes();
   arc_load_.assign(g.num_arcs(), 0.0);
   dist_.resize(n);
+  disconnected_ = 0;
+  disconnected_volume_ = 0.0;
 
-  std::vector<double> node_flow(n);
-  std::vector<NodeId> order(n);
+  node_flow_.assign(n, 0.0);
+  order_.clear();
+  order_.reserve(n);
+  std::vector<double>& node_flow = node_flow_;
+  std::vector<NodeId>& order = order_;
 
   for (NodeId t = 0; t < n; ++t) {
     shortest_distances_to(g, t, arc_cost, alive_mask, dist_[t]);

@@ -35,6 +35,16 @@ class ClassRouting {
                const TrafficMatrix& demands, ArcAliveMask alive,
                NodeId skip_node = kInvalidNode);
 
+  /// Empty routing; call `compute` before any accessor. Exists so scratch
+  /// holders (per-worker evaluation buffers) can reuse one instance's
+  /// allocations across many scenario evaluations.
+  ClassRouting() = default;
+
+  /// (Re)computes the routing, reusing previously allocated buffers.
+  void compute(const Graph& g, std::span<const double> arc_cost,
+               const TrafficMatrix& demands, ArcAliveMask alive,
+               NodeId skip_node = kInvalidNode);
+
   std::span<const double> arc_loads() const { return arc_load_; }
   double arc_load(ArcId a) const { return arc_load_[a]; }
 
@@ -57,11 +67,13 @@ class ClassRouting {
                          NodeId skip_node, std::vector<double>& out) const;
 
  private:
-  const Graph& graph_;
   std::vector<double> arc_load_;
   std::vector<std::vector<double>> dist_;
   std::size_t disconnected_ = 0;
   double disconnected_volume_ = 0.0;
+  // compute() scratch, kept to avoid reallocation across evaluations.
+  std::vector<double> node_flow_;
+  std::vector<NodeId> order_;
 };
 
 /// Tight-arc test: arc a lies on a shortest path toward t (distance labels

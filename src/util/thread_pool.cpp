@@ -1,0 +1,107 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dtr {
+
+namespace {
+/// Set while a thread executes a pool chunk; nested `run` calls detect it and
+/// fall back to inline execution rather than waiting on their own pool.
+thread_local bool t_inside_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 0) throw std::invalid_argument("ThreadPool: negative num_threads");
+  std::size_t workers = num_threads == 0
+                            ? std::max(1u, std::thread::hardware_concurrency())
+                            : static_cast<std::size_t>(num_threads);
+  errors_.resize(workers);
+  threads_.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::run_inline(
+    std::size_t n, const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (n > 0) body(0, 0, n);
+}
+
+void ThreadPool::run(std::size_t n,
+                     const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  if (threads_.empty() || t_inside_pool_worker) {
+    run_inline(n, body);
+    return;
+  }
+
+  const std::size_t workers = num_workers();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    job_n_ = n;
+    pending_ = threads_.size();
+    std::fill(errors_.begin(), errors_.end(), nullptr);
+    ++job_id_;
+  }
+  start_cv_.notify_all();
+
+  // The caller is worker 0.
+  t_inside_pool_worker = true;
+  try {
+    const std::size_t begin = chunk_begin(n, workers, 0);
+    const std::size_t end = chunk_begin(n, workers, 1);
+    if (begin < end) body(0, begin, end);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
+  t_inside_pool_worker = false;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  body_ = nullptr;
+  for (const std::exception_ptr& e : errors_) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  t_inside_pool_worker = true;
+  std::uint64_t last_job = 0;
+  for (;;) {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* body = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stopping_ || job_id_ != last_job; });
+      if (stopping_) return;
+      last_job = job_id_;
+      body = body_;
+      n = job_n_;
+    }
+    const std::size_t workers = num_workers();
+    try {
+      const std::size_t begin = chunk_begin(n, workers, worker);
+      const std::size_t end = chunk_begin(n, workers, worker + 1);
+      if (begin < end) (*body)(worker, begin, end);
+    } catch (...) {
+      errors_[worker] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace dtr

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace dtr {
+
+/// Deterministic fork-join worker pool.
+///
+/// Work submitted through `run` is split into one contiguous chunk per worker
+/// (static partitioning, no work stealing), so the index->worker assignment is
+/// a pure function of (n, num_workers). Combined with callers that write only
+/// to per-index slots and reduce in index order, every computation built on
+/// this pool produces bit-identical results for ANY worker count — the
+/// contract the optimizer's `num_threads` knob relies on.
+///
+/// The calling thread participates as worker 0, so a pool with W workers uses
+/// W-1 spawned threads and `ThreadPool(1)` runs everything inline on the
+/// caller. `run` invoked from inside a worker (nested parallelism) degrades
+/// gracefully to inline execution instead of deadlocking.
+class ThreadPool {
+ public:
+  /// `num_threads`: total workers including the calling thread;
+  /// 0 = std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_workers() const { return threads_.size() + 1; }
+
+  /// Worker `w`'s chunk of [0, n): [n*w/W, n*(w+1)/W).
+  static std::size_t chunk_begin(std::size_t n, std::size_t workers, std::size_t w) {
+    return n * w / workers;
+  }
+
+  /// Invokes body(worker, begin, end) once per worker over its chunk of
+  /// [0, n). Blocks until every chunk finished. If any invocation throws, the
+  /// lowest-numbered worker's exception is rethrown on the caller.
+  void run(std::size_t n,
+           const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+  /// Total workers a (possibly null) pool provides.
+  static std::size_t workers_of(const ThreadPool* pool) {
+    return pool == nullptr ? 1 : pool->num_workers();
+  }
+
+ private:
+  void worker_loop(std::size_t worker);
+  void run_inline(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t job_id_ = 0;
+  std::size_t job_n_ = 0;
+  std::size_t pending_ = 0;
+  bool stopping_ = false;
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* body_ = nullptr;
+  std::vector<std::exception_ptr> errors_;
+};
+
+/// Runs fn(worker, i) for every i in [0, n) across the pool's workers
+/// (`pool == nullptr` or a single worker = plain sequential loop). `worker`
+/// indexes per-worker scratch state; `fn` must only touch index-i output
+/// slots and worker-`worker` scratch for the determinism contract to hold.
+template <typename Fn>
+void parallel_for(ThreadPool* pool, std::size_t n, Fn&& fn) {
+  if (pool == nullptr || pool->num_workers() <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(std::size_t{0}, i);
+    return;
+  }
+  pool->run(n, [&fn](std::size_t worker, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(worker, i);
+  });
+}
+
+}  // namespace dtr

@@ -224,9 +224,13 @@ TEST(LexOrderTest, StrictWeakOrderingLaws) {
   for (const auto& a : pairs) {
     EXPECT_FALSE(ord.less(a, a));  // irreflexive
     for (const auto& b : pairs) {
-      if (ord.less(a, b)) EXPECT_FALSE(ord.less(b, a));  // asymmetric
+      if (ord.less(a, b)) {
+        EXPECT_FALSE(ord.less(b, a));  // asymmetric
+      }
       for (const auto& c : pairs) {
-        if (ord.less(a, b) && ord.less(b, c)) EXPECT_TRUE(ord.less(a, c));  // transitive
+        if (ord.less(a, b) && ord.less(b, c)) {
+          EXPECT_TRUE(ord.less(a, c));  // transitive
+        }
       }
     }
   }

@@ -90,8 +90,12 @@ TEST_P(PipelineProperty, ViolationsBoundedByDemandPairs) {
 TEST_P(PipelineProperty, LambdaZeroImpliesNoViolations) {
   for (LinkId l = 0; l < graph_.num_links(); ++l) {
     const EvalResult r = evaluator_->evaluate(weights_, FailureScenario::link(l));
-    if (r.lambda == 0.0) EXPECT_EQ(r.sla_violations, 0);
-    if (r.sla_violations > 0) EXPECT_GE(r.lambda, params_.sla.b1);
+    if (r.lambda == 0.0) {
+      EXPECT_EQ(r.sla_violations, 0);
+    }
+    if (r.sla_violations > 0) {
+      EXPECT_GE(r.lambda, params_.sla.b1);
+    }
   }
 }
 

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace dtr {
+namespace {
+
+TEST(ThreadPoolTest, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_workers(), 1u);
+  std::vector<int> hits(100, 0);
+  parallel_for(&pool, hits.size(), [&](std::size_t worker, std::size_t i) {
+    EXPECT_EQ(worker, 0u);
+    ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPoolTest, NullPoolRunsSequentially) {
+  std::vector<int> hits(64, 0);
+  parallel_for(nullptr, hits.size(), [&](std::size_t worker, std::size_t i) {
+    EXPECT_EQ(worker, 0u);
+    ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(ThreadPoolTest, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(&pool, hits.size(), [&](std::size_t, std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  int calls = 0;
+  parallel_for(&pool, 0, [&](std::size_t, std::size_t) { ++calls; });
+  pool.run(0, [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, FewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(&pool, hits.size(), [&](std::size_t, std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, OversubscriptionBeyondHardwareConcurrency) {
+  // Far more workers than cores must still complete and visit every index.
+  ThreadPool pool(32);
+  EXPECT_EQ(pool.num_workers(), 32u);
+  std::vector<std::atomic<int>> hits(10000);
+  for (int round = 0; round < 3; ++round) {
+    parallel_for(&pool, hits.size(), [&](std::size_t, std::size_t i) { ++hits[i]; });
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 3);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(&pool, 100,
+                            [&](std::size_t, std::size_t i) {
+                              if (i == 57) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // The pool must stay usable after a failed job.
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(&pool, hits.size(), [&](std::size_t, std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, LowestWorkerExceptionWins) {
+  ThreadPool pool(4);
+  // Every chunk throws its own error; the caller must deterministically see
+  // worker 0's (index-0 chunk) exception.
+  try {
+    pool.run(4, [](std::size_t worker, std::size_t, std::size_t) {
+      throw std::runtime_error("worker " + std::to_string(worker));
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker 0");
+  }
+}
+
+TEST(ThreadPoolTest, NestedRunFallsBackToInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  parallel_for(&pool, 4, [&](std::size_t, std::size_t outer) {
+    // Nested use of the same pool must not deadlock.
+    pool.run(16, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) ++hits[outer * 16 + i];
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, StaticPartitionIsDeterministic) {
+  // chunk bounds are a pure function of (n, workers, w): contiguous, ordered,
+  // covering [0, n).
+  for (std::size_t n : {0u, 1u, 7u, 64u, 1001u}) {
+    for (std::size_t workers : {1u, 2u, 3u, 8u}) {
+      std::size_t prev_end = 0;
+      for (std::size_t w = 0; w < workers; ++w) {
+        const std::size_t begin = ThreadPool::chunk_begin(n, workers, w);
+        const std::size_t end = ThreadPool::chunk_begin(n, workers, w + 1);
+        EXPECT_EQ(begin, prev_end);
+        EXPECT_LE(begin, end);
+        prev_end = end;
+      }
+      EXPECT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RejectsNegativeThreadCount) {
+  EXPECT_THROW(ThreadPool(-1), std::invalid_argument);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_workers(), 1u);
+}
+
+}  // namespace
+}  // namespace dtr

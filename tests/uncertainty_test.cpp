@@ -30,9 +30,13 @@ TEST(GaussianFluctuationTest, NeverNegative) {
   Rng rng(2);
   const TrafficMatrix out = apply_gaussian_fluctuation(base.delay, {2.0}, rng);
   out.for_each_demand([&](NodeId, NodeId, double v) { EXPECT_GE(v, 0.0); });
-  for (NodeId s = 0; s < out.num_nodes(); ++s)
-    for (NodeId t = 0; t < out.num_nodes(); ++t)
-      if (s != t) EXPECT_GE(out.at(s, t), 0.0);
+  for (NodeId s = 0; s < out.num_nodes(); ++s) {
+    for (NodeId t = 0; t < out.num_nodes(); ++t) {
+      if (s != t) {
+        EXPECT_GE(out.at(s, t), 0.0);
+      }
+    }
+  }
 }
 
 TEST(GaussianFluctuationTest, MeanPreservedApproximately) {
