@@ -7,13 +7,19 @@
 /// links, for Robust(perturbed TM), NoRobust(perturbed TM), Robust(base TM).
 /// Paper claims: robust's advantage survives TM error; performance under
 /// perturbed traffic stays close to the base-TM curve.
+///
+/// Runs as a campaign: one cell per uncertainty model. The fluctuated-TM
+/// loop is the campaign engine's batched `evaluate_fluctuations` — trials
+/// are drawn from one sequential stream, then sharded with a per-trial
+/// Evaluator on top of per-worker routing scratch. See bench_common.h for
+/// the standard flags.
 
-#include <algorithm>
 #include <iostream>
-#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_common.h"
-#include "traffic/uncertainty.h"
 #include "util/stats.h"
 
 namespace {
@@ -21,129 +27,90 @@ namespace {
 using namespace dtr;
 using namespace dtr::bench;
 
-struct TopSeries {
-  std::vector<double> mean_violations;  // per top-failure index
-  std::vector<double> std_violations;
-  std::vector<double> mean_phi;
-  std::vector<double> std_phi;
-};
-
-/// Evaluates routing `w` under `trials` perturbed matrices, on the failure
-/// set `top` (indices into the link-failure scenario list).
-template <typename MakeTraffic>
-TopSeries stress_series(const Workload& base, const WeightSetting& w,
-                        const std::vector<LinkId>& top, int trials,
-                        std::uint64_t seed, MakeTraffic&& make_traffic) {
-  Rng rng(seed);
-  std::vector<RunningStats> violations(top.size()), phi(top.size());
-  for (int t = 0; t < trials; ++t) {
-    const ClassedTraffic actual = make_traffic(rng);
-    const Evaluator evaluator(base.graph, actual, base.params);
-    for (std::size_t i = 0; i < top.size(); ++i) {
-      const EvalResult r = evaluator.evaluate(w, FailureScenario::link(top[i]));
-      violations[i].add(static_cast<double>(r.sla_violations));
-      phi[i].add(r.phi / std::max(evaluator.phi_uncap(), 1e-9));
-    }
-  }
-  TopSeries out;
-  for (std::size_t i = 0; i < top.size(); ++i) {
-    out.mean_violations.push_back(violations[i].mean());
-    out.std_violations.push_back(violations[i].stddev());
-    out.mean_phi.push_back(phi[i].mean());
-    out.std_phi.push_back(phi[i].stddev());
-  }
-  return out;
-}
-
-template <typename MakeTraffic>
-void run_model(const BenchContext& ctx, const char* name, double max_util,
-               int trials, MakeTraffic&& make_traffic_for) {
-  WorkloadSpec spec = default_rand_spec(ctx.effort, ctx.seed);
-  spec.util = {UtilizationTarget::Kind::kMax, max_util};
-  const Workload w = make_workload(spec);
-  const Evaluator base_evaluator(w.graph, w.traffic, w.params);
-  const OptimizeResult opt =
-      run_optimizer(base_evaluator, ctx.effort, ctx.seed, [&](OptimizerConfig& c) {
-        // Sec. V-D: highly-loaded networks use a larger critical set.
-        if (max_util > 0.8) c.critical_fraction = 0.25;
-      });
-
-  // Top-10% worst failure links, ranked by the damage they do to the
-  // UNPROTECTED (regular) routing on the base TM — the stress cases the
-  // paper's figure magnifies. (Ranking by the robust routing's own worst
-  // failures would condition the comparison against it.)
-  const FailureProfile regular_base = link_failure_profile(base_evaluator, opt.regular);
-  const FailureProfile base_profile = link_failure_profile(base_evaluator, opt.robust);
-  std::vector<std::size_t> order(regular_base.violations.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (regular_base.violations[a] != regular_base.violations[b])
-      return regular_base.violations[a] > regular_base.violations[b];
-    return regular_base.phi[a] > regular_base.phi[b];
-  });
-  const std::size_t top_count =
-      std::max<std::size_t>(2, order.size() / 10 + (order.size() % 10 ? 1 : 0));
-  std::vector<LinkId> top;
-  for (std::size_t i = 0; i < top_count; ++i) top.push_back(static_cast<LinkId>(order[i]));
-
-  auto make_traffic = make_traffic_for(w);
-  const TopSeries robust_pert =
-      stress_series(w, opt.robust, top, trials, ctx.seed + 7, make_traffic);
-  const TopSeries regular_pert =
-      stress_series(w, opt.regular, top, trials, ctx.seed + 7, make_traffic);
+void print_cell(const CellResult& cell, const std::string& banner) {
+  if (!cell.error.empty()) return;
+  const MetricRow& rep = cell.reps.front();
+  const std::vector<double>& vr = *rep.get_series("pert_violations_r_mean");
+  const std::vector<double>& vr_std = *rep.get_series("pert_violations_r_std");
+  const std::vector<double>& vnr = *rep.get_series("pert_violations_nr_mean");
+  const std::vector<double>& vnr_std = *rep.get_series("pert_violations_nr_std");
+  const std::vector<double>& pr = *rep.get_series("pert_phi_r_mean");
+  const std::vector<double>& pr_std = *rep.get_series("pert_phi_r_std");
+  const std::vector<double>& pnr = *rep.get_series("pert_phi_nr_mean");
+  const std::vector<double>& pnr_std = *rep.get_series("pert_phi_nr_std");
+  const std::vector<double>& base_v = *rep.get_series("base_violations_r");
+  const std::vector<double>& base_phi = *rep.get_series("base_phi_r");
 
   Table table({"top failure idx", "R perturbed (std)", "NR perturbed (std)", "R base",
                "phi* R perturbed (std)", "phi* NR perturbed (std)", "phi* R base"});
-  for (std::size_t i = 0; i < top.size(); ++i) {
+  for (std::size_t i = 0; i < vr.size(); ++i) {
     table.row()
         .integer(static_cast<long long>(i))
-        .mean_std(robust_pert.mean_violations[i], robust_pert.std_violations[i], 1)
-        .mean_std(regular_pert.mean_violations[i], regular_pert.std_violations[i], 1)
-        .num(base_profile.violations[top[i]], 0)
-        .mean_std(robust_pert.mean_phi[i], robust_pert.std_phi[i], 3)
-        .mean_std(regular_pert.mean_phi[i], regular_pert.std_phi[i], 3)
-        .num(base_profile.phi[top[i]] / std::max(base_profile.phi_uncap, 1e-9), 3);
+        .mean_std(vr[i], vr_std[i], 1)
+        .mean_std(vnr[i], vnr_std[i], 1)
+        .num(base_v[i], 0)
+        .mean_std(pr[i], pr_std[i], 3)
+        .mean_std(pnr[i], pnr_std[i], 3)
+        .num(base_phi[i], 3);
   }
-  print_banner(std::cout, name);
+  print_banner(std::cout, banner);
   table.print(std::cout);
   std::cout << "\nCSV:\n";
   table.print_csv(std::cout);
   std::cout << "\nAggregates: R-perturbed beta_top="
-            << format_double(mean(robust_pert.mean_violations))
-            << "  NR-perturbed beta_top="
-            << format_double(mean(regular_pert.mean_violations)) << "\n";
+            << format_double(rep.get("pert_beta_top_r"))
+            << "  NR-perturbed beta_top=" << format_double(rep.get("pert_beta_top_nr"))
+            << "\n";
 }
 
 }  // namespace
 
-int main() {
-  using namespace dtr;
-  using namespace dtr::bench;
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
   const BenchContext ctx = context_from_env();
-  print_context(std::cout, "Fig. 6: robustness to traffic uncertainty", ctx);
   const int trials = ctx.effort == Effort::kFull ? 100
                      : ctx.effort == Effort::kQuick ? 25
                                                     : 5;
 
-  run_model(ctx,
-            "Fig. 6(a)(b): Gaussian fluctuation model, epsilon=0.2, base at 90% "
-            "max util (paper: robust stays ahead; perturbed ~= base)",
-            0.90, trials, [](const Workload& w) {
-              return [&w](Rng& rng) {
-                return apply_gaussian_fluctuation(w.traffic, {0.2}, rng);
-              };
-            });
+  Campaign campaign;
+  campaign.name = "fig6_uncertainty";
+  campaign.effort = ctx.effort;
+  campaign.seed = ctx.seed;
+  {
+    CampaignCell cell;
+    cell.id = "gaussian";
+    cell.spec = default_rand_spec(ctx.effort, ctx.seed);
+    cell.spec.util = {UtilizationTarget::Kind::kMax, 0.90};
+    // Sec. V-D: highly-loaded networks use a larger critical set.
+    cell.critical_fraction = 0.25;
+    cell.fluctuation.model = FluctuationSpec::Model::kGaussian;
+    cell.fluctuation.gaussian = {0.2};
+    cell.fluctuation.trials = trials;
+    campaign.cells.push_back(std::move(cell));
+  }
+  {
+    CampaignCell cell;
+    cell.id = "hotspot";
+    cell.spec = default_rand_spec(ctx.effort, ctx.seed);
+    cell.spec.util = {UtilizationTarget::Kind::kMax, 0.74};
+    cell.fluctuation.model = FluctuationSpec::Model::kHotSpot;
+    cell.fluctuation.hot_spot = {HotSpotParams::Direction::kDownload, 0.1, 0.5, 2.0, 6.0};
+    cell.fluctuation.trials = trials;
+    campaign.cells.push_back(std::move(cell));
+  }
+  if (!apply_bench_args(args, campaign)) return 0;
 
-  run_model(ctx,
-            "Fig. 6(c)(d): download hot-spot model (10% servers, 50% clients, "
-            "x2-6), base at 74% max util",
-            0.74, trials, [](const Workload& w) {
-              return [&w](Rng& rng) {
-                return apply_hot_spot(w.traffic,
-                                      {HotSpotParams::Direction::kDownload, 0.1, 0.5,
-                                       2.0, 6.0},
-                                      rng);
-              };
-            });
-  return 0;
+  print_context(std::cout, "Fig. 6: robustness to traffic uncertainty", ctx);
+  const CampaignResult result = run_bench_campaign(args, campaign);
+  const int failed_cells = report_cell_errors(result);
+
+  if (const CellResult* cell = result.find("gaussian"); cell != nullptr)
+    print_cell(*cell,
+               "Fig. 6(a)(b): Gaussian fluctuation model, epsilon=0.2, base at 90% "
+               "max util (paper: robust stays ahead; perturbed ~= base)");
+  if (const CellResult* cell = result.find("hotspot"); cell != nullptr)
+    print_cell(*cell,
+               "Fig. 6(c)(d): download hot-spot model (10% servers, 50% clients, "
+               "x2-6), base at 74% max util");
+  return failed_cells > 0 ? 1 : 0;
 }

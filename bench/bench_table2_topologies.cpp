@@ -5,109 +5,125 @@
 ///   - average SLA violations across all single link failures
 ///   - average violations over the worst top-10% of failures
 ///   - normal-condition cost degradation of throughput-sensitive traffic.
+///
+/// Runs as a campaign: one cell per topology (plus the resized-NearTopo
+/// extension cell), sharded across workers; --json emits the
+/// schema-versioned artifact (see bench_common.h for the standard flags).
 
 #include <algorithm>
 #include <iostream>
+#include <memory>
+#include <utility>
 
 #include "bench_common.h"
-#include "util/stats.h"
 
 namespace {
 
 using namespace dtr;
 using namespace dtr::bench;
 
-struct TopologyOutcome {
-  RunningStats beta_r, beta_nr, top_r, top_nr, phi_degradation_pct, beta_floor;
-};
+constexpr const char* kResizedSuffix = "-resized";
 
-TopologyOutcome evaluate_topology(const BenchContext& ctx, const WorkloadSpec& base_spec,
-                                  Graph* graph_override = nullptr) {
-  TopologyOutcome out;
-  for (int rep = 0; rep < ctx.repeats; ++rep) {
-    WorkloadSpec spec = base_spec;
-    spec.seed = ctx.seed + static_cast<std::uint64_t>(rep) * 101;
-    Workload w = make_workload(spec);
-    if (graph_override != nullptr) w.graph = *graph_override;
-    const Evaluator evaluator(w.graph, w.traffic, w.params);
-    const OptimizeResult r = run_optimizer(evaluator, ctx.effort, spec.seed);
-
-    const FailureProfile robust = link_failure_profile(evaluator, r.robust);
-    const FailureProfile regular = link_failure_profile(evaluator, r.regular);
-    out.beta_r.add(robust.beta());
-    out.beta_nr.add(regular.beta());
-    out.top_r.add(robust.beta_top(0.10));
-    out.top_nr.add(regular.beta_top(0.10));
-    out.phi_degradation_pct.add(
-        (r.robust_normal_cost.phi / std::max(r.regular_cost.phi, 1e-9) - 1.0) * 100.0);
-    // Extension beyond the paper: the propagation-limited lower bound — SLA
-    // violations NO routing could avoid (topology + failure property).
-    const auto floor_profile =
-        unavoidable_violation_profile(evaluator, all_link_failures(w.graph));
-    out.beta_floor.add(mean(floor_profile));
+/// Sec. V-B extension setup: upgrade NearTopo's congested core links so
+/// normal-condition utilization drops below 90%, then let the campaign
+/// re-optimize against the resized graph.
+std::shared_ptr<const Graph> make_resized_near(const BenchContext& ctx,
+                                               const WorkloadSpec& near_spec) {
+  Workload w = make_workload(near_spec);
+  const Evaluator evaluator(w.graph, w.traffic, w.params);
+  const OptimizeResult r = run_optimizer(evaluator, ctx.effort, near_spec.seed);
+  const EvalResult normal =
+      evaluator.evaluate(r.regular, FailureScenario::none(), EvalDetail::kFull);
+  int resized = 0;
+  for (LinkId l = 0; l < w.graph.num_links(); ++l) {
+    double util = 0.0;
+    for (ArcId a : w.graph.link_arcs(l))
+      util = std::max(util, normal.arc_utilization[a]);
+    if (util > 0.90) {
+      w.graph.scale_link_capacity(l, util / 0.90 * 1.05);
+      ++resized;
+    }
   }
-  return out;
+  std::cout << "NearTopo resize: upgraded " << resized
+            << " congested links (>90% normal-condition utilization)\n";
+  return std::make_shared<Graph>(std::move(w.graph));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchArgs args = parse_bench_args(argc, argv);
   const BenchContext ctx = context_from_env();
+
+  Campaign campaign;
+  campaign.name = "table2_topologies";
+  campaign.effort = ctx.effort;
+  campaign.seed = ctx.seed;
+  for (const WorkloadSpec& spec : paper_topologies(ctx.effort, ctx.seed)) {
+    CampaignCell cell;
+    cell.id = spec.label();
+    cell.spec = spec;
+    cell.repeats = ctx.repeats;
+    cell.unavoidable_floor = true;
+    campaign.cells.push_back(std::move(cell));
+  }
+  {
+    const WorkloadSpec near_spec = paper_topologies(ctx.effort, ctx.seed)[1];
+    CampaignCell cell;
+    cell.id = near_spec.label() + kResizedSuffix;
+    cell.spec = near_spec;
+    cell.repeats = ctx.repeats;
+    campaign.cells.push_back(std::move(cell));
+  }
+  if (!apply_bench_args(args, campaign)) return 0;
+
   print_context(std::cout, "Table II: SLA violations across topologies", ctx);
+  // The resize setup costs one optimizer run; only pay it if the extension
+  // cell survived the filter.
+  for (CampaignCell& cell : campaign.cells)
+    if (cell.id.ends_with(kResizedSuffix))
+      cell.graph_override = make_resized_near(ctx, cell.spec);
+
+  const CampaignResult result = run_bench_campaign(args, campaign);
+  const int failed_cells = report_cell_errors(result);
 
   Table table({"Topology", "avg violations R", "avg violations NR", "top-10% R",
                "top-10% NR", "Phi degradation (%)", "unavoidable floor"});
-  for (const WorkloadSpec& spec : paper_topologies(ctx.effort, ctx.seed)) {
-    const TopologyOutcome o = evaluate_topology(ctx, spec);
-    table.row()
-        .cell(spec.label())
-        .mean_std(o.beta_r.mean(), o.beta_r.stddev())
-        .mean_std(o.beta_nr.mean(), o.beta_nr.stddev())
-        .mean_std(o.top_r.mean(), o.top_r.stddev())
-        .mean_std(o.top_nr.mean(), o.top_nr.stddev())
-        .mean_std(o.phi_degradation_pct.mean(), o.phi_degradation_pct.stddev())
-        .mean_std(o.beta_floor.mean(), o.beta_floor.stddev());
-  }
-  print_banner(std::cout,
-               "Table II (paper: R beats NR 2-7x; NearTopo is the outlier; "
-               "Phi degradation well under the 20% allowance)");
-  table.print(std::cout);
-  std::cout << "\nCSV:\n";
-  table.print_csv(std::cout);
-
-  // ---- Sec. V-B extension: resize NearTopo's congested core links so that
-  // normal-condition utilization drops below 90%, then re-optimize.
-  WorkloadSpec near_spec = paper_topologies(ctx.effort, ctx.seed)[1];
-  Workload near_w = make_workload(near_spec);
-  {
-    const Evaluator evaluator(near_w.graph, near_w.traffic, near_w.params);
-    const OptimizeResult r = run_optimizer(evaluator, ctx.effort, near_spec.seed);
-    const EvalResult normal =
-        evaluator.evaluate(r.regular, FailureScenario::none(), EvalDetail::kFull);
-    int resized = 0;
-    for (LinkId l = 0; l < near_w.graph.num_links(); ++l) {
-      double util = 0.0;
-      for (ArcId a : near_w.graph.link_arcs(l))
-        util = std::max(util, normal.arc_utilization[a]);
-      if (util > 0.90) {
-        near_w.graph.scale_link_capacity(l, util / 0.90 * 1.05);
-        ++resized;
-      }
-    }
-    std::cout << "\nNearTopo resize: upgraded " << resized
-              << " congested links (>90% normal-condition utilization)\n";
-  }
-  const TopologyOutcome resized = evaluate_topology(ctx, near_spec, &near_w.graph);
   Table resize_table({"Topology", "avg violations R", "avg violations NR"});
-  resize_table.row()
-      .cell("NearTopo (resized)")
-      .mean_std(resized.beta_r.mean(), resized.beta_r.stddev())
-      .mean_std(resized.beta_nr.mean(), resized.beta_nr.stddev());
-  print_banner(std::cout,
-               "NearTopo after capacity resize (paper: violations drop, but the "
-               "limited path diversity still caps robust gains)");
-  resize_table.print(std::cout);
-  std::cout << "\nCSV:\n";
-  resize_table.print_csv(std::cout);
-  return 0;
+  for (const CellResult& cell : result.cells) {
+    if (!cell.error.empty()) continue;
+    const auto agg = [&](const char* name) { return aggregate_metric(cell, name); };
+    if (cell.id.ends_with(kResizedSuffix)) {
+      resize_table.row()
+          .cell(cell.label + " (resized)")
+          .mean_std(agg("beta_r").mean, agg("beta_r").stddev)
+          .mean_std(agg("beta_nr").mean, agg("beta_nr").stddev);
+    } else {
+      table.row()
+          .cell(cell.label)
+          .mean_std(agg("beta_r").mean, agg("beta_r").stddev)
+          .mean_std(agg("beta_nr").mean, agg("beta_nr").stddev)
+          .mean_std(agg("beta_top10_r").mean, agg("beta_top10_r").stddev)
+          .mean_std(agg("beta_top10_nr").mean, agg("beta_top10_nr").stddev)
+          .mean_std(agg("phi_degradation_pct").mean, agg("phi_degradation_pct").stddev)
+          .mean_std(agg("beta_floor").mean, agg("beta_floor").stddev);
+    }
+  }
+  if (table.row_count() > 0) {
+    print_banner(std::cout,
+                 "Table II (paper: R beats NR 2-7x; NearTopo is the outlier; "
+                 "Phi degradation well under the 20% allowance)");
+    table.print(std::cout);
+    std::cout << "\nCSV:\n";
+    table.print_csv(std::cout);
+  }
+  if (resize_table.row_count() > 0) {
+    print_banner(std::cout,
+                 "NearTopo after capacity resize (paper: violations drop, but the "
+                 "limited path diversity still caps robust gains)");
+    resize_table.print(std::cout);
+    std::cout << "\nCSV:\n";
+    resize_table.print_csv(std::cout);
+  }
+  return failed_cells > 0 ? 1 : 0;
 }

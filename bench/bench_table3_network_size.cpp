@@ -7,50 +7,57 @@
 ///
 /// Scaling: paper sizes are {30, 50, 100}; at smoke/quick effort we run
 /// {12, 16, 24} so the sweep finishes in minutes (DTR_EFFORT=full restores
-/// the paper's sizes).
+/// the paper's sizes). Runs as a campaign — one cell per size, sharded
+/// across workers; see bench_common.h for the standard flags.
 
 #include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_common.h"
-#include "util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dtr;
   using namespace dtr::bench;
+  const BenchArgs args = parse_bench_args(argc, argv);
   const BenchContext ctx = context_from_env();
-  print_context(std::cout, "Table III: SLA violations vs. network size", ctx);
 
   const std::vector<int> sizes = ctx.effort == Effort::kFull
                                      ? std::vector<int>{30, 50, 100}
                                      : std::vector<int>{12, 16, 24};
 
-  Table table({"Nodes", "links(arcs)", "avg R", "avg NR", "top-10% R", "top-10% NR"});
+  Campaign campaign;
+  campaign.name = "table3_network_size";
+  campaign.effort = ctx.effort;
+  campaign.seed = ctx.seed;
   for (int n : sizes) {
-    RunningStats beta_r, beta_nr, top_r, top_nr;
-    std::size_t arcs = 0;
-    for (int rep = 0; rep < ctx.repeats; ++rep) {
-      WorkloadSpec spec = default_rand_spec(ctx.effort, ctx.seed);
-      spec.nodes = n;
-      spec.degree = 5.0;
-      spec.seed = ctx.seed + static_cast<std::uint64_t>(rep) * 101 + n;
-      const Workload w = make_workload(spec);
-      arcs = w.graph.num_arcs();
-      const Evaluator evaluator(w.graph, w.traffic, w.params);
-      const OptimizeResult r = run_optimizer(evaluator, ctx.effort, spec.seed);
-      const FailureProfile robust = link_failure_profile(evaluator, r.robust);
-      const FailureProfile regular = link_failure_profile(evaluator, r.regular);
-      beta_r.add(robust.beta());
-      beta_nr.add(regular.beta());
-      top_r.add(robust.beta_top(0.10));
-      top_nr.add(regular.beta_top(0.10));
-    }
+    CampaignCell cell;
+    cell.spec = default_rand_spec(ctx.effort, ctx.seed);
+    cell.spec.nodes = n;
+    cell.spec.degree = 5.0;
+    cell.spec.seed = ctx.seed + static_cast<std::uint64_t>(n);
+    cell.id = cell.spec.label();
+    cell.repeats = ctx.repeats;
+    campaign.cells.push_back(std::move(cell));
+  }
+  if (!apply_bench_args(args, campaign)) return 0;
+
+  print_context(std::cout, "Table III: SLA violations vs. network size", ctx);
+  const CampaignResult result = run_bench_campaign(args, campaign);
+  const int failed_cells = report_cell_errors(result);
+
+  Table table({"Nodes", "links(arcs)", "avg R", "avg NR", "top-10% R", "top-10% NR"});
+  for (const CellResult& cell : result.cells) {
+    if (!cell.error.empty()) continue;
+    const auto agg = [&](const char* name) { return aggregate_metric(cell, name); };
     table.row()
-        .integer(n)
-        .integer(static_cast<long long>(arcs))
-        .mean_std(beta_r.mean(), beta_r.stddev())
-        .mean_std(beta_nr.mean(), beta_nr.stddev())
-        .mean_std(top_r.mean(), top_r.stddev())
-        .mean_std(top_nr.mean(), top_nr.stddev());
+        .integer(static_cast<long long>(agg("nodes").mean))
+        .integer(static_cast<long long>(agg("arcs").mean))
+        .mean_std(agg("beta_r").mean, agg("beta_r").stddev)
+        .mean_std(agg("beta_nr").mean, agg("beta_nr").stddev)
+        .mean_std(agg("beta_top10_r").mean, agg("beta_top10_r").stddev)
+        .mean_std(agg("beta_top10_nr").mean, agg("beta_top10_nr").stddev);
   }
   print_banner(std::cout,
                "Table III (paper: R << NR at every size; NR's violations grow "
@@ -58,5 +65,5 @@ int main() {
   table.print(std::cout);
   std::cout << "\nCSV:\n";
   table.print_csv(std::cout);
-  return 0;
+  return failed_cells > 0 ? 1 : 0;
 }

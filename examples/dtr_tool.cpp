@@ -1,7 +1,8 @@
 /// dtr_tool — command-line front end for the library: build (or load) a
 /// topology, synthesize traffic, run the two-phase robust optimization, and
 /// export the deployable artifacts (weight file, Graphviz map, failure
-/// report).
+/// report). The `campaign` subcommand runs a whole sharded experiment
+/// campaign from a spec file and writes the schema-versioned JSON artifact.
 ///
 /// Usage:
 ///   dtr_tool [--topology rand|near|pl|isp] [--nodes N] [--degree D]
@@ -9,11 +10,28 @@
 ///            [--effort smoke|quick|full] [--fraction F]
 ///            [--in-graph FILE] [--out-graph FILE] [--out-weights FILE]
 ///            [--out-dot FILE] [--report]
+///   dtr_tool campaign --spec FILE [--json FILE] [--workers N]
+///            [--inner-threads N] [--filter SUBSTR] [--list] [--timings]
 ///
 /// Examples:
 ///   dtr_tool --topology isp --report --out-weights isp.weights
 ///   dtr_tool --topology rand --nodes 24 --degree 6 --out-dot net.dot
+///   dtr_tool campaign --spec sweep.campaign --json sweep.json --workers 0
+///
+/// Campaign spec format (line-based; '#' starts a comment):
+///   name = demo            # top-level keys: name, effort, seed
+///   effort = quick
+///   seed = 1
+///   [cell]                 # one section per cell
+///   id = rand16            # cell keys: id, topology, nodes, degree,
+///   topology = rand        #   attachments, theta, avg_util|max_util,
+///   nodes = 16             #   delay_fraction, seed, repeats, seed_stride,
+///   degree = 5             #   critical_fraction, floor, fluctuation
+///   repeats = 3            #   (none|gaussian|hotspot), trials, epsilon,
+///                          #   top_fraction, direction, server_fraction,
+///                          #   client_fraction, scale_min, scale_max
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -22,6 +40,8 @@
 
 #include "core/metrics.h"
 #include "core/optimizer.h"
+#include "experiments/campaign.h"
+#include "experiments/results.h"
 #include "graph/graph_io.h"
 #include "graph/isp.h"
 #include "graph/topology.h"
@@ -89,9 +109,84 @@ Options parse_args(int argc, char** argv) {
   return opt;
 }
 
+int run_campaign_command(int argc, char** argv) {
+  namespace exp = dtr::experiments;
+  std::string spec_path, json_path, filter;
+  int workers = 0, inner_threads = 1;
+  bool list = false, timings = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error(arg + " needs a value");
+      return argv[++i];
+    };
+    const auto next_count = [&]() -> int {
+      const std::string text = next();
+      const auto count = exp::parse_worker_count(text);
+      if (!count.has_value())
+        usage_error(arg + " needs a count in [0, 4096], got '" + text + "'");
+      return *count;
+    };
+    if (arg == "--spec") spec_path = next();
+    else if (arg == "--json") json_path = next();
+    else if (arg == "--filter") filter = next();
+    else if (arg == "--workers") workers = next_count();
+    else if (arg == "--inner-threads") inner_threads = next_count();
+    else if (arg == "--list") list = true;
+    else if (arg == "--timings") timings = true;
+    else usage_error("unknown campaign flag: " + arg);
+  }
+  if (spec_path.empty()) usage_error("campaign needs --spec FILE");
+  std::ifstream in(spec_path);
+  if (!in) usage_error("cannot open " + spec_path);
+
+  exp::Campaign campaign;
+  try {
+    campaign = exp::parse_campaign_spec(in);
+  } catch (const std::exception& e) {
+    usage_error(e.what());
+  }
+  exp::filter_cells(campaign, filter);
+  if (list) {
+    for (const exp::CampaignCell& cell : campaign.cells) std::cout << cell.id << "\n";
+    return 0;
+  }
+
+  const exp::CampaignResult result =
+      exp::run_campaign(campaign, {workers, inner_threads});
+
+  exp::CampaignJsonOptions json_options;
+  json_options.include_timings = timings;
+  if (json_path.empty()) {
+    // Artifact on stdout, human summary suppressed (pipe-friendly).
+    exp::write_campaign_json(std::cout, result, json_options);
+  } else {
+    std::ofstream out(json_path);
+    if (!out) usage_error("cannot write " + json_path);
+    exp::write_campaign_json(out, result, json_options);
+    std::cout << "wrote campaign JSON to " << json_path << "\n";
+    Table table({"cell", "reps", "error", "beta R", "beta NR"});
+    for (const exp::CellResult& cell : result.cells) {
+      table.row()
+          .cell(cell.id)
+          .integer(static_cast<long long>(cell.reps.size()))
+          .cell(cell.error.empty() ? "-" : cell.error)
+          .num(exp::aggregate_metric(cell, "beta_r").mean)
+          .num(exp::aggregate_metric(cell, "beta_nr").mean);
+    }
+    table.print(std::cout);
+  }
+  int failures = 0;
+  for (const exp::CellResult& cell : result.cells)
+    if (!cell.error.empty()) ++failures;
+  return failures > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "campaign")
+    return run_campaign_command(argc, argv);
   const Options opt = parse_args(argc, argv);
 
   // ---- topology

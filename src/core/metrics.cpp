@@ -6,6 +6,7 @@
 #include "graph/spf.h"
 #include "routing/route_state.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace dtr {
 
@@ -35,14 +36,16 @@ std::vector<double> FailureProfile::normalized_phi() const {
 }
 
 FailureProfile profile_failures(const Evaluator& evaluator, const WeightSetting& w,
-                                std::span<const FailureScenario> scenarios) {
+                                std::span<const FailureScenario> scenarios,
+                                ThreadPool* pool) {
   FailureProfile profile;
   profile.phi_uncap = evaluator.phi_uncap();
   profile.violations.reserve(scenarios.size());
   profile.lambda.reserve(scenarios.size());
   profile.phi.reserve(scenarios.size());
-  for (const FailureScenario& s : scenarios) {
-    const EvalResult r = evaluator.evaluate(w, s, EvalDetail::kCostsOnly);
+  const std::vector<EvalResult> results =
+      evaluator.evaluate_failures(w, scenarios, pool, EvalDetail::kCostsOnly);
+  for (const EvalResult& r : results) {
     profile.violations.push_back(static_cast<double>(r.sla_violations));
     profile.lambda.push_back(r.lambda);
     profile.phi.push_back(r.phi);
@@ -166,11 +169,12 @@ int unavoidable_violations(const Evaluator& evaluator, const FailureScenario& sc
 }
 
 std::vector<double> unavoidable_violation_profile(
-    const Evaluator& evaluator, std::span<const FailureScenario> scenarios) {
-  std::vector<double> out;
-  out.reserve(scenarios.size());
-  for (const FailureScenario& s : scenarios)
-    out.push_back(static_cast<double>(unavoidable_violations(evaluator, s)));
+    const Evaluator& evaluator, std::span<const FailureScenario> scenarios,
+    ThreadPool* pool) {
+  std::vector<double> out(scenarios.size());
+  parallel_for(pool, scenarios.size(), [&](std::size_t, std::size_t i) {
+    out[i] = static_cast<double>(unavoidable_violations(evaluator, scenarios[i]));
+  });
   return out;
 }
 

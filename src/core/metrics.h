@@ -25,9 +25,12 @@ struct FailureProfile {
   std::vector<double> normalized_phi() const;
 };
 
-/// Evaluates `w` under every scenario and collects the profile.
+/// Evaluates `w` under every scenario and collects the profile. Scenarios
+/// are batched across `pool` when given (bit-identical for any worker
+/// count, like every pool consumer).
 FailureProfile profile_failures(const Evaluator& evaluator, const WeightSetting& w,
-                                std::span<const FailureScenario> scenarios);
+                                std::span<const FailureScenario> scenarios,
+                                ThreadPool* pool = nullptr);
 
 /// |Phi_fail(a) - Phi_fail(b)| / Phi_fail(b) * 100 — the beta_Phi(%) accuracy
 /// metric of Table I (b = reference = full search).
@@ -64,8 +67,9 @@ std::vector<double> sorted_desc(std::span<const double> xs);
 /// failure) from the avoidable ones robust optimization fights over.
 int unavoidable_violations(const Evaluator& evaluator, const FailureScenario& scenario);
 
-/// Per-scenario unavoidable-violation counts.
+/// Per-scenario unavoidable-violation counts (pool-sharded when given).
 std::vector<double> unavoidable_violation_profile(
-    const Evaluator& evaluator, std::span<const FailureScenario> scenarios);
+    const Evaluator& evaluator, std::span<const FailureScenario> scenarios,
+    ThreadPool* pool = nullptr);
 
 }  // namespace dtr

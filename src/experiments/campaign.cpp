@@ -1,0 +1,437 @@
+#include "experiments/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/metrics.h"
+#include "routing/failures.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace dtr::experiments {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+CellResult run_cell(const CampaignCell& cell, Effort effort, const CellContext& ctx) {
+  const auto start = std::chrono::steady_clock::now();
+  CellResult result;
+  result.id = cell.id;
+  result.label = cell.spec.label();
+  try {
+    for (int rep = 0; rep < cell.repeats; ++rep) {
+      const std::uint64_t rep_seed =
+          cell.spec.seed + static_cast<std::uint64_t>(rep) * cell.seed_stride;
+      result.reps.push_back(cell.body ? cell.body(cell, effort, rep_seed, ctx)
+                                      : standard_cell_rep(cell, effort, rep_seed, ctx));
+    }
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  } catch (...) {
+    result.error = "unknown error";
+  }
+  result.seconds = seconds_since(start);
+  return result;
+}
+
+}  // namespace
+
+std::string to_string(FluctuationSpec::Model m) {
+  switch (m) {
+    case FluctuationSpec::Model::kNone: return "none";
+    case FluctuationSpec::Model::kGaussian: return "gaussian";
+    case FluctuationSpec::Model::kHotSpot: return "hotspot";
+  }
+  return "?";
+}
+
+CampaignResult run_campaign(const Campaign& campaign, const CampaignOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  if (options.workers < 0)
+    throw std::invalid_argument("run_campaign: negative workers");
+  if (options.inner_threads < 0)
+    throw std::invalid_argument("run_campaign: negative inner_threads");
+
+  const std::size_t requested_workers =
+      options.workers == 0
+          ? std::max(1u, std::thread::hardware_concurrency())
+          : static_cast<std::size_t>(options.workers);
+  // No point spinning up more shards than cells.
+  const std::size_t workers = std::max<std::size_t>(
+      1, std::min(requested_workers, campaign.cells.size()));
+
+  // Nested-parallelism guard: exactly one level multi-threads. Cells in
+  // parallel force the inner engine sequential; the inner pool below only
+  // materializes when cells execute one at a time. Cell-level parallelism
+  // the clamp left unused (fewer cells than requested workers) flows to the
+  // inner engine instead of idling.
+  int inner_threads = workers > 1 ? 1 : options.inner_threads;
+  if (workers <= 1 && inner_threads == 1 && requested_workers > 1 &&
+      !campaign.cells.empty())
+    inner_threads = static_cast<int>(requested_workers);
+
+  std::optional<ThreadPool> inner_pool;
+  if (workers <= 1 && inner_threads != 1) {
+    inner_pool.emplace(inner_threads);
+    if (inner_pool->num_workers() <= 1) inner_pool.reset();
+  }
+  const CellContext ctx{inner_pool ? &*inner_pool : nullptr,
+                        inner_pool ? static_cast<int>(inner_pool->num_workers()) : 1};
+
+  CampaignResult out;
+  out.name = campaign.name;
+  out.effort = to_string(campaign.effort);
+  out.seed = campaign.seed;
+  out.cell_workers = static_cast<int>(workers);
+  out.inner_threads = ctx.inner_threads;
+  out.cells.resize(campaign.cells.size());
+
+  ThreadPool cell_pool(static_cast<int>(workers));
+  // Cells land in slot i regardless of which shard ran them, so the result
+  // (and its JSON bytes) is independent of the execution schedule.
+  parallel_for(&cell_pool, campaign.cells.size(), [&](std::size_t, std::size_t i) {
+    out.cells[i] = run_cell(campaign.cells[i], campaign.effort, ctx);
+  });
+
+  out.seconds = seconds_since(start);
+  return out;
+}
+
+std::vector<LinkId> worst_failure_links(const FailureProfile& profile, double fraction) {
+  std::vector<std::size_t> order(profile.violations.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (profile.violations[a] != profile.violations[b])
+      return profile.violations[a] > profile.violations[b];
+    if (profile.phi[a] != profile.phi[b]) return profile.phi[a] > profile.phi[b];
+    return a < b;
+  });
+  if (order.empty()) return {};
+  const auto want = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(order.size())));
+  const std::size_t count = std::min(order.size(), std::max<std::size_t>(2, want));
+  std::vector<LinkId> top;
+  top.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) top.push_back(static_cast<LinkId>(order[i]));
+  return top;
+}
+
+std::vector<StressSeries> evaluate_fluctuations(const Workload& base,
+                                                std::span<const WeightSetting> routings,
+                                                std::span<const LinkId> top,
+                                                const FluctuationSpec& fluct,
+                                                std::uint64_t seed, ThreadPool* pool) {
+  if (fluct.trials < 0)
+    throw std::invalid_argument("evaluate_fluctuations: negative trials");
+  const auto trials = static_cast<std::size_t>(fluct.trials);
+
+  // One sequential stream draws every perturbed matrix, so the trial set is
+  // identical however the evaluation below is sharded.
+  std::vector<ClassedTraffic> actual;
+  actual.reserve(trials);
+  Rng rng(seed);
+  for (std::size_t t = 0; t < trials; ++t) {
+    switch (fluct.model) {
+      case FluctuationSpec::Model::kGaussian:
+        actual.push_back(apply_gaussian_fluctuation(base.traffic, fluct.gaussian, rng));
+        break;
+      case FluctuationSpec::Model::kHotSpot:
+        actual.push_back(apply_hot_spot(base.traffic, fluct.hot_spot, rng));
+        break;
+      case FluctuationSpec::Model::kNone:
+        actual.push_back(base.traffic);
+        break;
+    }
+  }
+
+  // Per-trial slabs: [trial][routing][top index]; each trial builds one
+  // Evaluator and reuses it for every routing and failure, on top of the
+  // per-worker routing scratch the Evaluator keeps thread-local.
+  const std::size_t cols = routings.size() * top.size();
+  std::vector<double> violations(trials * cols), phi(trials * cols);
+  parallel_for(pool, trials, [&](std::size_t, std::size_t t) {
+    const Evaluator evaluator(base.graph, actual[t], base.params);
+    const double denom = std::max(evaluator.phi_uncap(), 1e-9);
+    for (std::size_t r = 0; r < routings.size(); ++r) {
+      for (std::size_t i = 0; i < top.size(); ++i) {
+        const EvalResult res =
+            evaluator.evaluate(routings[r], FailureScenario::link(top[i]));
+        violations[t * cols + r * top.size() + i] =
+            static_cast<double>(res.sla_violations);
+        phi[t * cols + r * top.size() + i] = res.phi / denom;
+      }
+    }
+  });
+
+  // Ordered reduction over trials keeps the statistics execution-shape
+  // independent.
+  std::vector<StressSeries> out(routings.size());
+  for (std::size_t r = 0; r < routings.size(); ++r) {
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      RunningStats v_stats, phi_stats;
+      for (std::size_t t = 0; t < trials; ++t) {
+        v_stats.add(violations[t * cols + r * top.size() + i]);
+        phi_stats.add(phi[t * cols + r * top.size() + i]);
+      }
+      out[r].mean_violations.push_back(v_stats.mean());
+      out[r].std_violations.push_back(v_stats.stddev());
+      out[r].mean_phi.push_back(phi_stats.mean());
+      out[r].std_phi.push_back(phi_stats.stddev());
+    }
+  }
+  return out;
+}
+
+MetricRow standard_cell_rep(const CampaignCell& cell, Effort effort,
+                            std::uint64_t rep_seed, const CellContext& ctx) {
+  WorkloadSpec spec = cell.spec;
+  spec.seed = rep_seed;
+  Workload w = make_workload(spec);
+  if (cell.graph_override != nullptr) w.graph = *cell.graph_override;
+  const Evaluator evaluator(w.graph, w.traffic, w.params);
+  const OptimizeResult opt =
+      run_optimizer(evaluator, effort, rep_seed, [&](OptimizerConfig& config) {
+        config.num_threads = ctx.inner_threads;
+        if (cell.critical_fraction > 0.0)
+          config.critical_fraction = cell.critical_fraction;
+      });
+
+  const std::vector<FailureScenario> scenarios = all_link_failures(w.graph);
+  const FailureProfile robust =
+      profile_failures(evaluator, opt.robust, scenarios, ctx.inner_pool);
+  const FailureProfile regular =
+      profile_failures(evaluator, opt.regular, scenarios, ctx.inner_pool);
+
+  MetricRow row;
+  row.seed = rep_seed;
+  row.values = {
+      {"nodes", static_cast<double>(w.graph.num_nodes())},
+      {"links", static_cast<double>(w.graph.num_links())},
+      {"arcs", static_cast<double>(w.graph.num_arcs())},
+      {"beta_r", robust.beta()},
+      {"beta_nr", regular.beta()},
+      {"beta_top10_r", robust.beta_top(0.10)},
+      {"beta_top10_nr", regular.beta_top(0.10)},
+      {"phi_degradation_pct",
+       (opt.robust_normal_cost.phi / std::max(opt.regular_cost.phi, 1e-9) - 1.0) *
+           100.0},
+  };
+  if (cell.unavoidable_floor) {
+    row.values.emplace_back(
+        "beta_floor",
+        mean(unavoidable_violation_profile(evaluator, scenarios, ctx.inner_pool)));
+  }
+
+  if (cell.fluctuation.model != FluctuationSpec::Model::kNone &&
+      cell.fluctuation.trials > 0) {
+    // Stress the failures that hurt the UNPROTECTED routing most — ranking
+    // by the robust routing's own worst failures would condition the
+    // comparison against it.
+    const std::vector<LinkId> top =
+        worst_failure_links(regular, cell.fluctuation.top_fraction);
+    const WeightSetting routings[] = {opt.robust, opt.regular};
+    const std::vector<StressSeries> stress =
+        evaluate_fluctuations(w, routings, top, cell.fluctuation,
+                              rep_seed + cell.fluctuation.seed_offset, ctx.inner_pool);
+    std::vector<double> base_violations, base_phi;
+    const double denom = std::max(robust.phi_uncap, 1e-9);
+    for (const LinkId l : top) {
+      base_violations.push_back(robust.violations[l]);
+      base_phi.push_back(robust.phi[l] / denom);
+    }
+    row.series = {
+        {"pert_violations_r_mean", stress[0].mean_violations},
+        {"pert_violations_r_std", stress[0].std_violations},
+        {"pert_violations_nr_mean", stress[1].mean_violations},
+        {"pert_violations_nr_std", stress[1].std_violations},
+        {"pert_phi_r_mean", stress[0].mean_phi},
+        {"pert_phi_r_std", stress[0].std_phi},
+        {"pert_phi_nr_mean", stress[1].mean_phi},
+        {"pert_phi_nr_std", stress[1].std_phi},
+        {"base_violations_r", base_violations},
+        {"base_phi_r", base_phi},
+    };
+    row.values.emplace_back("pert_beta_top_r", mean(stress[0].mean_violations));
+    row.values.emplace_back("pert_beta_top_nr", mean(stress[1].mean_violations));
+    row.values.emplace_back("base_beta_top_r", mean(base_violations));
+  }
+  return row;
+}
+
+std::optional<int> parse_worker_count(const std::string& text) {
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || v < 0 || v > 4096) return std::nullopt;
+  return static_cast<int>(v);
+}
+
+void filter_cells(Campaign& campaign, std::string_view substr) {
+  if (substr.empty()) return;
+  std::erase_if(campaign.cells, [&](const CampaignCell& cell) {
+    return cell.id.find(substr) == std::string::npos;
+  });
+}
+
+namespace {
+
+std::string trim(std::string_view s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string_view::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r");
+  return std::string(s.substr(begin, end - begin + 1));
+}
+
+}  // namespace
+
+Campaign parse_campaign_spec(std::istream& in) {
+  Campaign campaign;
+  campaign.name = "campaign";
+  CampaignCell* cell = nullptr;
+  std::string line;
+  int lineno = 0;
+  const auto fail = [&](const std::string& message) -> void {
+    throw std::runtime_error("campaign spec line " + std::to_string(lineno) + ": " +
+                             message);
+  };
+  // All three insist the whole token parses: stod/stoi alone would accept
+  // trailing garbage and silently truncate typos like "12x7".
+  const auto parse_double = [&](const std::string& v) {
+    std::size_t pos = 0;
+    double out = 0.0;
+    try {
+      out = std::stod(v, &pos);
+    } catch (const std::exception&) {
+      fail("bad number: " + v);
+    }
+    if (pos != v.size()) fail("bad number: " + v);
+    return out;
+  };
+  const auto parse_int = [&](const std::string& v) {
+    std::size_t pos = 0;
+    int out = 0;
+    try {
+      out = std::stoi(v, &pos);
+    } catch (const std::exception&) {
+      fail("bad integer: " + v);
+    }
+    if (pos != v.size()) fail("bad integer: " + v);
+    return out;
+  };
+  const auto parse_u64 = [&](const std::string& v) {
+    std::size_t pos = 0;
+    std::uint64_t out = 0;
+    // stoull would silently wrap a leading minus modulo 2^64.
+    if (!v.empty() && v[0] == '-') fail("bad seed: " + v);
+    try {
+      out = static_cast<std::uint64_t>(std::stoull(v, &pos));
+    } catch (const std::exception&) {
+      fail("bad seed: " + v);
+    }
+    if (pos != v.size()) fail("bad seed: " + v);
+    return out;
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line == "[cell]") {
+      campaign.cells.emplace_back();
+      cell = &campaign.cells.back();
+      cell->spec.seed = campaign.seed;  // inherit unless the cell overrides
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail("expected key = value or [cell]");
+    const std::string key = trim(std::string_view(line).substr(0, eq));
+    const std::string value = trim(std::string_view(line).substr(eq + 1));
+    if (key.empty() || value.empty()) fail("expected key = value");
+
+    if (cell == nullptr) {
+      if (key == "name") campaign.name = value;
+      else if (key == "seed") campaign.seed = parse_u64(value);
+      else if (key == "effort") {
+        if (value == "smoke") campaign.effort = Effort::kSmoke;
+        else if (value == "quick") campaign.effort = Effort::kQuick;
+        else if (value == "full") campaign.effort = Effort::kFull;
+        else fail("unknown effort: " + value);
+      } else {
+        fail("unknown campaign key: " + key);
+      }
+      continue;
+    }
+
+    if (key == "id") cell->id = value;
+    else if (key == "topology") {
+      if (value == "rand") cell->spec.kind = TopologyKind::kRand;
+      else if (value == "near") cell->spec.kind = TopologyKind::kNear;
+      else if (value == "pl") cell->spec.kind = TopologyKind::kPl;
+      else if (value == "isp") cell->spec.kind = TopologyKind::kIsp;
+      else fail("unknown topology: " + value);
+    } else if (key == "nodes") cell->spec.nodes = parse_int(value);
+    else if (key == "degree") cell->spec.degree = parse_double(value);
+    else if (key == "attachments") cell->spec.pl_attachments = parse_int(value);
+    else if (key == "theta") cell->spec.theta_ms = parse_double(value);
+    else if (key == "avg_util")
+      cell->spec.util = {UtilizationTarget::Kind::kAverage, parse_double(value)};
+    else if (key == "max_util")
+      cell->spec.util = {UtilizationTarget::Kind::kMax, parse_double(value)};
+    else if (key == "delay_fraction") cell->spec.delay_fraction = parse_double(value);
+    else if (key == "seed") cell->spec.seed = parse_u64(value);
+    else if (key == "repeats") {
+      cell->repeats = parse_int(value);
+      // Nothing downstream consumes repeats <= 0; it would just yield a cell
+      // that "succeeds" with zero reps.
+      if (cell->repeats < 1) fail("repeats must be >= 1, got " + value);
+    }
+    else if (key == "seed_stride") cell->seed_stride = parse_u64(value);
+    else if (key == "critical_fraction") cell->critical_fraction = parse_double(value);
+    else if (key == "floor") cell->unavoidable_floor = parse_int(value) != 0;
+    else if (key == "fluctuation") {
+      if (value == "none") cell->fluctuation.model = FluctuationSpec::Model::kNone;
+      else if (value == "gaussian")
+        cell->fluctuation.model = FluctuationSpec::Model::kGaussian;
+      else if (value == "hotspot")
+        cell->fluctuation.model = FluctuationSpec::Model::kHotSpot;
+      else fail("unknown fluctuation model: " + value);
+    } else if (key == "trials") cell->fluctuation.trials = parse_int(value);
+    else if (key == "epsilon") cell->fluctuation.gaussian.epsilon = parse_double(value);
+    else if (key == "top_fraction") cell->fluctuation.top_fraction = parse_double(value);
+    else if (key == "direction") {
+      if (value == "upload")
+        cell->fluctuation.hot_spot.direction = HotSpotParams::Direction::kUpload;
+      else if (value == "download")
+        cell->fluctuation.hot_spot.direction = HotSpotParams::Direction::kDownload;
+      else fail("unknown direction: " + value);
+    } else if (key == "server_fraction")
+      cell->fluctuation.hot_spot.server_fraction = parse_double(value);
+    else if (key == "client_fraction")
+      cell->fluctuation.hot_spot.client_fraction = parse_double(value);
+    else if (key == "scale_min") cell->fluctuation.hot_spot.scale_min = parse_double(value);
+    else if (key == "scale_max") cell->fluctuation.hot_spot.scale_max = parse_double(value);
+    else fail("unknown cell key: " + key);
+  }
+
+  // Default ids so --filter / result lookup always has a handle. "/" (not
+  // "#") keeps the generated id representable in a spec file, where "#"
+  // starts a comment.
+  for (std::size_t i = 0; i < campaign.cells.size(); ++i) {
+    if (campaign.cells[i].id.empty())
+      campaign.cells[i].id = campaign.cells[i].spec.label() + "/" + std::to_string(i);
+  }
+  return campaign;
+}
+
+}  // namespace dtr::experiments

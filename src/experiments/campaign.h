@@ -1,0 +1,141 @@
+#pragma once
+
+/// Campaign engine: shards whole experiment cells — a workload spec plus
+/// optimizer/eval config, repetition seeds, and optional traffic-uncertainty
+/// fluctuations — across the worker pool, producing the typed results of
+/// results.h. This is the scaling layer above the intra-evaluation
+/// parallelism of util/thread_pool: exactly one level runs parallel (cells
+/// OR the inner engine, never both), cells land in deterministic campaign
+/// order, and a throwing cell is captured in its CellResult instead of
+/// aborting the run. Results are bit-identical for any execution shape.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "experiments/results.h"
+#include "experiments/workloads.h"
+#include "traffic/uncertainty.h"
+
+namespace dtr {
+class ThreadPool;
+}  // namespace dtr
+
+namespace dtr::experiments {
+
+/// Traffic-uncertainty stress attached to a cell (the Sec. V-F models).
+struct FluctuationSpec {
+  enum class Model : std::uint8_t { kNone, kGaussian, kHotSpot };
+  Model model = Model::kNone;
+  GaussianFluctuation gaussian{};
+  HotSpotParams hot_spot{};
+  int trials = 0;                 ///< perturbed matrices to draw (0 disables)
+  double top_fraction = 0.10;     ///< stressed share of worst failure links
+  std::uint64_t seed_offset = 7;  ///< fluctuation stream = rep seed + offset
+};
+
+std::string to_string(FluctuationSpec::Model m);
+
+/// Execution context handed to cell bodies: the inner pool is non-null only
+/// when cells run sequentially; `inner_threads` is the matching
+/// OptimizerConfig::num_threads value (1 when cells run in parallel).
+struct CellContext {
+  ThreadPool* inner_pool = nullptr;
+  int inner_threads = 1;
+};
+
+struct CampaignCell {
+  std::string id;     ///< unique within the campaign; the --filter target
+  WorkloadSpec spec;  ///< base spec; rep r runs at spec.seed + r * seed_stride
+  int repeats = 1;
+  std::uint64_t seed_stride = 101;
+  double critical_fraction = 0.0;  ///< > 0 overrides the optimizer default
+  bool unavoidable_floor = false;  ///< also compute the violation lower bound
+  FluctuationSpec fluctuation;
+  /// Evaluate against this graph instead of the spec-built one (the NearTopo
+  /// resize experiment); traffic/params still come from the spec workload.
+  std::shared_ptr<const Graph> graph_override;
+  /// Custom per-rep body (tests/extensions); empty = standard_cell_rep.
+  std::function<MetricRow(const CampaignCell&, Effort, std::uint64_t,
+                          const CellContext&)>
+      body;
+};
+
+struct Campaign {
+  std::string name;
+  Effort effort = Effort::kQuick;
+  std::uint64_t seed = 1;  ///< recorded in the artifact (cells carry their own)
+  std::vector<CampaignCell> cells;
+};
+
+struct CampaignOptions {
+  /// Cell-level shards; 0 = hardware concurrency. The nested-parallelism
+  /// guard admits exactly one parallel level: when the resolved worker count
+  /// exceeds 1, cells run with inner_threads forced to 1; inner parallelism
+  /// only engages when cells execute sequentially.
+  int workers = 1;
+  /// Per-cell engine parallelism (optimizer + batched profiles); 0 = hw.
+  int inner_threads = 1;
+};
+
+/// Runs every cell: sharded across the pool, deterministic result order,
+/// per-cell failure capture (see CellResult::error).
+CampaignResult run_campaign(const Campaign& campaign,
+                            const CampaignOptions& options = {});
+
+/// The standard cell body: workload -> two-phase optimization -> full
+/// link-failure profiles (robust vs regular) -> scalar metrics
+/// (beta/top-10%/Phi degradation), plus the optional unavoidable floor and
+/// the fluctuated-TM stress block when the cell carries a FluctuationSpec.
+MetricRow standard_cell_rep(const CampaignCell& cell, Effort effort,
+                            std::uint64_t rep_seed, const CellContext& ctx);
+
+/// Per-top-failure statistics over the fluctuation trials.
+struct StressSeries {
+  std::vector<double> mean_violations;
+  std::vector<double> std_violations;
+  std::vector<double> mean_phi;  ///< normalized by phi_uncap
+  std::vector<double> std_phi;
+};
+
+/// Batched fluctuated-TM evaluation (the ROADMAP "batched TM uncertainty
+/// sweep"): pre-draws `fluct.trials` perturbed matrices from one sequential
+/// RNG stream (so the trial set is independent of the execution shape), then
+/// shards trials across `pool` — one Evaluator per trial, reused for every
+/// routing and failure in that trial, on top of the per-worker routing
+/// scratch. Returns one series per routing over the `top` failure links,
+/// reduced in trial order (bit-identical for any worker count).
+std::vector<StressSeries> evaluate_fluctuations(const Workload& base,
+                                                std::span<const WeightSetting> routings,
+                                                std::span<const LinkId> top,
+                                                const FluctuationSpec& fluct,
+                                                std::uint64_t seed,
+                                                ThreadPool* pool = nullptr);
+
+/// The worst `fraction` of failures ranked by the damage done to the
+/// profiled routing (violations, then Phi, then index — a total order, so
+/// the stress set is deterministic). At least two failures when non-empty.
+std::vector<LinkId> worst_failure_links(const FailureProfile& profile, double fraction);
+
+/// Parses the line-based campaign spec format (see README "Campaign
+/// subsystem"): top-level `key = value` lines (name/effort/seed), then one
+/// `[cell]` section per cell. Throws std::runtime_error naming the offending
+/// line on malformed input.
+Campaign parse_campaign_spec(std::istream& in);
+
+/// Keeps only cells whose id contains `substr` (empty keeps everything).
+void filter_cells(Campaign& campaign, std::string_view substr);
+
+/// Parses a --workers / --inner-threads style CLI value: the whole token
+/// must be an integer in [0, 4096] (0 = hardware concurrency). nullopt on
+/// anything else — shared by every campaign front end so the validation
+/// can't drift.
+std::optional<int> parse_worker_count(const std::string& text);
+
+}  // namespace dtr::experiments

@@ -1,5 +1,6 @@
 #include "routing/evaluator.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -149,7 +150,7 @@ SweepResult Evaluator::sweep(const WeightSetting& w,
                              std::span<const FailureScenario> scenarios,
                              const CostPair* abort_bound,
                              std::span<const double> scenario_weights,
-                             ThreadPool* pool) const {
+                             ThreadPool* pool, std::size_t chunk_size) const {
   if (!scenario_weights.empty() && scenario_weights.size() != scenarios.size())
     throw std::invalid_argument("Evaluator::sweep: scenario_weights size mismatch");
 
@@ -200,9 +201,10 @@ SweepResult Evaluator::sweep(const WeightSetting& w,
   }
 
   const std::size_t workers = pool->num_workers();
-  std::vector<CostPair> chunk(workers);
-  for (std::size_t begin = 0; begin < scenarios.size(); begin += workers) {
-    const std::size_t count = std::min(workers, scenarios.size() - begin);
+  const std::size_t round = workers * std::max<std::size_t>(1, chunk_size);
+  std::vector<CostPair> chunk(round);
+  for (std::size_t begin = 0; begin < scenarios.size(); begin += round) {
+    const std::size_t count = std::min(round, scenarios.size() - begin);
     parallel_for(pool, count, [&](std::size_t, std::size_t i) {
       chunk[i] = evaluate_impl(cost_delay, cost_tput, scenarios[begin + i],
                                EvalDetail::kCostsOnly, worker_scratch())

@@ -100,15 +100,17 @@ class Evaluator {
   /// weighted terms remain non-negative.
   ///
   /// When `pool` is given (and has > 1 worker), scenarios are evaluated in
-  /// parallel chunks while sums accumulate in scenario order with the abort
-  /// bound checked after every term — so the returned SweepResult (sums,
-  /// aborted flag AND scenarios_evaluated) is bit-identical to the
-  /// sequential sweep for any worker count; parallelism only costs up to one
-  /// chunk of wasted evaluations past an abort point.
+  /// parallel rounds of `chunk_size * workers` while sums accumulate in
+  /// scenario order with the abort bound checked after every term — so the
+  /// returned SweepResult (sums, aborted flag AND scenarios_evaluated) is
+  /// bit-identical to the sequential sweep for any worker count or chunk
+  /// size; parallelism only costs up to one round of wasted evaluations past
+  /// an abort point. `chunk_size` trades round fan-out against that waste
+  /// (default 1 = the historical one-scenario-per-worker rounds).
   SweepResult sweep(const WeightSetting& w, std::span<const FailureScenario> scenarios,
                     const CostPair* abort_bound = nullptr,
                     std::span<const double> scenario_weights = {},
-                    ThreadPool* pool = nullptr) const;
+                    ThreadPool* pool = nullptr, std::size_t chunk_size = 1) const;
 
   /// Per-scenario results (for the per-failure figures / metrics).
   std::vector<EvalResult> sweep_detailed(const WeightSetting& w,

@@ -1,0 +1,166 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace dtr {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc{}) throw std::runtime_error("json_number: to_chars failed");
+  return std::string(buf, ptr);
+}
+
+JsonWriter::JsonWriter(std::ostream& os, int indent) : os_(os), indent_(indent) {}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_); ++i)
+    os_ << ' ';
+}
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;  // root value
+  Level& top = stack_.back();
+  if (!top.is_array)
+    throw std::logic_error("JsonWriter: object member emitted without a key");
+  if (top.has_items) os_ << ',';
+  top.has_items = true;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (stack_.empty() || stack_.back().is_array || after_key_)
+    throw std::logic_error("JsonWriter: key() outside an object member position");
+  if (stack_.back().has_items) os_ << ',';
+  stack_.back().has_items = true;
+  newline_indent();
+  os_ << json_escape(k) << (indent_ > 0 ? ": " : ":");
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back({false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back().is_array || after_key_)
+    throw std::logic_error("JsonWriter: unbalanced end_object");
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back({true, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || !stack_.back().is_array || after_key_)
+    throw std::logic_error("JsonWriter: unbalanced end_array");
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  os_ << json_escape(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  os_ << json_number(v);
+  return *this;
+}
+
+namespace {
+
+// Integers go through to_chars like doubles: stream operator<< would
+// inherit the global locale (e.g. "1,000,000") and fmtflags, breaking both
+// JSON validity and the byte-determinism contract.
+template <typename Int>
+std::string int_text(Int v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc{}) throw std::runtime_error("JsonWriter: to_chars failed");
+  return std::string(buf, ptr);
+}
+
+}  // namespace
+
+JsonWriter& JsonWriter::value_int(long long v) {
+  before_value();
+  os_ << int_text(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_uint(unsigned long long v) {
+  before_value();
+  os_ << int_text(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+}  // namespace dtr

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace dtr {
+
+/// Minimal streaming JSON writer with fully deterministic output: object keys
+/// render in the order the caller emits them, doubles use shortest
+/// round-trip formatting (std::to_chars), and strings are escaped per
+/// RFC 8259. The campaign artifacts are diffed byte-for-byte across thread
+/// counts, so nothing here may depend on locale, platform printf behavior,
+/// or hash ordering.
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 = compact single-line output.
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the key of the next object member; must be followed by exactly one
+  /// value (or begin_object/begin_array).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  /// Non-finite doubles have no JSON representation and render as null.
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  /// One template for every integer width; a per-type overload set would
+  /// collide where size_t aliases unsigned long long (e.g. Windows x64).
+  template <typename Int>
+    requires(std::is_integral_v<Int> && !std::is_same_v<Int, bool>)
+  JsonWriter& value(Int v) {
+    if constexpr (std::is_signed_v<Int>) return value_int(static_cast<long long>(v));
+    else return value_uint(static_cast<unsigned long long>(v));
+  }
+  JsonWriter& null();
+
+ private:
+  JsonWriter& value_int(long long v);
+  JsonWriter& value_uint(unsigned long long v);
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  int indent_;
+  struct Level {
+    bool is_array = false;
+    bool has_items = false;
+  };
+  std::vector<Level> stack_;
+  bool after_key_ = false;
+};
+
+/// Quotes and escapes `s` per JSON string rules.
+std::string json_escape(std::string_view s);
+
+/// Shortest round-trip decimal text for `v`; "null" for non-finite values.
+std::string json_number(double v);
+
+}  // namespace dtr

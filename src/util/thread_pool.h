@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
@@ -74,14 +75,39 @@ class ThreadPool {
 /// (`pool == nullptr` or a single worker = plain sequential loop). `worker`
 /// indexes per-worker scratch state; `fn` must only touch index-i output
 /// slots and worker-`worker` scratch for the determinism contract to hold.
+///
+/// `chunk_size == 0` (the default) keeps the one-contiguous-chunk-per-worker
+/// static split. A positive `chunk_size` switches to cyclic chunk
+/// assignment: the range is cut into blocks of `chunk_size` indices and
+/// worker w processes blocks {w, w+W, w+2W, ...} — better load balance when
+/// per-index cost varies (and the NUMA/chunk tuning knob the sweep callers
+/// profile with). Either way the index->worker map stays a pure function of
+/// (n, W, chunk_size), so the determinism contract is unchanged.
 template <typename Fn>
-void parallel_for(ThreadPool* pool, std::size_t n, Fn&& fn) {
+void parallel_for(ThreadPool* pool, std::size_t n, Fn&& fn, std::size_t chunk_size = 0) {
   if (pool == nullptr || pool->num_workers() <= 1 || n <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(std::size_t{0}, i);
     return;
   }
-  pool->run(n, [&fn](std::size_t worker, std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) fn(worker, i);
+  if (chunk_size == 0) {
+    pool->run(n, [&fn](std::size_t worker, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) fn(worker, i);
+    });
+    return;
+  }
+  const std::size_t workers = pool->num_workers();
+  const std::size_t blocks = (n + chunk_size - 1) / chunk_size;
+  // run over [0, W) hands each worker exactly its own index; the body then
+  // walks that worker's cyclic block set.
+  pool->run(workers, [&fn, n, blocks, chunk_size, workers](
+                         std::size_t worker, std::size_t begin, std::size_t end) {
+    for (std::size_t w = begin; w < end; ++w) {
+      for (std::size_t b = w; b < blocks; b += workers) {
+        const std::size_t lo = b * chunk_size;
+        const std::size_t hi = std::min(n, lo + chunk_size);
+        for (std::size_t i = lo; i < hi; ++i) fn(worker, i);
+      }
+    }
   });
 }
 

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/json.h"
+
+namespace dtr {
+namespace {
+
+TEST(JsonWriterTest, CompactObjectArrayAndScalars) {
+  std::ostringstream ss;
+  JsonWriter w(ss, 0);
+  w.begin_object();
+  w.key("a").value(1.5);
+  w.key("b").begin_array().value(true).value(false).null().end_array();
+  w.key("s").value("x");
+  w.key("n").value(42LL);
+  w.end_object();
+  EXPECT_EQ(ss.str(), R"({"a":1.5,"b":[true,false,null],"s":"x","n":42})");
+}
+
+TEST(JsonWriterTest, IndentedLayoutIsStable) {
+  std::ostringstream ss;
+  JsonWriter w(ss, 2);
+  w.begin_object();
+  w.key("k").begin_array().value(1LL).value(2LL).end_array();
+  w.end_object();
+  EXPECT_EQ(ss.str(), "{\n  \"k\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  std::ostringstream ss;
+  JsonWriter w(ss, 2);
+  w.begin_object();
+  w.key("o").begin_object().end_object();
+  w.key("a").begin_array().end_array();
+  w.end_object();
+  EXPECT_EQ(ss.str(), "{\n  \"o\": {},\n  \"a\": []\n}");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  EXPECT_EQ(json_escape("plain"), "\"plain\"");
+  EXPECT_EQ(json_escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(json_escape(std::string("ctl\x01", 4)), "\"ctl\\u0001\"");
+}
+
+TEST(JsonWriterTest, NumbersAreShortestRoundTrip) {
+  EXPECT_EQ(json_number(0.1), "0.1");
+  EXPECT_EQ(json_number(2.0), "2");
+  EXPECT_EQ(json_number(-3.25), "-3.25");
+  // A value with no short representation must still round-trip exactly.
+  const double third = 1.0 / 3.0;
+  EXPECT_EQ(std::stod(json_number(third)), third);
+  const double big = 6.02214076e23;
+  EXPECT_EQ(std::stod(json_number(big)), big);
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  std::ostringstream ss;
+  JsonWriter w(ss, 0);
+  w.begin_array().value(std::nan("")).end_array();
+  EXPECT_EQ(ss.str(), "[null]");
+}
+
+TEST(JsonWriterTest, MisuseThrows) {
+  {
+    std::ostringstream ss;
+    JsonWriter w(ss, 0);
+    w.begin_object();
+    EXPECT_THROW(w.value(1.0), std::logic_error);  // member without a key
+  }
+  {
+    std::ostringstream ss;
+    JsonWriter w(ss, 0);
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key inside an array
+    EXPECT_THROW(w.end_object(), std::logic_error);
+  }
+}
+
+}  // namespace
+}  // namespace dtr

@@ -121,6 +121,44 @@ TEST(ThreadPoolTest, StaticPartitionIsDeterministic) {
   }
 }
 
+TEST(ThreadPoolTest, ChunkedParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::size_t chunk_size : {std::size_t{1}, std::size_t{3}, std::size_t{7},
+                                 std::size_t{50}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(101);
+    parallel_for(
+        &pool, hits.size(), [&](std::size_t, std::size_t i) { ++hits[i]; },
+        chunk_size);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << "chunk_size=" << chunk_size;
+  }
+}
+
+TEST(ThreadPoolTest, ChunkedAssignmentIsCyclicAndDeterministic) {
+  ThreadPool pool(3);
+  const std::size_t chunk_size = 4;
+  const std::size_t n = 26;  // deliberately not a multiple of chunk or workers
+  std::vector<int> owner(n, -1);
+  parallel_for(
+      &pool, n, [&](std::size_t worker, std::size_t i) { owner[i] = static_cast<int>(worker); },
+      chunk_size);
+  // Block b of 4 indices belongs to worker b % 3 — a pure function of
+  // (n, W, chunk_size), the determinism contract.
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(owner[i], static_cast<int>((i / chunk_size) % 3)) << "i=" << i;
+}
+
+TEST(ThreadPoolTest, ChunkedFallsBackToSequentialWithoutPool) {
+  std::vector<int> hits(20, 0);
+  parallel_for(
+      nullptr, hits.size(),
+      [&](std::size_t worker, std::size_t i) {
+        EXPECT_EQ(worker, 0u);
+        ++hits[i];
+      },
+      3);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
 TEST(ThreadPoolTest, RejectsNegativeThreadCount) {
   EXPECT_THROW(ThreadPool(-1), std::invalid_argument);
 }
