@@ -102,6 +102,36 @@ BENCHMARK(BM_FailureSweepThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(0)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Incremental (delta-SPF) failure evaluation vs full recompute
+// (EvaluatorConfig::incremental). Results are bit-identical — the PR's
+// acceptance metric is the wall-clock ratio of Arg(1) over Arg(0) on the
+// all-link-failures sweep that dominates the optimizer's Phase 2 and every
+// campaign profile.
+// ---------------------------------------------------------------------------
+
+void BM_FailureSweepIncremental(benchmark::State& state) {
+  const bool incremental = state.range(0) != 0;
+  const Workload& workload = fixture().workload;
+  EvaluatorConfig config;
+  config.incremental = incremental;
+  const Evaluator ev(workload.graph, workload.traffic, workload.params, config);
+  WeightSetting w(ev.graph().num_links());
+  Rng rng(seed_from_env(1));
+  randomize_weights(w, 30, rng);
+  const std::vector<FailureScenario> scenarios = all_link_failures(ev.graph());
+
+  double checksum = 0.0;
+  for (auto _ : state) {
+    const auto results = ev.evaluate_failures(w, scenarios);
+    checksum += results.front().phi;
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetLabel(incremental ? "incremental" : "full");
+  state.counters["links"] = static_cast<double>(ev.graph().num_links());
+}
+BENCHMARK(BM_FailureSweepIncremental)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_CriticalSearchThreads(benchmark::State& state) {
   const Effort effort = effort_from_env(Effort::kQuick);
   const int num_threads = static_cast<int>(state.range(0));

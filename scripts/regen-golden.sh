@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates the CI golden campaign artifact (tests/golden/campaign_smoke.json)
+# from tests/golden/campaign_smoke.spec.
+#
+# The CI bench-smoke job runs the same campaign and `diff`s its output against
+# the checked-in JSON, so silent metric regressions fail CI. Only regenerate
+# after an INTENTIONAL metric change, commit the new JSON together with the
+# change that caused it, and explain the diff in the PR.
+#
+# The artifact is byte-identical across worker counts and execution shapes by
+# design (dtr.campaign.v1 determinism contract). It is also expected to be
+# byte-identical across x86-64 Linux toolchains: all metric arithmetic is
+# IEEE-754 +-*/ (no FMA contraction at the default targets) and the JSON
+# writer emits shortest-round-trip doubles. If a toolchain ever breaks that
+# expectation, regenerate on an environment matching CI (ubuntu-latest, gcc,
+# Release) and note it here.
+#
+# Usage: scripts/regen-golden.sh [build-dir]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target dtr_tool
+
+"$BUILD_DIR"/examples/dtr_tool campaign \
+  --spec tests/golden/campaign_smoke.spec \
+  --json tests/golden/campaign_smoke.json \
+  --workers 2
+
+echo "regenerated tests/golden/campaign_smoke.json:"
+git --no-pager diff --stat -- tests/golden/campaign_smoke.json

@@ -74,6 +74,128 @@ std::vector<std::vector<double>> all_pairs_distances_to(
   return d;
 }
 
+std::ptrdiff_t delta_spf_remove_arcs(const Graph& g, std::span<const double> arc_cost,
+                                     ArcAliveMask new_alive,
+                                     std::span<const ArcId> removed_arcs,
+                                     std::vector<double>& dist,
+                                     std::size_t max_affected, DeltaSpfScratch& scratch) {
+  if (arc_cost.size() != g.num_arcs())
+    throw std::invalid_argument("delta_spf_remove_arcs: arc_cost size mismatch");
+  if (!new_alive.empty() && new_alive.size() != g.num_arcs())
+    throw std::invalid_argument("delta_spf_remove_arcs: alive mask size mismatch");
+  if (dist.size() != g.num_nodes())
+    throw std::invalid_argument("delta_spf_remove_arcs: dist size mismatch");
+  if (removed_arcs.empty()) return 0;
+
+  // Node states this epoch. Undecided nodes (stale stamp) are, for the
+  // support checks below, indistinguishable from unaffected ones — which is
+  // exactly right: a node that never becomes a candidate keeps its distance.
+  enum : std::uint8_t { kUnaffected = 1, kAffected = 2, kFinalized = 3 };
+  ++scratch.epoch_;
+  scratch.stamp_.resize(g.num_nodes(), 0);
+  scratch.state_.resize(g.num_nodes(), 0);
+  scratch.label_.resize(g.num_nodes(), 0.0);
+  const auto state_of = [&](NodeId u) -> std::uint8_t {
+    return scratch.stamp_[u] == scratch.epoch_ ? scratch.state_[u] : 0;
+  };
+  const auto set_state = [&](NodeId u, std::uint8_t s) {
+    scratch.stamp_[u] = scratch.epoch_;
+    scratch.state_[u] = s;
+  };
+
+  auto& heap = scratch.heap_;  // min-heap of (old dist, node) candidates
+  heap.clear();
+  scratch.affected_.clear();
+  const auto push = [&](double key, NodeId u) {
+    heap.emplace_back(key, u);
+    std::push_heap(heap.begin(), heap.end(), std::greater<>());
+  };
+  const auto pop = [&] {
+    std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+    const auto top = heap.back();
+    heap.pop_back();
+    return top;
+  };
+
+  // Phase 1 — identify the affected region. A removed arc mattered for its
+  // source u only if it realized u's label EXACTLY (Dijkstra's output always
+  // has at least one out-arc with dist[u] == cost + dist[head], in the very
+  // float arithmetic this repeats). Candidates are processed in increasing
+  // old-distance order; positive costs make every exact support strictly
+  // distance-decreasing, so a candidate's supports are already decided when
+  // it is popped.
+  for (ArcId a : removed_arcs) {
+    const Arc& arc = g.arc(a);
+    if (dist[arc.src] == kInfDist || dist[arc.dst] == kInfDist) continue;
+    if (dist[arc.src] == arc_cost[a] + dist[arc.dst]) push(dist[arc.src], arc.src);
+  }
+  while (!heap.empty()) {
+    const auto [d, u] = pop();
+    if (state_of(u) != 0) continue;  // already decided
+    bool supported = false;
+    for (ArcId a : g.out_arcs(u)) {
+      if (!arc_is_alive(new_alive, a)) continue;
+      const NodeId v = g.arc(a).dst;
+      if (dist[v] == kInfDist || state_of(v) == kAffected) continue;
+      if (dist[u] == arc_cost[a] + dist[v]) {
+        supported = true;
+        break;
+      }
+    }
+    if (supported) {
+      set_state(u, kUnaffected);
+      continue;
+    }
+    set_state(u, kAffected);
+    scratch.affected_.push_back(u);
+    if (scratch.affected_.size() > max_affected) return -1;  // dist untouched so far
+    for (ArcId b : g.in_arcs(u)) {
+      if (!arc_is_alive(new_alive, b)) continue;
+      const NodeId w = g.arc(b).src;
+      if (dist[w] == kInfDist || state_of(w) != 0) continue;
+      if (dist[w] == arc_cost[b] + dist[u]) push(dist[w], w);
+    }
+  }
+  if (scratch.affected_.empty()) return 0;
+
+  // Phase 2 — Dijkstra restricted to the affected region, seeded from the
+  // unaffected boundary (whose labels are final and unchanged). Sums are
+  // formed tail-first exactly like the full Dijkstra, so recomputed labels
+  // are the same min over the same float path sums.
+  heap.clear();
+  for (NodeId u : scratch.affected_) {
+    double best = kInfDist;
+    for (ArcId a : g.out_arcs(u)) {
+      if (!arc_is_alive(new_alive, a)) continue;
+      const NodeId v = g.arc(a).dst;
+      if (dist[v] == kInfDist || state_of(v) == kAffected) continue;
+      const double cand = dist[v] + arc_cost[a];
+      if (cand < best) best = cand;
+    }
+    scratch.label_[u] = best;
+    if (best != kInfDist) push(best, u);
+  }
+  while (!heap.empty()) {
+    const auto [d, u] = pop();
+    if (state_of(u) == kFinalized || d > scratch.label_[u]) continue;  // stale entry
+    set_state(u, kFinalized);
+    dist[u] = d;
+    for (ArcId b : g.in_arcs(u)) {
+      if (!arc_is_alive(new_alive, b)) continue;
+      const NodeId w = g.arc(b).src;
+      if (state_of(w) != kAffected) continue;  // only pending affected nodes
+      const double cand = d + arc_cost[b];
+      if (cand < scratch.label_[w]) {
+        scratch.label_[w] = cand;
+        push(cand, w);
+      }
+    }
+  }
+  for (NodeId u : scratch.affected_)
+    if (state_of(u) != kFinalized) dist[u] = kInfDist;  // cut off entirely
+  return static_cast<std::ptrdiff_t>(scratch.affected_.size());
+}
+
 void hop_distances_from(const Graph& g, NodeId s, ArcAliveMask arc_alive,
                         std::vector<int>& hops) {
   if (s >= g.num_nodes()) throw std::out_of_range("hop_distances_from: source");

@@ -36,6 +36,53 @@ void shortest_distances_from(const Graph& g, NodeId s,
 std::vector<std::vector<double>> all_pairs_distances_to(
     const Graph& g, std::span<const double> arc_cost);
 
+/// Reusable buffers for delta_spf_remove_arcs. The incremental failure path
+/// calls the delta update once per destination per scenario, so the scratch
+/// keeps every allocation alive across calls (epoch-stamped state array, no
+/// O(n) clears).
+class DeltaSpfScratch {
+ public:
+  DeltaSpfScratch() = default;
+
+ private:
+  friend std::ptrdiff_t delta_spf_remove_arcs(const Graph& g,
+                                              std::span<const double> arc_cost,
+                                              ArcAliveMask new_alive,
+                                              std::span<const ArcId> removed_arcs,
+                                              std::vector<double>& dist,
+                                              std::size_t max_affected,
+                                              DeltaSpfScratch& scratch);
+
+  std::vector<std::uint64_t> stamp_;  ///< state_/label_ valid iff == epoch_
+  std::vector<std::uint8_t> state_;
+  std::vector<double> label_;
+  std::vector<std::pair<double, NodeId>> heap_;
+  std::vector<NodeId> affected_;
+  std::uint64_t epoch_ = 0;
+};
+
+/// Incremental (Ramalingam–Reps-style) update of destination distance labels
+/// when a set of arcs is removed: identifies the nodes whose shortest path
+/// relied on a removed arc and re-runs Dijkstra over that region only,
+/// seeding from the unaffected boundary.
+///
+/// `dist` must be the output of shortest_distances_to under the pre-removal
+/// mask (every removed arc alive); `new_alive` is the post-removal mask
+/// (every removed arc dead). Alive arc costs must be positive. On return,
+/// `dist` equals what shortest_distances_to would produce under `new_alive`,
+/// bit for bit: distances of unaffected nodes are untouched, and recomputed
+/// ones are the same min-of-float-sums a full Dijkstra evaluates.
+///
+/// Returns the number of recomputed nodes, or -1 when that count would
+/// exceed `max_affected` — `dist` is then left fully unchanged so the caller
+/// can fall back to a full recompute.
+std::ptrdiff_t delta_spf_remove_arcs(const Graph& g, std::span<const double> arc_cost,
+                                     ArcAliveMask new_alive,
+                                     std::span<const ArcId> removed_arcs,
+                                     std::vector<double>& dist,
+                                     std::size_t max_affected,
+                                     DeltaSpfScratch& scratch);
+
 /// Minimum hop counts from s over alive arcs (BFS); -1 when unreachable.
 void hop_distances_from(const Graph& g, NodeId s, ArcAliveMask arc_alive,
                         std::vector<int>& hops);

@@ -10,8 +10,27 @@
 
 namespace dtr {
 
-Evaluator::Evaluator(const Graph& g, const ClassedTraffic& traffic, EvalParams params)
-    : graph_(g), traffic_(traffic), params_(params) {
+struct Evaluator::IncrementalBase {
+  ClassRouting delay;
+  ClassRouting tput;
+  RoutingBaseRecord delay_record;
+  RoutingBaseRecord tput_record;
+};
+
+namespace {
+
+/// Arc-removal scenarios patch cleanly from the no-failure base; node
+/// failures also drop the node's demands, which the replay records don't
+/// capture — those take the full path.
+bool incremental_eligible(const FailureScenario& s) {
+  return s.kind != FailureScenario::Kind::kNode;
+}
+
+}  // namespace
+
+Evaluator::Evaluator(const Graph& g, const ClassedTraffic& traffic, EvalParams params,
+                     EvaluatorConfig config)
+    : graph_(g), traffic_(traffic), params_(params), config_(config) {
   if (traffic.delay.num_nodes() != g.num_nodes() ||
       traffic.throughput.num_nodes() != g.num_nodes())
     throw std::invalid_argument("Evaluator: traffic/graph size mismatch");
@@ -46,15 +65,50 @@ EvalResult Evaluator::evaluate(const WeightSetting& w, const FailureScenario& sc
   return evaluate_impl(scratch.cost_delay, scratch.cost_tput, scenario, detail, scratch);
 }
 
+bool Evaluator::prepare_incremental_base(std::span<const double> cost_delay,
+                                         std::span<const double> cost_tput,
+                                         std::span<const FailureScenario> scenarios,
+                                         IncrementalBase& base) const {
+  if (!config_.incremental) return false;
+  // The base costs about one full routing to build; with fewer than two
+  // eligible scenarios to patch from it, it cannot pay for itself. The
+  // threshold depends only on the scenario list, so results stay independent
+  // of the execution shape.
+  const auto eligible =
+      std::count_if(scenarios.begin(), scenarios.end(), incremental_eligible);
+  if (eligible < 2) return false;
+  base.delay.compute(graph_, cost_delay, traffic_.delay, {}, kInvalidNode,
+                     &base.delay_record);
+  base.tput.compute(graph_, cost_tput, traffic_.throughput, {}, kInvalidNode,
+                    &base.tput_record);
+  return true;
+}
+
 EvalResult Evaluator::evaluate_impl(std::span<const double> cost_delay,
                                     std::span<const double> cost_tput,
                                     const FailureScenario& scenario, EvalDetail detail,
-                                    Scratch& s) const {
+                                    Scratch& s, const IncrementalBase* base) const {
   build_alive_mask(graph_, scenario, s.mask);
   const NodeId skip = skipped_node(scenario);
 
-  s.delay_routing.compute(graph_, cost_delay, traffic_.delay, s.mask, skip);
-  s.tput_routing.compute(graph_, cost_tput, traffic_.throughput, s.mask, skip);
+  if (base != nullptr && incremental_eligible(scenario)) {
+    s.removed.clear();
+    if (scenario.kind != FailureScenario::Kind::kNone) {
+      for (ArcId a : graph_.link_arcs(scenario.id)) s.removed.push_back(a);
+      if (scenario.kind == FailureScenario::Kind::kLinkPair)
+        for (ArcId a : graph_.link_arcs(scenario.id2)) s.removed.push_back(a);
+    }
+    const double fraction = config_.incremental_max_affected_fraction;
+    s.delay_routing.compute_from_base(graph_, cost_delay, traffic_.delay, base->delay,
+                                      base->delay_record, s.removed, s.mask, fraction,
+                                      s.failure);
+    s.tput_routing.compute_from_base(graph_, cost_tput, traffic_.throughput, base->tput,
+                                     base->tput_record, s.removed, s.mask, fraction,
+                                     s.failure);
+  } else {
+    s.delay_routing.compute(graph_, cost_delay, traffic_.delay, s.mask, skip);
+    s.tput_routing.compute(graph_, cost_tput, traffic_.throughput, s.mask, skip);
+  }
   const ClassRouting& delay_routing = s.delay_routing;
   const ClassRouting& tput_routing = s.tput_routing;
 
@@ -121,9 +175,14 @@ std::vector<EvalResult> Evaluator::evaluate_failures(
   w.arc_costs(graph_, TrafficClass::kDelay, cost_delay);
   w.arc_costs(graph_, TrafficClass::kThroughput, cost_tput);
 
+  IncrementalBase base;
+  const IncrementalBase* base_ptr =
+      prepare_incremental_base(cost_delay, cost_tput, scenarios, base) ? &base : nullptr;
+
   std::vector<EvalResult> out(scenarios.size());
   parallel_for(pool, scenarios.size(), [&](std::size_t, std::size_t i) {
-    out[i] = evaluate_impl(cost_delay, cost_tput, scenarios[i], detail, worker_scratch());
+    out[i] = evaluate_impl(cost_delay, cost_tput, scenarios[i], detail, worker_scratch(),
+                           base_ptr);
   });
   return out;
 }
@@ -188,12 +247,16 @@ SweepResult Evaluator::sweep(const WeightSetting& w,
   w.arc_costs(graph_, TrafficClass::kDelay, cost_delay);
   w.arc_costs(graph_, TrafficClass::kThroughput, cost_tput);
 
+  IncrementalBase base;
+  const IncrementalBase* base_ptr =
+      prepare_incremental_base(cost_delay, cost_tput, scenarios, base) ? &base : nullptr;
+
   if (pool == nullptr || pool->num_workers() <= 1 || scenarios.size() <= 1) {
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
       const double weight = scenario_weights.empty() ? 1.0 : scenario_weights[i];
       if (weight < 0.0) throw std::invalid_argument("Evaluator::sweep: negative weight");
       const CostPair r = evaluate_impl(cost_delay, cost_tput, scenarios[i],
-                                       EvalDetail::kCostsOnly, worker_scratch())
+                                       EvalDetail::kCostsOnly, worker_scratch(), base_ptr)
                              .cost();
       if (accumulate(weight * r.lambda, weight * r.phi)) return sum;
     }
@@ -207,7 +270,7 @@ SweepResult Evaluator::sweep(const WeightSetting& w,
     const std::size_t count = std::min(round, scenarios.size() - begin);
     parallel_for(pool, count, [&](std::size_t, std::size_t i) {
       chunk[i] = evaluate_impl(cost_delay, cost_tput, scenarios[begin + i],
-                               EvalDetail::kCostsOnly, worker_scratch())
+                               EvalDetail::kCostsOnly, worker_scratch(), base_ptr)
                      .cost();
     });
     for (std::size_t i = 0; i < count; ++i) {

@@ -32,6 +32,27 @@ struct EvalParams {
 /// figures need.
 enum class EvalDetail : std::uint8_t { kCostsOnly, kFull };
 
+/// Execution knobs for the incremental (delta-SPF) failure-evaluation fast
+/// path. Separate from the cost-model EvalParams: these change HOW results
+/// are computed, never WHAT — both paths produce bit-identical results
+/// (test-enforced), so every incremental artifact can be cross-checked by
+/// flipping `incremental` off.
+struct EvaluatorConfig {
+  /// Batched link-failure evaluation (evaluate_failures / sweep /
+  /// sweep_detailed) computes one shared no-failure base routing per call
+  /// and patches each arc-removal scenario from it: distance labels are
+  /// delta-updated per destination and untouched destinations replay their
+  /// recorded load contributions instead of re-aggregating. Node-failure
+  /// scenarios always take the full path (their skip semantics change the
+  /// demand set, not just arcs).
+  bool incremental = true;
+  /// Per-destination fallback: when a failure invalidates more than this
+  /// fraction of one destination's distance labels, that destination is
+  /// recomputed with a full Dijkstra — past this point the delta bookkeeping
+  /// stops paying for itself.
+  double incremental_max_affected_fraction = 0.25;
+};
+
 struct EvalResult {
   double lambda = 0.0;  ///< SLA cost of delay-sensitive traffic
   double phi = 0.0;     ///< Fortz congestion cost of throughput-sensitive traffic
@@ -77,11 +98,13 @@ struct SweepResult {
 /// The evaluator never mutates the graph: failures are arc liveness masks.
 class Evaluator {
  public:
-  Evaluator(const Graph& g, const ClassedTraffic& traffic, EvalParams params);
+  Evaluator(const Graph& g, const ClassedTraffic& traffic, EvalParams params,
+            EvaluatorConfig config = {});
 
   const Graph& graph() const { return graph_; }
   const ClassedTraffic& traffic() const { return traffic_; }
   const EvalParams& params() const { return params_; }
+  const EvaluatorConfig& config() const { return config_; }
 
   EvalResult evaluate(const WeightSetting& w,
                       const FailureScenario& scenario = FailureScenario::none(),
@@ -152,15 +175,31 @@ class Evaluator {
     std::vector<double> total_load;
     std::vector<double> arc_delay;
     std::vector<double> sd_delay;
+    std::vector<ArcId> removed;
     ClassRouting delay_routing;
     ClassRouting tput_routing;
+    FailureScratch failure;
   };
 
+  /// Shared no-failure base for the incremental path: both class routings
+  /// plus their replay records, computed once per batch call on the calling
+  /// thread and read concurrently by every worker.
+  struct IncrementalBase;
+
   /// Core evaluation with pre-expanded arc costs and caller-owned scratch.
+  /// A non-null `base` routes eligible scenarios through the incremental
+  /// path (bit-identical to the full one).
   EvalResult evaluate_impl(std::span<const double> cost_delay,
                            std::span<const double> cost_tput,
                            const FailureScenario& scenario, EvalDetail detail,
-                           Scratch& scratch) const;
+                           Scratch& scratch, const IncrementalBase* base = nullptr) const;
+
+  /// Fills `base` when the config and scenario mix warrant the incremental
+  /// path; returns whether it did.
+  bool prepare_incremental_base(std::span<const double> cost_delay,
+                                std::span<const double> cost_tput,
+                                std::span<const FailureScenario> scenarios,
+                                IncrementalBase& base) const;
 
   /// The calling thread's persistent scratch. Pool workers are long-lived,
   /// so batched evaluations reuse buffers across calls, not just within one.
@@ -169,6 +208,7 @@ class Evaluator {
   const Graph& graph_;
   ClassedTraffic traffic_;
   EvalParams params_;
+  EvaluatorConfig config_;
   double phi_uncap_ = 0.0;
   std::size_t delay_pairs_ = 0;
 };

@@ -73,6 +73,18 @@ std::vector<std::vector<NodeId>> enumerate_ecmp_paths(
   return paths;
 }
 
+void RoutingBaseRecord::reset(std::size_t num_nodes) {
+  contrib_offset.clear();
+  contrib_offset.reserve(num_nodes + 1);
+  contrib_offset.push_back(0);
+  contrib_arc.clear();
+  contrib_val.clear();
+  disconnected.clear();
+  disconnected.reserve(num_nodes);
+  disconnected_volume.clear();
+  disconnected_volume.reserve(num_nodes);
+}
+
 ClassRouting::ClassRouting(const Graph& g, std::span<const double> arc_cost,
                            const TrafficMatrix& demands, ArcAliveMask alive_mask,
                            NodeId skip_node) {
@@ -81,7 +93,7 @@ ClassRouting::ClassRouting(const Graph& g, std::span<const double> arc_cost,
 
 void ClassRouting::compute(const Graph& g, std::span<const double> arc_cost,
                            const TrafficMatrix& demands, ArcAliveMask alive_mask,
-                           NodeId skip_node) {
+                           NodeId skip_node, RoutingBaseRecord* record) {
   if (demands.num_nodes() != g.num_nodes())
     throw std::invalid_argument("ClassRouting: traffic matrix / graph size mismatch");
 
@@ -90,61 +102,145 @@ void ClassRouting::compute(const Graph& g, std::span<const double> arc_cost,
   dist_.resize(n);
   disconnected_ = 0;
   disconnected_volume_ = 0.0;
-
-  node_flow_.assign(n, 0.0);
-  order_.clear();
-  order_.reserve(n);
-  std::vector<double>& node_flow = node_flow_;
-  std::vector<NodeId>& order = order_;
+  if (record != nullptr) record->reset(n);
 
   for (NodeId t = 0; t < n; ++t) {
     shortest_distances_to(g, t, arc_cost, alive_mask, dist_[t]);
-    if (t == skip_node) continue;
-    const auto& dist = dist_[t];
-
-    // Seed node flows with the demands toward t.
-    bool any_flow = false;
-    std::fill(node_flow.begin(), node_flow.end(), 0.0);
-    for (NodeId s = 0; s < n; ++s) {
-      if (s == t || s == skip_node) continue;
-      const double d = demands.at(s, t);
-      if (d <= 0.0) continue;
-      if (dist[s] == kInfDist) {
-        ++disconnected_;
-        disconnected_volume_ += d;
-        continue;
-      }
-      node_flow[s] = d;
-      any_flow = true;
+    if (t != skip_node) {
+      sweep_destination(g, arc_cost, demands, alive_mask, skip_node, t, record);
+    } else if (record != nullptr) {
+      record->disconnected.push_back(0);
+      record->disconnected_volume.push_back(0.0);
     }
-    if (!any_flow) continue;
+    if (record != nullptr) record->contrib_offset.push_back(record->contrib_arc.size());
+  }
+}
 
-    // Process reachable nodes in decreasing distance; each node's flow splits
-    // evenly over its tight out-arcs.
-    order.clear();
-    for (NodeId u = 0; u < n; ++u)
-      if (u != t && dist[u] != kInfDist) order.push_back(u);
-    std::sort(order.begin(), order.end(),
-              [&](NodeId a, NodeId b) { return dist[a] > dist[b]; });
+void ClassRouting::sweep_destination(const Graph& g, std::span<const double> arc_cost,
+                                     const TrafficMatrix& demands, ArcAliveMask alive_mask,
+                                     NodeId skip_node, NodeId t,
+                                     RoutingBaseRecord* record) {
+  const std::size_t n = g.num_nodes();
+  const auto& dist = dist_[t];
+  std::vector<double>& node_flow = node_flow_;
+  std::vector<NodeId>& order = order_;
+  node_flow.assign(n, 0.0);
 
-    for (NodeId u : order) {
-      const double flow = node_flow[u];
-      if (flow <= 0.0) continue;
-      int tight_count = 0;
-      for (ArcId a : g.out_arcs(u))
-        if (alive(alive_mask, a) && arc_is_tight(g.arc(a), arc_cost[a], dist)) ++tight_count;
-      if (tight_count == 0) {
-        // Cannot happen for finite-dist nodes (a tight arc realizes dist),
-        // but guard against inconsistent masks.
-        throw std::logic_error("ClassRouting: node with flow has no tight out-arc");
+  // Seed node flows with the demands toward t. Disconnection is accumulated
+  // as a per-destination subtotal so the incremental path's replay adds the
+  // exact same float terms in the exact same grouping.
+  bool any_flow = false;
+  std::uint32_t dest_disconnected = 0;
+  double dest_volume = 0.0;
+  for (NodeId s = 0; s < n; ++s) {
+    if (s == t || s == skip_node) continue;
+    const double d = demands.at(s, t);
+    if (d <= 0.0) continue;
+    if (dist[s] == kInfDist) {
+      ++dest_disconnected;
+      dest_volume += d;
+      continue;
+    }
+    node_flow[s] = d;
+    any_flow = true;
+  }
+  disconnected_ += dest_disconnected;
+  disconnected_volume_ += dest_volume;
+  if (record != nullptr) {
+    record->disconnected.push_back(dest_disconnected);
+    record->disconnected_volume.push_back(dest_volume);
+  }
+  if (!any_flow) return;
+
+  // Process reachable nodes in decreasing distance; each node's flow splits
+  // evenly over its tight out-arcs.
+  order.clear();
+  for (NodeId u = 0; u < n; ++u)
+    if (u != t && dist[u] != kInfDist) order.push_back(u);
+  std::sort(order.begin(), order.end(),
+            [&](NodeId a, NodeId b) { return dist[a] > dist[b]; });
+
+  for (NodeId u : order) {
+    const double flow = node_flow[u];
+    if (flow <= 0.0) continue;
+    int tight_count = 0;
+    for (ArcId a : g.out_arcs(u))
+      if (alive(alive_mask, a) && arc_is_tight(g.arc(a), arc_cost[a], dist)) ++tight_count;
+    if (tight_count == 0) {
+      // Cannot happen for finite-dist nodes (a tight arc realizes dist),
+      // but guard against inconsistent masks.
+      throw std::logic_error("ClassRouting: node with flow has no tight out-arc");
+    }
+    const double share = flow / tight_count;
+    for (ArcId a : g.out_arcs(u)) {
+      if (!alive(alive_mask, a) || !arc_is_tight(g.arc(a), arc_cost[a], dist)) continue;
+      arc_load_[a] += share;
+      node_flow[g.arc(a).dst] += share;
+      if (record != nullptr) {
+        record->contrib_arc.push_back(a);
+        record->contrib_val.push_back(share);
       }
-      const double share = flow / tight_count;
-      for (ArcId a : g.out_arcs(u)) {
-        if (!alive(alive_mask, a) || !arc_is_tight(g.arc(a), arc_cost[a], dist)) continue;
-        arc_load_[a] += share;
-        node_flow[g.arc(a).dst] += share;
+    }
+    node_flow[u] = 0.0;
+  }
+}
+
+void ClassRouting::compute_from_base(const Graph& g, std::span<const double> arc_cost,
+                                     const TrafficMatrix& demands,
+                                     const ClassRouting& base,
+                                     const RoutingBaseRecord& record,
+                                     std::span<const ArcId> removed_arcs,
+                                     ArcAliveMask alive_mask,
+                                     double max_affected_fraction,
+                                     FailureScratch& scratch) {
+  if (demands.num_nodes() != g.num_nodes())
+    throw std::invalid_argument("ClassRouting: traffic matrix / graph size mismatch");
+  const std::size_t n = g.num_nodes();
+  if (base.dist_.size() != n || record.contrib_offset.size() != n + 1)
+    throw std::invalid_argument("compute_from_base: base/record don't match this graph");
+
+  arc_load_.assign(g.num_arcs(), 0.0);
+  dist_.resize(n);
+  disconnected_ = 0;
+  disconnected_volume_ = 0.0;
+
+  const std::size_t cap =
+      max_affected_fraction >= 1.0
+          ? n
+          : static_cast<std::size_t>(std::max(0.0, max_affected_fraction) *
+                                     static_cast<double>(n));
+
+  for (NodeId t = 0; t < n; ++t) {
+    dist_[t] = base.dist_[t];
+    const std::ptrdiff_t touched = delta_spf_remove_arcs(
+        g, arc_cost, alive_mask, removed_arcs, dist_[t], cap, scratch.spf_);
+    bool affected = touched != 0;
+    if (touched < 0) {
+      // Delta would touch too much of this destination: full Dijkstra is
+      // cheaper than the delta bookkeeping (dist_[t] is still the untouched
+      // base copy here).
+      shortest_distances_to(g, t, arc_cost, alive_mask, dist_[t]);
+    }
+    if (!affected) {
+      // Distances survived, but a removed arc that was tight (by the sweep's
+      // epsilon predicate) still changes the ECMP splits at its source.
+      for (ArcId a : removed_arcs) {
+        if (arc_is_tight(g.arc(a), arc_cost[a], dist_[t])) {
+          affected = true;
+          break;
+        }
       }
-      node_flow[u] = 0.0;
+    }
+    if (affected) {
+      sweep_destination(g, arc_cost, demands, alive_mask, kInvalidNode, t, nullptr);
+    } else {
+      // Untouched DAG: replay the base contributions. Every accumulator
+      // receives the same float terms in the same destination order as a
+      // full recompute, so the patched state is bitwise identical.
+      for (std::size_t i = record.contrib_offset[t]; i < record.contrib_offset[t + 1]; ++i)
+        arc_load_[record.contrib_arc[i]] += record.contrib_val[i];
+      disconnected_ += record.disconnected[t];
+      disconnected_volume_ += record.disconnected_volume[t];
     }
   }
 }

@@ -20,6 +20,38 @@ enum class SlaDelayMode : std::uint8_t {
   kWorstPath,
 };
 
+/// Per-destination slices of a no-failure base routing, recorded while
+/// ClassRouting::compute runs so the incremental failure path can replay an
+/// unaffected destination's contribution verbatim: same values added to the
+/// same accumulators in the same destination order means the patched arc
+/// loads and disconnection totals are bitwise identical to a full recompute.
+struct RoutingBaseRecord {
+  /// CSR over destinations: destination t's load contributions are
+  /// [contrib_offset[t], contrib_offset[t+1]) in contrib_arc/contrib_val.
+  /// Each arc appears at most once per destination (its source node is swept
+  /// exactly once), so replay order within a destination is immaterial.
+  std::vector<std::size_t> contrib_offset;
+  std::vector<ArcId> contrib_arc;
+  std::vector<double> contrib_val;
+  /// Per-destination disconnected-demand subtotals.
+  std::vector<std::uint32_t> disconnected;
+  std::vector<double> disconnected_volume;
+
+  void reset(std::size_t num_nodes);
+};
+
+/// Reusable per-worker scratch for ClassRouting::compute_from_base (the
+/// delta-SPF buffers). One instance per worker thread, reused across
+/// scenario evaluations to keep the incremental hot path allocation-free.
+class FailureScratch {
+ public:
+  FailureScratch() = default;
+
+ private:
+  friend class ClassRouting;
+  DeltaSpfScratch spf_;
+};
+
 /// Routing state of ONE traffic class under a given arc-cost vector and arc
 /// liveness mask: per-destination distance labels (defining the ECMP
 /// shortest-path DAGs) and the per-arc loads of this class's demands.
@@ -40,10 +72,30 @@ class ClassRouting {
   /// allocations across many scenario evaluations.
   ClassRouting() = default;
 
-  /// (Re)computes the routing, reusing previously allocated buffers.
+  /// (Re)computes the routing, reusing previously allocated buffers. When
+  /// `record` is given it is filled with the per-destination slices the
+  /// incremental failure path (compute_from_base) replays.
   void compute(const Graph& g, std::span<const double> arc_cost,
                const TrafficMatrix& demands, ArcAliveMask alive,
-               NodeId skip_node = kInvalidNode);
+               NodeId skip_node = kInvalidNode, RoutingBaseRecord* record = nullptr);
+
+  /// Incremental recompute of this routing under an arc-removal failure,
+  /// patching from `base` — the same graph/costs/demands with every removed
+  /// arc alive, computed WITH `record`. Produces bitwise-identical state to
+  /// compute() under `alive`: per destination, distance labels are
+  /// delta-updated (falling back to a full Dijkstra when the delta would
+  /// touch more than `max_affected_fraction` of the nodes), and load /
+  /// disconnection contributions are replayed from the record when the
+  /// destination's DAG is untouched, re-swept otherwise.
+  ///
+  /// `alive` must be the base mask with exactly `removed_arcs` cleared.
+  /// Node-failure scenarios (skip semantics) are not supported; use
+  /// compute().
+  void compute_from_base(const Graph& g, std::span<const double> arc_cost,
+                         const TrafficMatrix& demands, const ClassRouting& base,
+                         const RoutingBaseRecord& record,
+                         std::span<const ArcId> removed_arcs, ArcAliveMask alive,
+                         double max_affected_fraction, FailureScratch& scratch);
 
   std::span<const double> arc_loads() const { return arc_load_; }
   double arc_load(ArcId a) const { return arc_load_[a]; }
@@ -67,6 +119,15 @@ class ClassRouting {
                          NodeId skip_node, std::vector<double>& out) const;
 
  private:
+  /// Seeds the demands toward `t` (counting its disconnected demand as a
+  /// per-destination subtotal) and runs the decreasing-distance ECMP load
+  /// sweep over dist_[t]. Appends the destination's slices to `record` when
+  /// given. Shared by the full and incremental paths so their per-destination
+  /// float operations are literally the same code.
+  void sweep_destination(const Graph& g, std::span<const double> arc_cost,
+                         const TrafficMatrix& demands, ArcAliveMask alive_mask,
+                         NodeId skip_node, NodeId t, RoutingBaseRecord* record);
+
   std::vector<double> arc_load_;
   std::vector<std::vector<double>> dist_;
   std::size_t disconnected_ = 0;

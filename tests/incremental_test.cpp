@@ -1,0 +1,184 @@
+/// Incremental vs full failure evaluation: EvaluatorConfig::incremental is a
+/// pure execution knob. These tests enforce the PR's acceptance contract —
+/// bit-identical FailureProfile / EvalResult bytes between the delta-SPF
+/// fast path and the full recompute, across randomized topologies, weight
+/// settings, every single-link failure, and 1 vs 8 worker threads.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/metrics.h"
+#include "routing/evaluator.h"
+#include "routing/failures.h"
+#include "test_helpers.h"
+#include "util/thread_pool.h"
+
+namespace dtr {
+namespace {
+
+using test::make_test_instance;
+using test::TestInstance;
+
+void expect_results_identical(const EvalResult& a, const EvalResult& b) {
+  EXPECT_EQ(a.lambda, b.lambda);
+  EXPECT_EQ(a.phi, b.phi);
+  EXPECT_EQ(a.sla_violations, b.sla_violations);
+  EXPECT_EQ(a.disconnected_delay_pairs, b.disconnected_delay_pairs);
+  EXPECT_EQ(a.disconnected_tput_pairs, b.disconnected_tput_pairs);
+  EXPECT_EQ(a.arc_total_load, b.arc_total_load);
+  EXPECT_EQ(a.arc_utilization, b.arc_utilization);
+  EXPECT_EQ(a.sd_delay_ms, b.sd_delay_ms);
+  EXPECT_EQ(a.carries_delay_traffic, b.carries_delay_traffic);
+}
+
+/// Bitwise comparison: double == would accept -0.0 vs 0.0 and miss NaN, so
+/// the profile vectors are compared as raw bytes.
+void expect_profile_bytes_identical(const FailureProfile& a, const FailureProfile& b) {
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  ASSERT_EQ(a.lambda.size(), b.lambda.size());
+  ASSERT_EQ(a.phi.size(), b.phi.size());
+  const auto bytes_equal = [](const std::vector<double>& x, const std::vector<double>& y) {
+    return x.empty() ||
+           std::memcmp(x.data(), y.data(), x.size() * sizeof(double)) == 0;
+  };
+  EXPECT_TRUE(bytes_equal(a.violations, b.violations));
+  EXPECT_TRUE(bytes_equal(a.lambda, b.lambda));
+  EXPECT_TRUE(bytes_equal(a.phi, b.phi));
+  EXPECT_EQ(a.phi_uncap, b.phi_uncap);
+}
+
+WeightSetting random_weights(const Graph& g, int wmax, std::uint64_t seed) {
+  WeightSetting w(g.num_links());
+  Rng rng(seed);
+  randomize_weights(w, wmax, rng);
+  return w;
+}
+
+TEST(IncrementalTest, FailureProfileBytesMatchFullPathAcrossInstances) {
+  // Randomized topologies x weight settings x all single-link failures.
+  struct Case {
+    int nodes;
+    double degree;
+    std::uint64_t seed;
+  };
+  for (const Case& c : {Case{10, 4.0, 7}, Case{14, 5.0, 19}, Case{18, 3.0, 31}}) {
+    const TestInstance inst = make_test_instance(c.nodes, c.degree, c.seed);
+    const Evaluator incremental(inst.graph, inst.traffic, inst.params,
+                                {.incremental = true});
+    const Evaluator full(inst.graph, inst.traffic, inst.params, {.incremental = false});
+    const std::vector<FailureScenario> scenarios = all_link_failures(inst.graph);
+
+    ThreadPool one(1);
+    ThreadPool eight(8);
+    for (const std::uint64_t wseed : {c.seed + 1, c.seed + 2}) {
+      const WeightSetting w = random_weights(inst.graph, 30, wseed);
+      const FailureProfile reference = profile_failures(full, w, scenarios, &one);
+      expect_profile_bytes_identical(reference,
+                                     profile_failures(incremental, w, scenarios, &one));
+      expect_profile_bytes_identical(reference,
+                                     profile_failures(incremental, w, scenarios, &eight));
+      expect_profile_bytes_identical(reference,
+                                     profile_failures(full, w, scenarios, &eight));
+    }
+  }
+}
+
+TEST(IncrementalTest, FullDetailMatchesOnBridgeTopology) {
+  // Path-like topology: failures disconnect demand, exercising the
+  // disconnection replay subtotals at kFull detail.
+  Graph g(6);
+  for (NodeId u = 0; u + 1 < 6; ++u) g.add_link(u, u + 1, 200.0, 1.0);
+  g.add_link(1, 3, 200.0, 1.0);  // one alternative, so not everything severs
+  TrafficMatrix total = make_gravity_traffic(g, {1.0, 1.0, 11});
+  const ClassedTraffic traffic = split_by_class(total, 0.30);
+
+  const Evaluator incremental(g, traffic, {}, {.incremental = true});
+  const Evaluator full(g, traffic, {}, {.incremental = false});
+  const std::vector<FailureScenario> scenarios = all_link_failures(g);
+  const WeightSetting w = random_weights(g, 20, 5);
+
+  const auto inc = incremental.evaluate_failures(w, scenarios, nullptr, EvalDetail::kFull);
+  const auto ref = full.evaluate_failures(w, scenarios, nullptr, EvalDetail::kFull);
+  ASSERT_EQ(inc.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) expect_results_identical(inc[i], ref[i]);
+}
+
+TEST(IncrementalTest, MixedScenarioKindsMatchFullPath) {
+  // Node failures must fall back to the full path inside an otherwise
+  // incremental batch; link pairs ride the delta update with 4 dead arcs.
+  const TestInstance inst = make_test_instance(12, 4.0, 13);
+  const Evaluator incremental(inst.graph, inst.traffic, inst.params,
+                              {.incremental = true});
+  const Evaluator full(inst.graph, inst.traffic, inst.params, {.incremental = false});
+
+  std::vector<FailureScenario> scenarios;
+  scenarios.push_back(FailureScenario::none());
+  for (LinkId l = 0; l < inst.graph.num_links(); l += 2)
+    scenarios.push_back(FailureScenario::link(l));
+  for (NodeId v = 0; v < inst.graph.num_nodes(); v += 3)
+    scenarios.push_back(FailureScenario::node(v));
+  for (LinkId l = 0; l + 4 < inst.graph.num_links(); l += 5)
+    scenarios.push_back(FailureScenario::link_pair(l, l + 4));
+
+  const WeightSetting w = random_weights(inst.graph, 25, 99);
+  ThreadPool eight(8);
+  const auto inc = incremental.evaluate_failures(w, scenarios, &eight, EvalDetail::kFull);
+  const auto ref = full.evaluate_failures(w, scenarios, nullptr, EvalDetail::kFull);
+  ASSERT_EQ(inc.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) expect_results_identical(inc[i], ref[i]);
+}
+
+TEST(IncrementalTest, SweepMatchesFullPathIncludingEarlyAbort) {
+  const TestInstance inst = make_test_instance(12, 4.0, 17);
+  const Evaluator incremental(inst.graph, inst.traffic, inst.params,
+                              {.incremental = true});
+  const Evaluator full(inst.graph, inst.traffic, inst.params, {.incremental = false});
+  const std::vector<FailureScenario> scenarios = all_link_failures(inst.graph);
+  const WeightSetting w = random_weights(inst.graph, 30, 23);
+
+  ThreadPool eight(8);
+  const SweepResult ref = full.sweep(w, scenarios);
+  for (ThreadPool* pool : {static_cast<ThreadPool*>(nullptr), &eight}) {
+    const SweepResult inc = incremental.sweep(w, scenarios, nullptr, {}, pool);
+    EXPECT_EQ(ref.lambda, inc.lambda);
+    EXPECT_EQ(ref.phi, inc.phi);
+    EXPECT_EQ(ref.scenarios_evaluated, inc.scenarios_evaluated);
+  }
+
+  const CostPair bound{ref.lambda / 2.0, ref.phi / 2.0};
+  const SweepResult ref_aborted = full.sweep(w, scenarios, &bound);
+  const SweepResult inc_aborted = incremental.sweep(w, scenarios, &bound, {}, &eight);
+  EXPECT_EQ(ref_aborted.aborted, inc_aborted.aborted);
+  EXPECT_EQ(ref_aborted.lambda, inc_aborted.lambda);
+  EXPECT_EQ(ref_aborted.phi, inc_aborted.phi);
+  EXPECT_EQ(ref_aborted.scenarios_evaluated, inc_aborted.scenarios_evaluated);
+}
+
+TEST(IncrementalTest, FallbackFractionIsPureExecutionKnob) {
+  // Any fallback threshold — always-delta (1.0), never-delta (0.0), or the
+  // default — must yield the same bytes.
+  const TestInstance inst = make_test_instance(12, 4.0, 29);
+  const std::vector<FailureScenario> scenarios = all_link_failures(inst.graph);
+  const WeightSetting w = random_weights(inst.graph, 30, 41);
+
+  const Evaluator full(inst.graph, inst.traffic, inst.params, {.incremental = false});
+  const FailureProfile reference = profile_failures(full, w, scenarios);
+  for (const double fraction : {0.0, 0.25, 1.0}) {
+    const Evaluator ev(
+        inst.graph, inst.traffic, inst.params,
+        {.incremental = true, .incremental_max_affected_fraction = fraction});
+    expect_profile_bytes_identical(reference, profile_failures(ev, w, scenarios));
+  }
+}
+
+TEST(IncrementalTest, ConfigDefaultsToIncremental) {
+  const TestInstance inst = make_test_instance(8, 3.0, 3);
+  const Evaluator ev(inst.graph, inst.traffic, inst.params);
+  EXPECT_TRUE(ev.config().incremental);
+  EXPECT_GT(ev.config().incremental_max_affected_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace dtr

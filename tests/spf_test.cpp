@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/spf.h"
@@ -138,6 +140,115 @@ TEST(SpfTest, PropagationDiameterOfRing) {
 TEST(SpfTest, PropagationDiameterDegenerate) {
   Graph g(1);
   EXPECT_DOUBLE_EQ(propagation_diameter_ms(g), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// delta_spf_remove_arcs: the incremental update must reproduce a from-scratch
+// Dijkstra bit for bit, for every destination and every removed link.
+// ---------------------------------------------------------------------------
+
+std::vector<double> weight_costs(const Graph& g, int wmax, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> costs(g.num_arcs());
+  // Both directions of a link share the weight, like WeightSetting expansion.
+  std::vector<double> link_weight(g.num_links());
+  for (double& w : link_weight) w = static_cast<double>(rng.uniform_int(1, wmax));
+  for (ArcId a = 0; a < g.num_arcs(); ++a) costs[a] = link_weight[g.arc(a).link];
+  return costs;
+}
+
+void expect_delta_matches_full(const Graph& g, std::span<const double> costs) {
+  DeltaSpfScratch scratch;
+  std::vector<double> base, delta, full;
+  std::vector<std::uint8_t> alive(g.num_arcs(), 1);
+  std::vector<ArcId> removed;
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    removed.assign(g.link_arcs(l).begin(), g.link_arcs(l).end());
+    for (ArcId a : removed) alive[a] = 0;
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      shortest_distances_to(g, t, costs, {}, base);
+      delta = base;
+      const std::ptrdiff_t touched = delta_spf_remove_arcs(
+          g, costs, alive, removed, delta, g.num_nodes(), scratch);
+      ASSERT_GE(touched, 0);
+      shortest_distances_to(g, t, costs, alive, full);
+      ASSERT_EQ(delta, full) << "link " << l << " dest " << t;
+    }
+    for (ArcId a : removed) alive[a] = 1;
+  }
+}
+
+TEST(DeltaSpfTest, MatchesFullRecomputeOnRandomTopologies) {
+  for (const std::uint64_t seed : {1ull, 5ull, 23ull}) {
+    const Graph g = make_rand_topo({14, 4.0, 500.0, seed});
+    expect_delta_matches_full(g, weight_costs(g, 20, seed + 100));
+  }
+}
+
+TEST(DeltaSpfTest, MatchesFullRecomputeWithDisconnection) {
+  // A path graph: every link is a bridge, so removals cut nodes off and the
+  // delta update must drive the severed side to infinity.
+  Graph g(6);
+  for (NodeId u = 0; u + 1 < 6; ++u) g.add_link(u, u + 1, 100.0, 1.0);
+  expect_delta_matches_full(g, weight_costs(g, 7, 3));
+}
+
+TEST(DeltaSpfTest, MatchesFullRecomputeOnLinkPairs) {
+  const Graph g = make_rand_topo({12, 4.0, 500.0, 9});
+  const std::vector<double> costs = weight_costs(g, 15, 42);
+  DeltaSpfScratch scratch;
+  std::vector<double> base, delta, full;
+  std::vector<std::uint8_t> alive(g.num_arcs(), 1);
+  std::vector<ArcId> removed;
+  for (LinkId l1 = 0; l1 < g.num_links(); l1 += 3) {
+    for (LinkId l2 = l1 + 1; l2 < g.num_links(); l2 += 5) {
+      removed.assign(g.link_arcs(l1).begin(), g.link_arcs(l1).end());
+      removed.insert(removed.end(), g.link_arcs(l2).begin(), g.link_arcs(l2).end());
+      for (ArcId a : removed) alive[a] = 0;
+      for (NodeId t = 0; t < g.num_nodes(); ++t) {
+        shortest_distances_to(g, t, costs, {}, base);
+        delta = base;
+        ASSERT_GE(delta_spf_remove_arcs(g, costs, alive, removed, delta,
+                                        g.num_nodes(), scratch),
+                  0);
+        shortest_distances_to(g, t, costs, alive, full);
+        ASSERT_EQ(delta, full) << "links " << l1 << "+" << l2 << " dest " << t;
+      }
+      for (ArcId a : removed) alive[a] = 1;
+    }
+  }
+}
+
+TEST(DeltaSpfTest, NoRemovalIsANoOp) {
+  const Graph g = test::make_ring_with_chords(10);
+  const std::vector<double> costs = weight_costs(g, 9, 2);
+  DeltaSpfScratch scratch;
+  std::vector<double> dist, expect;
+  shortest_distances_to(g, 4, costs, {}, dist);
+  expect = dist;
+  EXPECT_EQ(delta_spf_remove_arcs(g, costs, {}, {}, dist, g.num_nodes(), scratch), 0);
+  EXPECT_EQ(dist, expect);
+}
+
+TEST(DeltaSpfTest, AffectedCapAbortsWithDistUntouched) {
+  // Path graph, destination at one end, cut the first link: every other node
+  // is affected, so any cap below n-1 must abort and leave dist unchanged.
+  Graph g(6);
+  for (NodeId u = 0; u + 1 < 6; ++u) g.add_link(u, u + 1, 100.0, 1.0);
+  const std::vector<double> costs(g.num_arcs(), 1.0);
+  std::vector<std::uint8_t> alive(g.num_arcs(), 1);
+  for (ArcId a : g.link_arcs(0)) alive[a] = 0;
+  const std::vector<ArcId> removed(g.link_arcs(0).begin(), g.link_arcs(0).end());
+
+  DeltaSpfScratch scratch;
+  std::vector<double> base, dist;
+  // Toward destination 0, removing link 0 cuts nodes 1..5 off: 5 affected.
+  shortest_distances_to(g, 0, costs, {}, base);
+  dist = base;
+  EXPECT_EQ(delta_spf_remove_arcs(g, costs, alive, removed, dist, 2, scratch), -1);
+  EXPECT_EQ(dist, base);
+  dist = base;
+  EXPECT_EQ(delta_spf_remove_arcs(g, costs, alive, removed, dist, 5, scratch), 5);
 }
 
 }  // namespace
