@@ -9,6 +9,9 @@
 ///   --list             print the cell ids and exit
 ///   --workers N        cell-level shards (default 0 = hardware concurrency)
 ///   --inner-threads N  per-cell engine threads when cells run sequentially
+///   --no-incremental   disable the delta-SPF failure-evaluation fast path
+///   --no-base-cache    disable the weights-keyed base-routing cache
+///   --no-delay-dp      disable the incremental end-to-end delay DP
 ///
 /// The JSON artifact is byte-identical for any --workers/--inner-threads
 /// combination (the campaign engine's determinism contract), so artifacts
@@ -32,6 +35,7 @@ struct BenchArgs {
   bool list = false;
   int workers = 0;
   int inner_threads = 1;
+  EvaluatorConfig eval_config{};
 };
 
 inline BenchArgs parse_bench_args(int argc, char** argv) {
@@ -58,10 +62,14 @@ inline BenchArgs parse_bench_args(int argc, char** argv) {
     else if (arg == "--filter") args.filter = next();
     else if (arg == "--workers") args.workers = next_count();
     else if (arg == "--inner-threads") args.inner_threads = next_count();
+    else if (arg == "--no-incremental") args.eval_config.incremental = false;
+    else if (arg == "--no-base-cache") args.eval_config.base_routing_cache = false;
+    else if (arg == "--no-delay-dp") args.eval_config.incremental_delay = false;
     else {
       std::cerr << argv[0] << ": unknown flag " << arg
                 << " (flags: --json PATH, --filter SUBSTR, --list, --workers N, "
-                   "--inner-threads N)\n";
+                   "--inner-threads N, --no-incremental, --no-base-cache, "
+                   "--no-delay-dp)\n";
       std::exit(2);
     }
   }
@@ -82,7 +90,8 @@ inline bool apply_bench_args(const BenchArgs& args, Campaign& campaign) {
 /// Runs the campaign sharded per the CLI args and writes the JSON artifact
 /// when --json was given.
 inline CampaignResult run_bench_campaign(const BenchArgs& args, const Campaign& campaign) {
-  CampaignResult result = run_campaign(campaign, {args.workers, args.inner_threads});
+  CampaignResult result =
+      run_campaign(campaign, {args.workers, args.inner_threads, args.eval_config});
   if (!args.json_path.empty()) {
     std::ofstream out(args.json_path);
     if (!out) {

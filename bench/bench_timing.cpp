@@ -10,10 +10,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_common.h"
+#include "experiments/bench_report.h"
 #include "routing/failures.h"
 #include "util/thread_pool.h"
 
@@ -104,17 +109,20 @@ BENCHMARK(BM_FailureSweepThreads)
 
 // ---------------------------------------------------------------------------
 // Incremental (delta-SPF) failure evaluation vs full recompute
-// (EvaluatorConfig::incremental). Results are bit-identical — the PR's
-// acceptance metric is the wall-clock ratio of Arg(1) over Arg(0) on the
-// all-link-failures sweep that dominates the optimizer's Phase 2 and every
-// campaign profile.
+// (EvaluatorConfig::incremental), with and without the incremental delay DP
+// (EvaluatorConfig::incremental_delay). Results are bit-identical — the
+// acceptance metric is the wall-clock ratio on the all-link-failures sweep
+// that dominates the optimizer's Phase 2 and every campaign profile.
 // ---------------------------------------------------------------------------
 
 void BM_FailureSweepIncremental(benchmark::State& state) {
   const bool incremental = state.range(0) != 0;
+  const bool delay_dp = state.range(1) != 0;
   const Workload& workload = fixture().workload;
   EvaluatorConfig config;
   config.incremental = incremental;
+  config.incremental_delay = delay_dp;
+  config.base_routing_cache = false;  // isolate the per-call cost
   const Evaluator ev(workload.graph, workload.traffic, workload.params, config);
   WeightSetting w(ev.graph().num_links());
   Rng rng(seed_from_env(1));
@@ -127,10 +135,40 @@ void BM_FailureSweepIncremental(benchmark::State& state) {
     checksum += results.front().phi;
   }
   benchmark::DoNotOptimize(checksum);
-  state.SetLabel(incremental ? "incremental" : "full");
+  state.SetLabel(!incremental ? "full" : (delay_dp ? "incremental+delay-dp" : "incremental"));
   state.counters["links"] = static_cast<double>(ev.graph().num_links());
 }
-BENCHMARK(BM_FailureSweepIncremental)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FailureSweepIncremental)
+    ->ArgNames({"incremental", "delay_dp"})
+    ->Args({0, 0})->Args({1, 0})->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Base-routing cache (EvaluatorConfig::base_routing_cache) on the Phase-2
+// local-search workload: every candidate is a normal evaluation followed by
+// a critical-scenario sweep of the SAME weights, so the cache turns two full
+// base routings per candidate into one (plus delay-DP skips inside the
+// sweep). Results are bit-identical; this bench is the PR's before/after
+// acceptance number.
+// ---------------------------------------------------------------------------
+
+void BM_Phase2BaseCache(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  const Effort effort = effort_from_env(Effort::kQuick);
+  const Workload& workload = fixture().workload;
+  EvaluatorConfig config;
+  config.base_routing_cache = cached;
+  const Evaluator ev(workload.graph, workload.traffic, workload.params, config);
+  OptimizeResult last;
+  for (auto _ : state) {
+    last = run_optimizer(ev, effort, seed_from_env(1), [](OptimizerConfig&) {});
+  }
+  report_phases(state, last);
+  state.SetLabel(cached ? "base-cache" : "no-cache");
+  state.counters["cache_hits"] = static_cast<double>(last.base_cache_hits);
+  state.counters["cache_misses"] = static_cast<double>(last.base_cache_misses);
+}
+BENCHMARK(BM_Phase2BaseCache)->Arg(0)->Arg(1)->Unit(benchmark::kSecond)->Iterations(1);
 
 void BM_CriticalSearchThreads(benchmark::State& state) {
   const Effort effort = effort_from_env(Effort::kQuick);
@@ -147,6 +185,67 @@ void BM_CriticalSearchThreads(benchmark::State& state) {
 BENCHMARK(BM_CriticalSearchThreads)->Arg(1)->Arg(0)->Unit(benchmark::kSecond)
     ->Iterations(1);
 
+/// Console reporter that also collects every run for the dtr.bench.v1
+/// perf-trajectory artifact (--bench-json). Only fields stable across
+/// google-benchmark 1.7-1.8 are touched.
+class CollectingReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      dtr::experiments::BenchEntry entry;
+      entry.name = run.benchmark_name();
+      if (run.iterations > 0)
+        entry.real_ms =
+            run.real_accumulated_time / static_cast<double>(run.iterations) * 1e3;
+      for (const auto& [name, counter] : run.counters)
+        entry.counters.emplace_back(name, counter.value);
+      entries.push_back(std::move(entry));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<dtr::experiments::BenchEntry> entries;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip the artifact flags before google-benchmark parses the rest.
+  std::string bench_json, bench_sha;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> char* {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--bench-json") bench_json = next();
+    else if (arg == "--bench-sha") bench_sha = next();
+    else passthrough.push_back(argv[i]);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) return 1;
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!bench_json.empty()) {
+    dtr::experiments::BenchReport report;
+    report.sha = bench_sha;
+    report.effort = to_string(effort_from_env(Effort::kQuick));
+    report.entries = std::move(reporter.entries);
+    std::ofstream out(bench_json);
+    if (!out) {
+      std::cerr << "cannot write " << bench_json << "\n";
+      return 1;
+    }
+    dtr::experiments::write_bench_json(out, report);
+    std::cout << "wrote bench JSON to " << bench_json << "\n";
+  }
+  return 0;
+}

@@ -12,6 +12,7 @@
 ///            [--out-dot FILE] [--report]
 ///   dtr_tool campaign --spec FILE [--json FILE] [--workers N]
 ///            [--inner-threads N] [--filter SUBSTR] [--list] [--timings]
+///            [--no-incremental] [--no-base-cache] [--no-delay-dp]
 ///
 /// Examples:
 ///   dtr_tool --topology isp --report --out-weights isp.weights
@@ -114,6 +115,10 @@ int run_campaign_command(int argc, char** argv) {
   std::string spec_path, json_path, filter;
   int workers = 0, inner_threads = 1;
   bool list = false, timings = false;
+  // Evaluator execution knobs: results are bit-identical for every setting
+  // (the CI golden gate proves it across the config corners); these exist to
+  // cross-check the fast paths and to time them.
+  dtr::EvaluatorConfig eval_config;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
@@ -134,6 +139,9 @@ int run_campaign_command(int argc, char** argv) {
     else if (arg == "--inner-threads") inner_threads = next_count();
     else if (arg == "--list") list = true;
     else if (arg == "--timings") timings = true;
+    else if (arg == "--no-incremental") eval_config.incremental = false;
+    else if (arg == "--no-base-cache") eval_config.base_routing_cache = false;
+    else if (arg == "--no-delay-dp") eval_config.incremental_delay = false;
     else usage_error("unknown campaign flag: " + arg);
   }
   if (spec_path.empty()) usage_error("campaign needs --spec FILE");
@@ -153,7 +161,7 @@ int run_campaign_command(int argc, char** argv) {
   }
 
   const exp::CampaignResult result =
-      exp::run_campaign(campaign, {workers, inner_threads});
+      exp::run_campaign(campaign, {workers, inner_threads, eval_config});
 
   exp::CampaignJsonOptions json_options;
   json_options.include_timings = timings;

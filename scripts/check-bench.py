@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate for the CI perf job.
+
+Merges the bench_timing dtr.bench.v1 artifact with the (timing-enabled)
+campaign_smoke dtr.campaign.v1 artifact into one BENCH_<sha>.json, then
+compares it against the checked-in bench/baseline.json:
+
+- STRUCTURAL problems are BLOCKING (exit 1): missing/malformed inputs, a
+  wrong schema, or baseline benchmarks that vanished from the current run
+  (a silently dropped benchmark would blind the trajectory).
+- SLOWDOWNS are ADVISORY by default: entries slower than --threshold (x)
+  times their baseline emit ::warning annotations but exit 0 — CI-runner
+  timing noise must not block merges. Pass --strict to make them fail.
+
+Regenerate the baseline after an intentional perf change by copying the
+merged artifact over it:  cp BENCH_<sha>.json bench/baseline.json
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_BENCH = "dtr.bench.v1"
+SCHEMA_CAMPAIGN = "dtr.campaign.v1"
+
+
+def fail(message: str) -> None:
+    print(f"::error::check-bench: {message}")
+    sys.exit(1)
+
+
+def load_json(path: str, schema: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {path}: {e}")
+    if data.get("schema") != schema:
+        fail(f"{path}: expected schema {schema}, got {data.get('schema')!r}")
+    return data
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", required=True, help="bench_timing dtr.bench.v1 JSON")
+    parser.add_argument("--campaign", help="campaign JSON written with --timings")
+    parser.add_argument("--baseline", help="checked-in baseline (dtr.bench.v1)")
+    parser.add_argument("--out", help="write the merged dtr.bench.v1 artifact here")
+    parser.add_argument("--sha", default="", help="override the artifact's sha field")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="advisory slowdown ratio (default 2.0)")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat slowdowns beyond the threshold as failures")
+    args = parser.parse_args()
+
+    report = load_json(args.bench, SCHEMA_BENCH)
+    entries = report.get("benchmarks")
+    if not isinstance(entries, list) or not entries:
+        fail(f"{args.bench}: no benchmarks recorded")
+    for entry in entries:
+        if "name" not in entry or "real_ms" not in entry:
+            fail(f"{args.bench}: malformed benchmark entry {entry!r}")
+
+    if args.campaign:
+        campaign = load_json(args.campaign, SCHEMA_CAMPAIGN)
+        cells = campaign.get("cells", [])
+        if not cells:
+            fail(f"{args.campaign}: campaign has no cells")
+        for cell in cells:
+            if cell.get("error"):
+                fail(f"{args.campaign}: cell {cell.get('id')} failed: {cell['error']}")
+            if "seconds" not in cell:
+                fail(f"{args.campaign}: cell {cell.get('id')} has no timings "
+                     "(run the campaign with --timings)")
+            entries.append({"name": f"campaign/{cell['id']}",
+                            "real_ms": cell["seconds"] * 1e3})
+        if "seconds" in campaign:
+            entries.append({"name": "campaign/total",
+                            "real_ms": campaign["seconds"] * 1e3})
+
+    if args.sha:
+        report["sha"] = args.sha
+    report["benchmarks"] = entries
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"wrote merged perf artifact to {args.out}")
+
+    if not args.baseline:
+        return 0
+
+    baseline = load_json(args.baseline, SCHEMA_BENCH)
+    current = {e["name"]: e["real_ms"] for e in entries}
+    slow, missing = [], []
+    for entry in baseline.get("benchmarks", []):
+        name, base_ms = entry["name"], entry["real_ms"]
+        if name not in current:
+            missing.append(name)
+            continue
+        cur_ms = current[name]
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        marker = " <-- SLOW" if ratio > args.threshold else ""
+        print(f"  {name}: {cur_ms:.3f} ms vs baseline {base_ms:.3f} ms "
+              f"({ratio:.2f}x){marker}")
+        if ratio > args.threshold:
+            slow.append((name, ratio))
+    for name in sorted(set(current) - {e["name"] for e in baseline.get("benchmarks", [])}):
+        print(f"  {name}: {current[name]:.3f} ms (new — not in baseline; "
+              "refresh bench/baseline.json to start tracking it)")
+
+    if missing:
+        fail("benchmarks present in the baseline but missing from this run: "
+             + ", ".join(missing))
+    if slow:
+        for name, ratio in slow:
+            print(f"::warning::check-bench: {name} is {ratio:.2f}x slower than "
+                  f"baseline (advisory threshold {args.threshold}x)")
+        if args.strict:
+            fail(f"{len(slow)} benchmark(s) beyond the threshold in --strict mode")
+    else:
+        print(f"all {len(current)} benchmarks within {args.threshold}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

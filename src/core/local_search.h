@@ -81,7 +81,10 @@ class LocalSearch {
     /// count — accepts are rare in descent, so most speculation pays off.
     /// Requires `objective.evaluate` to be safe to call concurrently
     /// (observers and accept hooks still run on the calling thread, in
-    /// order). nullptr = sequential.
+    /// order). Evaluator-backed objectives satisfy this: its evaluation
+    /// entry points are const and its base-routing cache is internally
+    /// synchronized, so speculative probes may populate the cache from any
+    /// worker. nullptr = sequential.
     ThreadPool* pool = nullptr;
   };
 

@@ -146,6 +146,7 @@ OptimizeResult RobustOptimizer::optimize() {
   }
 
   OptimizeResult result;
+  const EvaluatorCacheStats cache_before = evaluator_.base_cache_stats();
 
   // ---------------- Phase 1: regular optimization (Eq. 3) -----------------
   const auto phase1_start = Clock::now();
@@ -309,6 +310,10 @@ OptimizeResult RobustOptimizer::optimize() {
   result.phase2_scenario_evaluations = robust_objective.scenario_evaluations();
   result.phase2_diversifications = phase2.diversifications;
   result.phase2_seconds = seconds_since(phase2_start);
+
+  const EvaluatorCacheStats cache_after = evaluator_.base_cache_stats();
+  result.base_cache_hits = cache_after.hits - cache_before.hits;
+  result.base_cache_misses = cache_after.misses - cache_before.misses;
   return result;
 }
 

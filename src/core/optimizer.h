@@ -84,6 +84,12 @@ struct OptimizeResult {
   long phase2_scenario_evaluations = 0;  ///< failure-scenario evals inside Phase 2
   int phase1_diversifications = 0;
   int phase2_diversifications = 0;
+
+  /// Evaluator base-routing-cache activity during this run (all zero when
+  /// the cache is disabled) — the observability hook behind the perf CI's
+  /// cache on/off benchmarks.
+  std::uint64_t base_cache_hits = 0;
+  std::uint64_t base_cache_misses = 0;
 };
 
 /// The paper's two-phase heuristic (Fig. 1): Phase 1 optimizes K_normal and

@@ -1,5 +1,7 @@
 #include "cost/sla.h"
 
+#include <limits>
+
 namespace dtr {
 
 bool sla_violated(double delay_ms, const SlaParams& params) {
@@ -9,6 +11,19 @@ bool sla_violated(double delay_ms, const SlaParams& params) {
 double sla_cost(double delay_ms, const SlaParams& params) {
   if (!sla_violated(delay_ms, params)) return 0.0;
   return params.b1 + params.b2 * (delay_ms - params.theta_ms);
+}
+
+SlaAggregate accumulate_sla_cost(std::span<double> sd_delay_ms, const SlaParams& params,
+                                 double disconnect_delay_ms) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  SlaAggregate agg;
+  for (double& d : sd_delay_ms) {
+    if (d < 0.0) continue;                      // no demand
+    if (d == kInf) d = disconnect_delay_ms;     // unreachable: charged, capped
+    agg.lambda += sla_cost(d, params);
+    if (sla_violated(d, params)) ++agg.violations;
+  }
+  return agg;
 }
 
 }  // namespace dtr

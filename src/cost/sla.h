@@ -1,5 +1,7 @@
 #pragma once
 
+#include <span>
+
 namespace dtr {
 
 /// SLA cost of Eq. (2) for one SD pair:
@@ -18,5 +20,19 @@ struct SlaParams {
 bool sla_violated(double delay_ms, const SlaParams& params);
 
 double sla_cost(double delay_ms, const SlaParams& params);
+
+/// Eq. (2) summed over a per-pair delay vector (the evaluator's sd_delay
+/// layout: entries < 0 mean "no demand" and are skipped; +infinity marks a
+/// disconnected pair and is REPLACED in place by `disconnect_delay_ms`, then
+/// charged like any other delay). One shared accumulation routine so the
+/// full, incremental, and cached evaluation paths add the exact same float
+/// terms in the exact same order — the byte-identity contract leans on it.
+struct SlaAggregate {
+  double lambda = 0.0;
+  int violations = 0;
+};
+
+SlaAggregate accumulate_sla_cost(std::span<double> sd_delay_ms, const SlaParams& params,
+                                 double disconnect_delay_ms);
 
 }  // namespace dtr

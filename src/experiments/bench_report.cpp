@@ -1,0 +1,32 @@
+#include "experiments/bench_report.h"
+
+#include <ostream>
+
+#include "util/json.h"
+
+namespace dtr::experiments {
+
+void write_bench_json(std::ostream& os, const BenchReport& report) {
+  JsonWriter json(os);
+  json.begin_object();
+  json.key("schema").value(kBenchSchema);
+  json.key("sha").value(report.sha);
+  json.key("effort").value(report.effort);
+  json.key("benchmarks").begin_array();
+  for (const BenchEntry& entry : report.entries) {
+    json.begin_object();
+    json.key("name").value(entry.name);
+    json.key("real_ms").value(entry.real_ms);
+    if (!entry.counters.empty()) {
+      json.key("counters").begin_object();
+      for (const auto& [name, value] : entry.counters) json.key(name).value(value);
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  os << "\n";
+}
+
+}  // namespace dtr::experiments

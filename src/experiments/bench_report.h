@@ -1,0 +1,38 @@
+#pragma once
+
+/// Schema-versioned perf-trajectory artifact (BENCH_<sha>.json): a flat list
+/// of named wall-clock samples written with the deterministic util/json
+/// writer. The CI perf job emits one per commit, uploads it, and compares it
+/// against the checked-in bench/baseline.json via scripts/check-bench.py —
+/// timings are machine-dependent, so the artifact records them for trend
+/// analysis and the gate only warns past a generous regression threshold.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dtr::experiments {
+
+/// Schema identifier embedded in every perf artifact; bump when the layout
+/// changes incompatibly.
+inline constexpr std::string_view kBenchSchema = "dtr.bench.v1";
+
+/// One timed sample: a benchmark (or campaign cell) name, its per-iteration
+/// wall-clock in milliseconds, and optional named counters.
+struct BenchEntry {
+  std::string name;
+  double real_ms = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+struct BenchReport {
+  std::string sha;     ///< commit identity; empty when unknown
+  std::string effort;  ///< workload effort the samples ran at
+  std::vector<BenchEntry> entries;
+};
+
+void write_bench_json(std::ostream& os, const BenchReport& report);
+
+}  // namespace dtr::experiments

@@ -87,7 +87,8 @@ CampaignResult run_campaign(const Campaign& campaign, const CampaignOptions& opt
     if (inner_pool->num_workers() <= 1) inner_pool.reset();
   }
   const CellContext ctx{inner_pool ? &*inner_pool : nullptr,
-                        inner_pool ? static_cast<int>(inner_pool->num_workers()) : 1};
+                        inner_pool ? static_cast<int>(inner_pool->num_workers()) : 1,
+                        options.eval_config};
 
   CampaignResult out;
   out.name = campaign.name;
@@ -131,7 +132,8 @@ std::vector<StressSeries> evaluate_fluctuations(const Workload& base,
                                                 std::span<const WeightSetting> routings,
                                                 std::span<const LinkId> top,
                                                 const FluctuationSpec& fluct,
-                                                std::uint64_t seed, ThreadPool* pool) {
+                                                std::uint64_t seed, ThreadPool* pool,
+                                                const EvaluatorConfig& eval_config) {
   if (fluct.trials < 0)
     throw std::invalid_argument("evaluate_fluctuations: negative trials");
   const auto trials = static_cast<std::size_t>(fluct.trials);
@@ -161,7 +163,9 @@ std::vector<StressSeries> evaluate_fluctuations(const Workload& base,
   const std::size_t cols = routings.size() * top.size();
   std::vector<double> violations(trials * cols), phi(trials * cols);
   parallel_for(pool, trials, [&](std::size_t, std::size_t t) {
-    const Evaluator evaluator(base.graph, actual[t], base.params);
+    // One evaluator (and thus one base cache) per trial: each routing's base
+    // is built on the first failure evaluation and patched for the rest.
+    const Evaluator evaluator(base.graph, actual[t], base.params, eval_config);
     const double denom = std::max(evaluator.phi_uncap(), 1e-9);
     for (std::size_t r = 0; r < routings.size(); ++r) {
       for (std::size_t i = 0; i < top.size(); ++i) {
@@ -199,7 +203,7 @@ MetricRow standard_cell_rep(const CampaignCell& cell, Effort effort,
   spec.seed = rep_seed;
   Workload w = make_workload(spec);
   if (cell.graph_override != nullptr) w.graph = *cell.graph_override;
-  const Evaluator evaluator(w.graph, w.traffic, w.params);
+  const Evaluator evaluator(w.graph, w.traffic, w.params, ctx.eval_config);
   const OptimizeResult opt =
       run_optimizer(evaluator, effort, rep_seed, [&](OptimizerConfig& config) {
         config.num_threads = ctx.inner_threads;
@@ -241,9 +245,9 @@ MetricRow standard_cell_rep(const CampaignCell& cell, Effort effort,
     const std::vector<LinkId> top =
         worst_failure_links(regular, cell.fluctuation.top_fraction);
     const WeightSetting routings[] = {opt.robust, opt.regular};
-    const std::vector<StressSeries> stress =
-        evaluate_fluctuations(w, routings, top, cell.fluctuation,
-                              rep_seed + cell.fluctuation.seed_offset, ctx.inner_pool);
+    const std::vector<StressSeries> stress = evaluate_fluctuations(
+        w, routings, top, cell.fluctuation, rep_seed + cell.fluctuation.seed_offset,
+        ctx.inner_pool, ctx.eval_config);
     std::vector<double> base_violations, base_phi;
     const double denom = std::max(robust.phi_uncap, 1e-9);
     for (const LinkId l : top) {

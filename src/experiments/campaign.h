@@ -21,6 +21,7 @@
 
 #include "experiments/results.h"
 #include "experiments/workloads.h"
+#include "routing/evaluator.h"
 #include "traffic/uncertainty.h"
 
 namespace dtr {
@@ -45,9 +46,14 @@ std::string to_string(FluctuationSpec::Model m);
 /// Execution context handed to cell bodies: the inner pool is non-null only
 /// when cells run sequentially; `inner_threads` is the matching
 /// OptimizerConfig::num_threads value (1 when cells run in parallel).
+/// `eval_config` carries the campaign-wide evaluator execution knobs
+/// (incremental / base cache / delay DP) — pure HOW-knobs, so the artifact
+/// bytes are identical for every setting (the CI golden gate runs the
+/// config-corner matrix to prove it).
 struct CellContext {
   ThreadPool* inner_pool = nullptr;
   int inner_threads = 1;
+  EvaluatorConfig eval_config{};
 };
 
 struct CampaignCell {
@@ -82,6 +88,9 @@ struct CampaignOptions {
   int workers = 1;
   /// Per-cell engine parallelism (optimizer + batched profiles); 0 = hw.
   int inner_threads = 1;
+  /// Evaluator execution knobs applied to every cell (results are
+  /// bit-identical for any setting; only wall-clock changes).
+  EvaluatorConfig eval_config{};
 };
 
 /// Runs every cell: sharded across the pool, deterministic result order,
@@ -116,7 +125,8 @@ std::vector<StressSeries> evaluate_fluctuations(const Workload& base,
                                                 std::span<const LinkId> top,
                                                 const FluctuationSpec& fluct,
                                                 std::uint64_t seed,
-                                                ThreadPool* pool = nullptr);
+                                                ThreadPool* pool = nullptr,
+                                                const EvaluatorConfig& eval_config = {});
 
 /// The worst `fraction` of failures ranked by the damage done to the
 /// profiled routing (violations, then Phi, then index — a total order, so

@@ -1,6 +1,7 @@
 #include "routing/evaluator.h"
 
 #include <algorithm>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -15,6 +16,92 @@ struct Evaluator::IncrementalBase {
   ClassRouting tput;
   RoutingBaseRecord delay_record;
   RoutingBaseRecord tput_record;
+
+  /// No-failure products, filled when with_delay_base (see build_base):
+  /// `sd_delay` holds the POST-aggregation values (disconnected pairs capped
+  /// at the disconnect charge), so a replayed column matches what the full
+  /// path's aggregation would leave in place bit for bit.
+  bool has_delay_base = false;
+  bool has_dp_index = false;
+  std::vector<double> total_load;
+  std::vector<double> arc_delay;
+  std::vector<double> sd_delay;
+  DelayDpIndex dp_index;
+  EvalResult none_result;  ///< costs-only fields of the no-failure evaluation
+};
+
+/// Weights-keyed LRU cache of base records. A handful of entries scanned
+/// linearly under a mutex: lookups happen once per evaluation (not per
+/// scenario), and the key compare on vector<int> fails fast, so contention
+/// and scan cost are noise next to a single Dijkstra.
+class Evaluator::BaseCache {
+ public:
+  explicit BaseCache(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+  std::shared_ptr<const IncrementalBase> find(const WeightSetting& w) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (Entry& e : entries_) {
+      if (e.key == w) {
+        e.last_used = ++tick_;
+        ++stats_.hits;
+        return e.base;
+      }
+    }
+    ++stats_.misses;
+    return nullptr;
+  }
+
+  void insert(const WeightSetting& w, std::shared_ptr<const IncrementalBase> base) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (Entry& e : entries_) {
+      if (e.key == w) {
+        // Another thread built the same base concurrently; both are pure
+        // functions of w, so either copy serves identically.
+        e.base = std::move(base);
+        e.last_used = ++tick_;
+        return;
+      }
+    }
+    ++stats_.insertions;
+    if (entries_.size() >= capacity_) {
+      auto victim = std::min_element(
+          entries_.begin(), entries_.end(),
+          [](const Entry& a, const Entry& b) { return a.last_used < b.last_used; });
+      ++stats_.evictions;
+      *victim = Entry{w, std::move(base), ++tick_};
+    } else {
+      entries_.push_back(Entry{w, std::move(base), ++tick_});
+    }
+  }
+
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+  }
+
+  EvaluatorCacheStats stats() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    WeightSetting key;
+    std::shared_ptr<const IncrementalBase> base;
+    std::uint64_t last_used = 0;
+  };
+
+  mutable std::mutex mu_;
+  const std::size_t capacity_;
+  std::vector<Entry> entries_;
+  std::uint64_t tick_ = 0;
+  EvaluatorCacheStats stats_;
 };
 
 namespace {
@@ -24,6 +111,13 @@ namespace {
 /// capture — those take the full path.
 bool incremental_eligible(const FailureScenario& s) {
   return s.kind != FailureScenario::Kind::kNode;
+}
+
+/// Scenarios the base actually accelerates beyond a plain no-failure replay:
+/// arc removals that patch instead of recompute.
+bool incremental_patchable(const FailureScenario& s) {
+  return s.kind == FailureScenario::Kind::kLink ||
+         s.kind == FailureScenario::Kind::kLinkPair;
 }
 
 }  // namespace
@@ -47,6 +141,23 @@ Evaluator::Evaluator(const Graph& g, const ClassedTraffic& traffic, EvalParams p
     }
   }
   delay_pairs_ = traffic_.delay.num_positive_demands();
+
+  if (config_.incremental && config_.base_routing_cache)
+    cache_ = std::make_unique<BaseCache>(config_.base_cache_capacity);
+}
+
+Evaluator::~Evaluator() = default;
+
+EvaluatorCacheStats Evaluator::base_cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : EvaluatorCacheStats{};
+}
+
+std::size_t Evaluator::base_cache_size() const {
+  return cache_ != nullptr ? cache_->size() : 0;
+}
+
+void Evaluator::invalidate_base_cache() const {
+  if (cache_ != nullptr) cache_->clear();
 }
 
 Evaluator::Scratch& Evaluator::worker_scratch() {
@@ -62,26 +173,104 @@ EvalResult Evaluator::evaluate(const WeightSetting& w, const FailureScenario& sc
   Scratch& scratch = worker_scratch();
   w.arc_costs(graph_, TrafficClass::kDelay, scratch.cost_delay);
   w.arc_costs(graph_, TrafficClass::kThroughput, scratch.cost_tput);
-  return evaluate_impl(scratch.cost_delay, scratch.cost_tput, scenario, detail, scratch);
+
+  // With the cache on, a single evaluation is worth a base record: the
+  // optimizer's pattern is evaluate(w) followed by sweeps / failure
+  // evaluations of the SAME weights, so the record built here is the one
+  // those calls reuse (and a failure evaluation that finds the record
+  // patches instead of recomputing).
+  std::shared_ptr<const IncrementalBase> base;
+  if (cache_ != nullptr && incremental_eligible(scenario))
+    base = acquire_base(w, scratch.cost_delay, scratch.cost_tput, 1);
+  return evaluate_impl(scratch.cost_delay, scratch.cost_tput, scenario, detail, scratch,
+                       base.get());
 }
 
-bool Evaluator::prepare_incremental_base(std::span<const double> cost_delay,
-                                         std::span<const double> cost_tput,
-                                         std::span<const FailureScenario> scenarios,
-                                         IncrementalBase& base) const {
-  if (!config_.incremental) return false;
-  // The base costs about one full routing to build; with fewer than two
-  // eligible scenarios to patch from it, it cannot pay for itself. The
-  // threshold depends only on the scenario list, so results stay independent
-  // of the execution shape.
-  const auto eligible =
-      std::count_if(scenarios.begin(), scenarios.end(), incremental_eligible);
-  if (eligible < 2) return false;
+void Evaluator::build_base(std::span<const double> cost_delay,
+                           std::span<const double> cost_tput, IncrementalBase& base,
+                           bool with_delay_base) const {
   base.delay.compute(graph_, cost_delay, traffic_.delay, {}, kInvalidNode,
                      &base.delay_record);
   base.tput.compute(graph_, cost_tput, traffic_.throughput, {}, kInvalidNode,
                     &base.tput_record);
-  return true;
+  if (!with_delay_base) return;
+
+  const std::size_t num_arcs = graph_.num_arcs();
+  base.total_load.resize(num_arcs);
+  base.arc_delay.resize(num_arcs);
+  for (ArcId a = 0; a < num_arcs; ++a) {
+    base.total_load[a] = base.delay.arc_load(a) + base.tput.arc_load(a);
+    const Arc& arc = graph_.arc(a);
+    base.arc_delay[a] = link_delay_ms(base.total_load[a], arc.capacity,
+                                      arc.prop_delay_ms, params_.delay_model);
+  }
+
+  DelayDpIndex* record = config_.incremental_delay ? &base.dp_index : nullptr;
+  base.delay.end_to_end_delays(graph_, cost_delay, {}, base.arc_delay, traffic_.delay,
+                               params_.sla_delay_mode, kInvalidNode, base.sd_delay,
+                               record);
+
+  // The same aggregation the full path runs, so a served no-failure result is
+  // bit-identical to a computed one.
+  EvalResult& none = base.none_result;
+  none = EvalResult{};
+  const double disconnect_delay =
+      params_.sla.theta_ms + params_.disconnect_delay_excess_ms;
+  const SlaAggregate sla = accumulate_sla_cost(base.sd_delay, params_.sla,
+                                               disconnect_delay);
+  none.lambda = sla.lambda;
+  none.sla_violations = sla.violations;
+  none.disconnected_delay_pairs = base.delay.disconnected_demand_count();
+  for (ArcId a = 0; a < num_arcs; ++a) {
+    if (base.tput.arc_load(a) <= 0.0) continue;
+    none.phi += fortz_cost(base.total_load[a], graph_.arc(a).capacity);
+  }
+  none.phi += kFortzMaxSlope * base.tput.disconnected_demand_volume();
+  none.disconnected_tput_pairs = base.tput.disconnected_demand_count();
+
+  base.has_delay_base = true;
+  base.has_dp_index = record != nullptr;
+}
+
+std::shared_ptr<const Evaluator::IncrementalBase> Evaluator::acquire_base(
+    const WeightSetting& w, std::span<const double> cost_delay,
+    std::span<const double> cost_tput, std::size_t eligible_scenarios) const {
+  if (!config_.incremental) return nullptr;
+  if (cache_ != nullptr) {
+    if (auto base = cache_->find(w)) return base;
+    if (eligible_scenarios < 1) return nullptr;
+    auto base = std::make_shared<IncrementalBase>();
+    // A cached record always carries the delay base: serving no-failure
+    // evaluations from it is half the point of caching.
+    build_base(cost_delay, cost_tput, *base, /*with_delay_base=*/true);
+    cache_->insert(w, base);
+    return base;
+  }
+  // Uncached: the base costs about one full routing to build; with fewer
+  // than two patchable scenarios it cannot pay for itself. The threshold
+  // depends only on the scenario list, so results stay independent of the
+  // execution shape.
+  if (eligible_scenarios < 2) return nullptr;
+  auto base = std::make_shared<IncrementalBase>();
+  build_base(cost_delay, cost_tput, *base, config_.incremental_delay);
+  return base;
+}
+
+EvalResult Evaluator::serve_none_from_base(const IncrementalBase& base,
+                                           EvalDetail detail) const {
+  EvalResult result = base.none_result;
+  if (detail == EvalDetail::kFull) {
+    const std::size_t num_arcs = graph_.num_arcs();
+    result.arc_total_load = base.total_load;
+    result.arc_utilization.resize(num_arcs);
+    result.carries_delay_traffic.resize(num_arcs);
+    for (ArcId a = 0; a < num_arcs; ++a) {
+      result.arc_utilization[a] = result.arc_total_load[a] / graph_.arc(a).capacity;
+      result.carries_delay_traffic[a] = base.delay.arc_load(a) > 0.0 ? 1 : 0;
+    }
+    result.sd_delay_ms = base.sd_delay;
+  }
+  return result;
 }
 
 EvalResult Evaluator::evaluate_impl(std::span<const double> cost_delay,
@@ -91,7 +280,10 @@ EvalResult Evaluator::evaluate_impl(std::span<const double> cost_delay,
   build_alive_mask(graph_, scenario, s.mask);
   const NodeId skip = skipped_node(scenario);
 
+  bool patched = false;
   if (base != nullptr && incremental_eligible(scenario)) {
+    if (scenario.kind == FailureScenario::Kind::kNone && base->has_delay_base)
+      return serve_none_from_base(*base, detail);
     s.removed.clear();
     if (scenario.kind != FailureScenario::Kind::kNone) {
       for (ArcId a : graph_.link_arcs(scenario.id)) s.removed.push_back(a);
@@ -105,6 +297,7 @@ EvalResult Evaluator::evaluate_impl(std::span<const double> cost_delay,
     s.tput_routing.compute_from_base(graph_, cost_tput, traffic_.throughput, base->tput,
                                      base->tput_record, s.removed, s.mask, fraction,
                                      s.failure);
+    patched = true;
   } else {
     s.delay_routing.compute(graph_, cost_delay, traffic_.delay, s.mask, skip);
     s.tput_routing.compute(graph_, cost_tput, traffic_.throughput, s.mask, skip);
@@ -128,18 +321,24 @@ EvalResult Evaluator::evaluate_impl(std::span<const double> cost_delay,
 
   EvalResult result;
 
-  // Lambda: SLA cost over delay-class SD pairs.
+  // Lambda: SLA cost over delay-class SD pairs. A patched routing with a
+  // delay-DP base skips the DP for destinations whose recorded inputs are
+  // bitwise unchanged (same float terms, same order as the full DP).
   std::vector<double>& sd_delay = s.sd_delay;
-  delay_routing.end_to_end_delays(graph_, cost_delay, s.mask, arc_delay, traffic_.delay,
-                                  params_.sla_delay_mode, skip, sd_delay);
+  if (patched && base->has_dp_index) {
+    delay_routing.end_to_end_delays_from_base(
+        graph_, cost_delay, s.mask, arc_delay, traffic_.delay, params_.sla_delay_mode,
+        base->arc_delay, base->sd_delay, base->dp_index, s.failure, sd_delay);
+  } else {
+    delay_routing.end_to_end_delays(graph_, cost_delay, s.mask, arc_delay,
+                                    traffic_.delay, params_.sla_delay_mode, skip,
+                                    sd_delay);
+  }
   const double disconnect_delay =
       params_.sla.theta_ms + params_.disconnect_delay_excess_ms;
-  for (double& d : sd_delay) {
-    if (d < 0.0) continue;  // no demand
-    if (d == kInfDist) d = disconnect_delay;  // unreachable: charged, capped
-    result.lambda += sla_cost(d, params_.sla);
-    if (sla_violated(d, params_.sla)) ++result.sla_violations;
-  }
+  const SlaAggregate sla = accumulate_sla_cost(sd_delay, params_.sla, disconnect_delay);
+  result.lambda = sla.lambda;
+  result.sla_violations = sla.violations;
   result.disconnected_delay_pairs = delay_routing.disconnected_demand_count();
 
   // Phi: Fortz cost over links carrying throughput-sensitive traffic, applied
@@ -175,9 +374,11 @@ std::vector<EvalResult> Evaluator::evaluate_failures(
   w.arc_costs(graph_, TrafficClass::kDelay, cost_delay);
   w.arc_costs(graph_, TrafficClass::kThroughput, cost_tput);
 
-  IncrementalBase base;
-  const IncrementalBase* base_ptr =
-      prepare_incremental_base(cost_delay, cost_tput, scenarios, base) ? &base : nullptr;
+  const auto eligible =
+      std::count_if(scenarios.begin(), scenarios.end(), incremental_eligible);
+  const std::shared_ptr<const IncrementalBase> base =
+      acquire_base(w, cost_delay, cost_tput, static_cast<std::size_t>(eligible));
+  const IncrementalBase* base_ptr = base.get();
 
   std::vector<EvalResult> out(scenarios.size());
   parallel_for(pool, scenarios.size(), [&](std::size_t, std::size_t i) {
@@ -193,13 +394,51 @@ std::vector<CostPair> Evaluator::evaluate_costs(std::span<const EvalJob> jobs,
     if (job.weights == nullptr || job.weights->num_links() != graph_.num_links())
       throw std::invalid_argument("Evaluator::evaluate_costs: bad job weights");
   }
+
+  // Heterogeneous jobs usually reference a few distinct weight settings (the
+  // Phase-1b acceptable pool) many times each. Group by pointer on the
+  // calling thread and acquire one base per distinct setting that has
+  // patchable failure jobs (or is already cached), so workers patch instead
+  // of recomputing. Grouping happens before any parallelism, so which jobs
+  // ride the incremental path is independent of the execution shape.
+  std::vector<const IncrementalBase*> job_base(jobs.size(), nullptr);
+  std::vector<std::shared_ptr<const IncrementalBase>> held;  // keeps bases alive
+  if (config_.incremental && !jobs.empty()) {
+    std::vector<const WeightSetting*> distinct;
+    std::vector<std::size_t> patchable;
+    std::vector<std::size_t> group(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      std::size_t d = 0;
+      while (d < distinct.size() && distinct[d] != jobs[i].weights) ++d;
+      if (d == distinct.size()) {
+        distinct.push_back(jobs[i].weights);
+        patchable.push_back(0);
+      }
+      group[i] = d;
+      if (incremental_patchable(jobs[i].scenario)) ++patchable[d];
+    }
+
+    std::vector<double> cost_delay, cost_tput;
+    std::vector<const IncrementalBase*> group_base(distinct.size(), nullptr);
+    for (std::size_t d = 0; d < distinct.size(); ++d) {
+      const WeightSetting& w = *distinct[d];
+      w.arc_costs(graph_, TrafficClass::kDelay, cost_delay);
+      w.arc_costs(graph_, TrafficClass::kThroughput, cost_tput);
+      if (auto base = acquire_base(w, cost_delay, cost_tput, patchable[d])) {
+        group_base[d] = base.get();
+        held.push_back(std::move(base));
+      }
+    }
+    for (std::size_t i = 0; i < jobs.size(); ++i) job_base[i] = group_base[group[i]];
+  }
+
   std::vector<CostPair> out(jobs.size());
   parallel_for(pool, jobs.size(), [&](std::size_t, std::size_t i) {
     Scratch& s = worker_scratch();
     jobs[i].weights->arc_costs(graph_, TrafficClass::kDelay, s.cost_delay);
     jobs[i].weights->arc_costs(graph_, TrafficClass::kThroughput, s.cost_tput);
     out[i] = evaluate_impl(s.cost_delay, s.cost_tput, jobs[i].scenario,
-                           EvalDetail::kCostsOnly, s)
+                           EvalDetail::kCostsOnly, s, job_base[i])
                  .cost();
   });
   return out;
@@ -247,9 +486,11 @@ SweepResult Evaluator::sweep(const WeightSetting& w,
   w.arc_costs(graph_, TrafficClass::kDelay, cost_delay);
   w.arc_costs(graph_, TrafficClass::kThroughput, cost_tput);
 
-  IncrementalBase base;
-  const IncrementalBase* base_ptr =
-      prepare_incremental_base(cost_delay, cost_tput, scenarios, base) ? &base : nullptr;
+  const auto eligible =
+      std::count_if(scenarios.begin(), scenarios.end(), incremental_eligible);
+  const std::shared_ptr<const IncrementalBase> base =
+      acquire_base(w, cost_delay, cost_tput, static_cast<std::size_t>(eligible));
+  const IncrementalBase* base_ptr = base.get();
 
   if (pool == nullptr || pool->num_workers() <= 1 || scenarios.size() <= 1) {
     for (std::size_t i = 0; i < scenarios.size(); ++i) {

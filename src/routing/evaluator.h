@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -44,13 +46,42 @@ struct EvaluatorConfig {
   /// delta-updated per destination and untouched destinations replay their
   /// recorded load contributions instead of re-aggregating. Node-failure
   /// scenarios always take the full path (their skip semantics change the
-  /// demand set, not just arcs).
+  /// demand set, not just arcs). Master switch: the two caches below only
+  /// engage when this is on.
   bool incremental = true;
   /// Per-destination fallback: when a failure invalidates more than this
   /// fraction of one destination's distance labels, that destination is
   /// recomputed with a full Dijkstra — past this point the delta bookkeeping
   /// stops paying for itself.
   double incremental_max_affected_fraction = 0.25;
+  /// Weights-keyed LRU cache of base-routing records across calls. A
+  /// no-failure evaluate() builds and caches the full base (routings +
+  /// replay records + delay-DP base), so the sweep / evaluate_failures /
+  /// single-failure evaluate() calls the optimizer issues for the SAME
+  /// weight vector reuse one record instead of recomputing the full
+  /// Dijkstra + aggregation per call. Keys are compared by VALUE (the whole
+  /// weight vector), so mutating a caller's WeightSetting can never serve a
+  /// stale record.
+  bool base_routing_cache = true;
+  /// LRU bound on cached base records. Sized for the optimizer's working
+  /// set: the incumbent plus one batch of speculative Phase-1 probes.
+  std::size_t base_cache_capacity = 16;
+  /// Incremental end-to-end delay DP: the base records a dirty-arc index
+  /// (which destinations' DPs read which arc's delay); a patched scenario
+  /// marks the destinations whose DAG changed or whose recorded arc delays
+  /// are not bitwise identical to the base, runs the DP for those only, and
+  /// replays the base's delay column for the rest — bit-identical by
+  /// construction (same float terms, same order).
+  bool incremental_delay = true;
+};
+
+/// Counters of the weights-keyed base-routing cache (monotonic; snapshot via
+/// Evaluator::base_cache_stats).
+struct EvaluatorCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
 };
 
 struct EvalResult {
@@ -100,6 +131,7 @@ class Evaluator {
  public:
   Evaluator(const Graph& g, const ClassedTraffic& traffic, EvalParams params,
             EvaluatorConfig config = {});
+  ~Evaluator();
 
   const Graph& graph() const { return graph_; }
   const ClassedTraffic& traffic() const { return traffic_; }
@@ -165,6 +197,21 @@ class Evaluator {
   /// Number of SD pairs with positive delay-class demand.
   std::size_t delay_demand_pairs() const { return delay_pairs_; }
 
+  /// Snapshot of the base-routing cache counters (all zero when the cache is
+  /// disabled). Thread-safe.
+  EvaluatorCacheStats base_cache_stats() const;
+
+  /// Cached base records currently held (<= base_cache_capacity).
+  std::size_t base_cache_size() const;
+
+  /// Drops every cached base record (counters survive). The cache keys on
+  /// weight-vector VALUES, so ordinary weight mutation can never serve a
+  /// stale record; this exists for tests and for callers that want to
+  /// release the memory between workloads. Thread-safe, and `const` like the
+  /// evaluation entry points: the cache is pure acceleration state, never
+  /// observable in results.
+  void invalidate_base_cache() const;
+
  private:
   /// Reusable per-evaluation buffers. One instance per worker thread; reusing
   /// it across scenario evaluations keeps the hot path allocation-free.
@@ -182,9 +229,15 @@ class Evaluator {
   };
 
   /// Shared no-failure base for the incremental path: both class routings
-  /// plus their replay records, computed once per batch call on the calling
-  /// thread and read concurrently by every worker.
+  /// plus their replay records, and (when the delay DP / cache want it) the
+  /// no-failure loads, arc delays, delay-DP output + dirty-arc index, and
+  /// aggregated costs. Built once (per batch call, or once per weight vector
+  /// when cached) on one thread, then read concurrently by every worker.
   struct IncrementalBase;
+
+  /// Weights-keyed LRU cache of shared_ptr'd IncrementalBase records
+  /// (mutex-guarded; defined in evaluator.cpp).
+  class BaseCache;
 
   /// Core evaluation with pre-expanded arc costs and caller-owned scratch.
   /// A non-null `base` routes eligible scenarios through the incremental
@@ -194,12 +247,26 @@ class Evaluator {
                            const FailureScenario& scenario, EvalDetail detail,
                            Scratch& scratch, const IncrementalBase* base = nullptr) const;
 
-  /// Fills `base` when the config and scenario mix warrant the incremental
-  /// path; returns whether it did.
-  bool prepare_incremental_base(std::span<const double> cost_delay,
-                                std::span<const double> cost_tput,
-                                std::span<const FailureScenario> scenarios,
-                                IncrementalBase& base) const;
+  /// Builds the no-failure base for these arc costs: both routings with
+  /// replay records, plus the delay-DP base (loads, delays, sd_delay,
+  /// dirty-arc index, aggregated no-failure costs) when `with_delay_base`.
+  void build_base(std::span<const double> cost_delay, std::span<const double> cost_tput,
+                  IncrementalBase& base, bool with_delay_base) const;
+
+  /// Returns the base record to patch from, or nullptr when the incremental
+  /// path is off / cannot pay for itself. Consults the cache first (hit =
+  /// free reuse); on a miss, builds when at least one patchable scenario
+  /// amortizes the build (cache on: >= 1, since the record is kept for later
+  /// calls; cache off: >= 2, the build costs about one full evaluation).
+  /// `eligible_scenarios` = 0 means "find only, never build".
+  std::shared_ptr<const IncrementalBase> acquire_base(
+      const WeightSetting& w, std::span<const double> cost_delay,
+      std::span<const double> cost_tput, std::size_t eligible_scenarios) const;
+
+  /// No-failure evaluation served from a cached base: returns the stored
+  /// aggregate (and rebuilds the kFull detail vectors from the stored
+  /// no-failure products) — bit-identical to recomputing, by purity.
+  EvalResult serve_none_from_base(const IncrementalBase& base, EvalDetail detail) const;
 
   /// The calling thread's persistent scratch. Pool workers are long-lived,
   /// so batched evaluations reuse buffers across calls, not just within one.
@@ -211,6 +278,11 @@ class Evaluator {
   EvaluatorConfig config_;
   double phi_uncap_ = 0.0;
   std::size_t delay_pairs_ = 0;
+  /// Non-null iff config_.incremental && config_.base_routing_cache. The
+  /// pointer is set once in the constructor; the cache itself is internally
+  /// synchronized, so const evaluation entry points may touch it from any
+  /// thread.
+  std::unique_ptr<BaseCache> cache_;
 };
 
 }  // namespace dtr

@@ -1,0 +1,194 @@
+/// BaseRoutingCache behavior: the weights-keyed LRU cache on the Evaluator
+/// is pure acceleration state — these tests pin down its invalidation
+/// semantics (value-keyed lookup vs weight mutation, per-instance isolation
+/// for topology/TM changes, the LRU eviction bound, explicit invalidation)
+/// and that hits never change a single result byte.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "routing/evaluator.h"
+#include "routing/failures.h"
+#include "test_helpers.h"
+#include "traffic/scaling.h"
+#include "util/thread_pool.h"
+
+namespace dtr {
+namespace {
+
+using test::expect_results_identical;
+using test::make_test_instance;
+using test::random_weights;
+using test::TestInstance;
+
+TEST(BaseCacheTest, RepeatedSweepsReuseOneBase) {
+  const TestInstance inst = make_test_instance(12, 4.0, 7);
+  const Evaluator ev(inst.graph, inst.traffic, inst.params, {});
+  const Evaluator uncached(inst.graph, inst.traffic, inst.params,
+                           {.base_routing_cache = false});
+  const std::vector<FailureScenario> scenarios = all_link_failures(inst.graph);
+  const WeightSetting w = random_weights(inst.graph, 30, 11);
+
+  const SweepResult reference = uncached.sweep(w, scenarios);
+  const SweepResult first = ev.sweep(w, scenarios);
+  const EvaluatorCacheStats after_first = ev.base_cache_stats();
+  EXPECT_EQ(after_first.insertions, 1u);
+
+  // The optimizer's inner-loop pattern: evaluate + repeated sweeps of the
+  // same weights. Everything after the first sweep hits.
+  const EvalResult normal = ev.evaluate(w);
+  const SweepResult second = ev.sweep(w, scenarios);
+  const EvaluatorCacheStats after = ev.base_cache_stats();
+  EXPECT_GE(after.hits, 2u);
+  EXPECT_EQ(after.insertions, 1u);
+
+  EXPECT_EQ(reference.lambda, first.lambda);
+  EXPECT_EQ(reference.phi, first.phi);
+  EXPECT_EQ(first.lambda, second.lambda);
+  EXPECT_EQ(first.phi, second.phi);
+  EXPECT_EQ(normal.lambda, uncached.evaluate(w).lambda);
+}
+
+TEST(BaseCacheTest, WeightMutationNeverServesStale) {
+  // The cache keys on the weight VECTOR, so mutating a caller's setting is
+  // a different key — the mutated setting must evaluate fresh, and flipping
+  // the weights back must hit the original entry with identical bytes.
+  const TestInstance inst = make_test_instance(10, 4.0, 13);
+  const Evaluator ev(inst.graph, inst.traffic, inst.params, {});
+  const Evaluator plain(inst.graph, inst.traffic, inst.params,
+                        {.incremental = false, .base_routing_cache = false});
+
+  WeightSetting w = random_weights(inst.graph, 30, 17);
+  const EvalResult before = ev.evaluate(w, FailureScenario::none(), EvalDetail::kFull);
+  expect_results_identical(before,
+                           plain.evaluate(w, FailureScenario::none(), EvalDetail::kFull));
+
+  const int old_delay = w.get(TrafficClass::kDelay, 0);
+  w.set(TrafficClass::kDelay, 0, old_delay == 30 ? 29 : old_delay + 1);
+  const EvalResult mutated = ev.evaluate(w, FailureScenario::none(), EvalDetail::kFull);
+  expect_results_identical(mutated,
+                           plain.evaluate(w, FailureScenario::none(), EvalDetail::kFull));
+
+  w.set(TrafficClass::kDelay, 0, old_delay);
+  const EvalResult restored = ev.evaluate(w, FailureScenario::none(), EvalDetail::kFull);
+  expect_results_identical(restored, before);
+  EXPECT_GE(ev.base_cache_stats().hits, 1u);
+  EXPECT_GE(ev.base_cache_stats().insertions, 2u);
+}
+
+TEST(BaseCacheTest, TrafficChangeUsesSeparateCache) {
+  // The cache lives on the Evaluator, whose graph/traffic are immutable: a
+  // topology or TM change means a new Evaluator and therefore a new cache.
+  // Same weights on different traffic must produce their own (different)
+  // results with independent counters.
+  const TestInstance inst = make_test_instance(10, 4.0, 19);
+  TestInstance heavier = inst;
+  scale_to_utilization(heavier.graph, heavier.traffic,
+                       {UtilizationTarget::Kind::kAverage, 0.8});
+
+  const Evaluator light_ev(inst.graph, inst.traffic, inst.params, {});
+  const Evaluator heavy_ev(heavier.graph, heavier.traffic, heavier.params, {});
+  const WeightSetting w = random_weights(inst.graph, 30, 23);
+
+  const EvalResult light = light_ev.evaluate(w);
+  const EvalResult heavy = heavy_ev.evaluate(w);
+  EXPECT_NE(light.phi, heavy.phi);  // scaled traffic must change congestion
+  EXPECT_EQ(light_ev.base_cache_stats().insertions, 1u);
+  EXPECT_EQ(heavy_ev.base_cache_stats().insertions, 1u);
+  EXPECT_EQ(light_ev.base_cache_size(), 1u);
+  EXPECT_EQ(heavy_ev.base_cache_size(), 1u);
+}
+
+TEST(BaseCacheTest, LruEvictionRespectsCapacityBound) {
+  const TestInstance inst = make_test_instance(10, 4.0, 29);
+  const Evaluator ev(inst.graph, inst.traffic, inst.params,
+                     {.base_cache_capacity = 2});
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed)
+    ev.evaluate(random_weights(inst.graph, 30, seed));
+  EXPECT_LE(ev.base_cache_size(), 2u);
+  const EvaluatorCacheStats stats = ev.base_cache_stats();
+  EXPECT_EQ(stats.insertions, 5u);
+  EXPECT_EQ(stats.evictions, 3u);
+
+  // LRU: the most recent key must still be resident (a hit, no insertion).
+  ev.evaluate(random_weights(inst.graph, 30, 5));
+  EXPECT_EQ(ev.base_cache_stats().insertions, 5u);
+  EXPECT_GE(ev.base_cache_stats().hits, 1u);
+
+  // The evicted oldest key re-inserts (and evicts again).
+  ev.evaluate(random_weights(inst.graph, 30, 1));
+  EXPECT_EQ(ev.base_cache_stats().insertions, 6u);
+  EXPECT_LE(ev.base_cache_size(), 2u);
+}
+
+TEST(BaseCacheTest, ExplicitInvalidationDropsEntries) {
+  const TestInstance inst = make_test_instance(10, 4.0, 31);
+  const Evaluator ev(inst.graph, inst.traffic, inst.params, {});
+  const WeightSetting w = random_weights(inst.graph, 30, 37);
+
+  const EvalResult before = ev.evaluate(w, FailureScenario::none(), EvalDetail::kFull);
+  EXPECT_EQ(ev.base_cache_size(), 1u);
+  ev.invalidate_base_cache();
+  EXPECT_EQ(ev.base_cache_size(), 0u);
+
+  // Fresh rebuild, identical bytes.
+  const EvalResult after = ev.evaluate(w, FailureScenario::none(), EvalDetail::kFull);
+  expect_results_identical(before, after);
+  EXPECT_EQ(ev.base_cache_stats().insertions, 2u);
+}
+
+TEST(BaseCacheTest, DisabledCacheKeepsCountersAtZero) {
+  const TestInstance inst = make_test_instance(10, 4.0, 41);
+  const Evaluator ev(inst.graph, inst.traffic, inst.params,
+                     {.base_routing_cache = false});
+  const std::vector<FailureScenario> scenarios = all_link_failures(inst.graph);
+  const WeightSetting w = random_weights(inst.graph, 30, 43);
+  ev.evaluate(w);
+  ev.sweep(w, scenarios);
+  const EvaluatorCacheStats stats = ev.base_cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(ev.base_cache_size(), 0u);
+}
+
+TEST(BaseCacheTest, ConcurrentSpeculativeEvaluationsStayConsistent) {
+  // The LocalSearch speculative-scoring pattern: many threads evaluate
+  // distinct candidates against one shared evaluator, racing on the cache.
+  // Every result must match the uncached evaluator bit for bit.
+  const TestInstance inst = make_test_instance(12, 4.0, 47);
+  const Evaluator ev(inst.graph, inst.traffic, inst.params,
+                     {.base_cache_capacity = 4});
+  const Evaluator plain(inst.graph, inst.traffic, inst.params,
+                        {.incremental = false, .base_routing_cache = false});
+
+  std::vector<WeightSetting> candidates;
+  for (std::uint64_t seed = 100; seed < 124; ++seed)
+    candidates.push_back(random_weights(inst.graph, 30, seed));
+
+  ThreadPool pool(8);
+  std::vector<CostPair> got(candidates.size());
+  parallel_for(&pool, candidates.size(), [&](std::size_t, std::size_t i) {
+    const FailureScenario scenario =
+        i % 3 == 0 ? FailureScenario::link(static_cast<LinkId>(i) %
+                                           inst.graph.num_links())
+                   : FailureScenario::none();
+    got[i] = ev.evaluate(candidates[i], scenario).cost();
+  });
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const FailureScenario scenario =
+        i % 3 == 0 ? FailureScenario::link(static_cast<LinkId>(i) %
+                                           inst.graph.num_links())
+                   : FailureScenario::none();
+    const CostPair want = plain.evaluate(candidates[i], scenario).cost();
+    EXPECT_EQ(want.lambda, got[i].lambda);
+    EXPECT_EQ(want.phi, got[i].phi);
+  }
+  EXPECT_LE(ev.base_cache_size(), 4u);
+}
+
+}  // namespace
+}  // namespace dtr

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "cost/cost_types.h"
 #include "cost/delay_model.h"
@@ -118,6 +121,57 @@ TEST(SlaTest, CustomParameters) {
   const SlaParams p{50.0, 10.0, 2.0};
   EXPECT_DOUBLE_EQ(sla_cost(49.0, p), 0.0);
   EXPECT_DOUBLE_EQ(sla_cost(60.0, p), 10.0 + 2.0 * 10.0);
+}
+
+TEST(SlaTest, AccumulateSkipsCapsAndCounts) {
+  const SlaParams p;  // theta=25, B1=100, B2=1
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Layout mirrors the evaluator's sd_delay: -1 = no demand, +inf =
+  // disconnected (replaced in place by the disconnect charge).
+  std::vector<double> delays{-1.0, 10.0, 30.0, kInf, -1.0, 25.0};
+  const SlaAggregate agg = accumulate_sla_cost(delays, p, 125.0);
+  EXPECT_EQ(agg.violations, 2);  // 30ms and the capped disconnect
+  EXPECT_DOUBLE_EQ(agg.lambda, (100.0 + 5.0) + (100.0 + 100.0));
+  EXPECT_DOUBLE_EQ(delays[3], 125.0);  // inf replaced in place
+  EXPECT_DOUBLE_EQ(delays[0], -1.0);   // no-demand entries untouched
+}
+
+// ----------------------------------------------- delay-DP dirty-arc index
+
+TEST(DelayDpIndexTest, MarksExactlyTheRecordedUsers) {
+  DelayDpIndex index;
+  index.reset(4);
+  // Destination 0 reads arcs 0 and 2; destination 1 reads arc 2; arc 1 and
+  // arc 3 have no users.
+  index.add(0, 0);
+  index.add(0, 2);
+  index.add(1, 2);
+  index.finalize();
+  ASSERT_TRUE(index.ready());
+  EXPECT_EQ(index.users(0).size(), 1u);
+  EXPECT_EQ(index.users(1).size(), 0u);
+  EXPECT_EQ(index.users(2).size(), 2u);
+
+  const std::vector<double> base{1.0, 2.0, 3.0, 4.0};
+  std::vector<std::uint8_t> dirty(3, 0);
+
+  // Arc 1 changes: nobody reads it, nothing dirty.
+  std::vector<double> now{1.0, 2.5, 3.0, 4.0};
+  mark_dirty_destinations(index, base, now, dirty);
+  EXPECT_EQ(dirty, (std::vector<std::uint8_t>{0, 0, 0}));
+
+  // Arc 2 changes: both its users go dirty; destination 2 never does.
+  now = {1.0, 2.0, 3.5, 4.0};
+  mark_dirty_destinations(index, base, now, dirty);
+  EXPECT_EQ(dirty, (std::vector<std::uint8_t>{1, 1, 0}));
+
+  // The comparison is bitwise: -0.0 vs 0.0 compares EQUAL under == but must
+  // still be treated as a change.
+  std::fill(dirty.begin(), dirty.end(), 0);
+  const std::vector<double> zero_base{0.0, 2.0, 3.0, 4.0};
+  const std::vector<double> neg_zero{-0.0, 2.0, 3.0, 4.0};
+  mark_dirty_destinations(index, zero_base, neg_zero, dirty);
+  EXPECT_EQ(dirty, (std::vector<std::uint8_t>{1, 0, 0}));
 }
 
 // ---------------------------------------------------------- Fortz cost

@@ -18,20 +18,10 @@
 namespace dtr {
 namespace {
 
+using test::expect_results_identical;
 using test::make_test_instance;
+using test::random_weights;
 using test::TestInstance;
-
-void expect_results_identical(const EvalResult& a, const EvalResult& b) {
-  EXPECT_EQ(a.lambda, b.lambda);
-  EXPECT_EQ(a.phi, b.phi);
-  EXPECT_EQ(a.sla_violations, b.sla_violations);
-  EXPECT_EQ(a.disconnected_delay_pairs, b.disconnected_delay_pairs);
-  EXPECT_EQ(a.disconnected_tput_pairs, b.disconnected_tput_pairs);
-  EXPECT_EQ(a.arc_total_load, b.arc_total_load);
-  EXPECT_EQ(a.arc_utilization, b.arc_utilization);
-  EXPECT_EQ(a.sd_delay_ms, b.sd_delay_ms);
-  EXPECT_EQ(a.carries_delay_traffic, b.carries_delay_traffic);
-}
 
 /// Bitwise comparison: double == would accept -0.0 vs 0.0 and miss NaN, so
 /// the profile vectors are compared as raw bytes.
@@ -47,13 +37,6 @@ void expect_profile_bytes_identical(const FailureProfile& a, const FailureProfil
   EXPECT_TRUE(bytes_equal(a.lambda, b.lambda));
   EXPECT_TRUE(bytes_equal(a.phi, b.phi));
   EXPECT_EQ(a.phi_uncap, b.phi_uncap);
-}
-
-WeightSetting random_weights(const Graph& g, int wmax, std::uint64_t seed) {
-  WeightSetting w(g.num_links());
-  Rng rng(seed);
-  randomize_weights(w, wmax, rng);
-  return w;
 }
 
 TEST(IncrementalTest, FailureProfileBytesMatchFullPathAcrossInstances) {
@@ -178,6 +161,104 @@ TEST(IncrementalTest, ConfigDefaultsToIncremental) {
   const Evaluator ev(inst.graph, inst.traffic, inst.params);
   EXPECT_TRUE(ev.config().incremental);
   EXPECT_GT(ev.config().incremental_max_affected_fraction, 0.0);
+  EXPECT_TRUE(ev.config().base_routing_cache);
+  EXPECT_TRUE(ev.config().incremental_delay);
+  EXPECT_GT(ev.config().base_cache_capacity, 0u);
+}
+
+TEST(IncrementalTest, DelayDpBytesMatchFullDpAcrossInstances) {
+  // The incremental end-to-end delay DP sweeps randomized topologies x all
+  // single-link failures and must reproduce every SLA term — lambda,
+  // violation counts, AND the raw per-pair delay vector — byte for byte.
+  struct Case {
+    int nodes;
+    double degree;
+    std::uint64_t seed;
+  };
+  for (const Case& c : {Case{10, 4.0, 43}, Case{14, 5.0, 57}, Case{18, 3.0, 71}}) {
+    const TestInstance inst = make_test_instance(c.nodes, c.degree, c.seed);
+    const Evaluator with_dp(inst.graph, inst.traffic, inst.params,
+                            {.incremental = true, .incremental_delay = true});
+    const Evaluator without_dp(inst.graph, inst.traffic, inst.params,
+                               {.incremental = true, .incremental_delay = false});
+    const Evaluator full(inst.graph, inst.traffic, inst.params, {.incremental = false});
+    const std::vector<FailureScenario> scenarios = all_link_failures(inst.graph);
+
+    const WeightSetting w = random_weights(inst.graph, 30, c.seed + 5);
+    const auto ref = full.evaluate_failures(w, scenarios, nullptr, EvalDetail::kFull);
+    ThreadPool eight(8);
+    for (ThreadPool* pool : {static_cast<ThreadPool*>(nullptr), &eight}) {
+      const auto dp = with_dp.evaluate_failures(w, scenarios, pool, EvalDetail::kFull);
+      const auto no_dp =
+          without_dp.evaluate_failures(w, scenarios, pool, EvalDetail::kFull);
+      ASSERT_EQ(dp.size(), ref.size());
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        expect_results_identical(dp[i], ref[i]);
+        expect_results_identical(no_dp[i], ref[i]);
+        // sd_delay (the DP output) compared as raw bytes: == would accept
+        // -0.0 vs 0.0 and the infinities the cap replaces.
+        ASSERT_EQ(dp[i].sd_delay_ms.size(), ref[i].sd_delay_ms.size());
+        EXPECT_TRUE(dp[i].sd_delay_ms.empty() ||
+                    std::memcmp(dp[i].sd_delay_ms.data(), ref[i].sd_delay_ms.data(),
+                                ref[i].sd_delay_ms.size() * sizeof(double)) == 0);
+      }
+    }
+  }
+}
+
+TEST(IncrementalTest, ConfigCornersProduceIdenticalProfiles) {
+  // Every {incremental, base-cache, delay-DP} corner x {1, 8 threads} must
+  // produce the same FailureProfile bytes — the campaign/golden contract.
+  const TestInstance inst = make_test_instance(14, 4.0, 83);
+  const std::vector<FailureScenario> scenarios = all_link_failures(inst.graph);
+  const WeightSetting w = random_weights(inst.graph, 30, 97);
+
+  const Evaluator reference_ev(inst.graph, inst.traffic, inst.params,
+                               {.incremental = false});
+  ThreadPool one(1);
+  ThreadPool eight(8);
+  const FailureProfile reference = profile_failures(reference_ev, w, scenarios, &one);
+
+  for (const bool incremental : {false, true}) {
+    for (const bool base_cache : {false, true}) {
+      for (const bool delay_dp : {false, true}) {
+        const Evaluator ev(inst.graph, inst.traffic, inst.params,
+                           {.incremental = incremental,
+                            .base_routing_cache = base_cache,
+                            .incremental_delay = delay_dp});
+        expect_profile_bytes_identical(reference,
+                                       profile_failures(ev, w, scenarios, &one));
+        expect_profile_bytes_identical(reference,
+                                       profile_failures(ev, w, scenarios, &eight));
+        // Repeat through the now-warm cache: same bytes again.
+        expect_profile_bytes_identical(reference,
+                                       profile_failures(ev, w, scenarios, &eight));
+      }
+    }
+  }
+}
+
+TEST(IncrementalTest, SingleEvaluationMatchesAcrossCacheStates) {
+  // evaluate() consults the cache: a failure evaluation served via the
+  // patched path (warm cache) must match the cold full path bit for bit,
+  // including kFull detail.
+  const TestInstance inst = make_test_instance(12, 4.0, 101);
+  const Evaluator cached(inst.graph, inst.traffic, inst.params, {});
+  const Evaluator plain(inst.graph, inst.traffic, inst.params,
+                        {.incremental = false, .base_routing_cache = false});
+  const WeightSetting w = random_weights(inst.graph, 30, 103);
+
+  // Warm the cache with the no-failure evaluation, then compare every
+  // single-link failure and the no-failure evaluation itself.
+  expect_results_identical(cached.evaluate(w, FailureScenario::none(), EvalDetail::kFull),
+                           plain.evaluate(w, FailureScenario::none(), EvalDetail::kFull));
+  EXPECT_GE(cached.base_cache_size(), 1u);
+  for (LinkId l = 0; l < inst.graph.num_links(); ++l) {
+    const FailureScenario scenario = FailureScenario::link(l);
+    expect_results_identical(cached.evaluate(w, scenario, EvalDetail::kFull),
+                             plain.evaluate(w, scenario, EvalDetail::kFull));
+  }
+  EXPECT_GT(cached.base_cache_stats().hits, 0u);
 }
 
 }  // namespace

@@ -1,13 +1,17 @@
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <cstdint>
 
 #include "graph/graph.h"
 #include "graph/topology.h"
 #include "routing/evaluator.h"
+#include "routing/weights.h"
 #include "traffic/gravity.h"
 #include "traffic/scaling.h"
 #include "traffic/traffic_matrix.h"
+#include "util/rng.h"
 
 namespace dtr::test {
 
@@ -65,6 +69,29 @@ inline TestInstance make_test_instance(int nodes = 10, double degree = 4.0,
   scale_to_utilization(inst.graph, inst.traffic,
                        {UtilizationTarget::Kind::kAverage, avg_utilization});
   return inst;
+}
+
+/// Uniformly random weight setting for `g` (deterministic in `seed`).
+inline WeightSetting random_weights(const Graph& g, int wmax, std::uint64_t seed) {
+  WeightSetting w(g.num_links());
+  Rng rng(seed);
+  randomize_weights(w, wmax, rng);
+  return w;
+}
+
+/// The authoritative EvalResult comparator for byte-identity contracts
+/// (incremental path, base cache): every field, exact equality. Extend HERE
+/// when EvalResult grows so no identity test silently narrows.
+inline void expect_results_identical(const EvalResult& a, const EvalResult& b) {
+  EXPECT_EQ(a.lambda, b.lambda);
+  EXPECT_EQ(a.phi, b.phi);
+  EXPECT_EQ(a.sla_violations, b.sla_violations);
+  EXPECT_EQ(a.disconnected_delay_pairs, b.disconnected_delay_pairs);
+  EXPECT_EQ(a.disconnected_tput_pairs, b.disconnected_tput_pairs);
+  EXPECT_EQ(a.arc_total_load, b.arc_total_load);
+  EXPECT_EQ(a.arc_utilization, b.arc_utilization);
+  EXPECT_EQ(a.sd_delay_ms, b.sd_delay_ms);
+  EXPECT_EQ(a.carries_delay_traffic, b.carries_delay_traffic);
 }
 
 }  // namespace dtr::test
