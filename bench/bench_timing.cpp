@@ -20,6 +20,7 @@
 #include "bench_common.h"
 #include "experiments/bench_report.h"
 #include "routing/failures.h"
+#include "scenarios/scenario_set.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -141,6 +142,42 @@ void BM_FailureSweepIncremental(benchmark::State& state) {
 BENCHMARK(BM_FailureSweepIncremental)
     ->ArgNames({"incremental", "delay_dp"})
     ->Args({0, 0})->Args({1, 0})->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Compound-failure (scenario-catalog) sweep: a budget-capped 2-link catalog
+// with rate-derived weights, aggregated through the weighted Evaluator::sweep.
+// Compound scenarios remove 4 arcs each, so this measures the multi-arc
+// delta-SPF patching path the SRLG/k-link workloads lean on. Results are
+// bit-identical across the toggle; the acceptance metric is the ratio.
+// ---------------------------------------------------------------------------
+
+void BM_CompoundFailureSweep(benchmark::State& state) {
+  const bool incremental = state.range(0) != 0;
+  const Workload& workload = fixture().workload;
+  EvaluatorConfig config;
+  config.incremental = incremental;
+  config.base_routing_cache = false;  // isolate the per-call cost
+  const Evaluator ev(workload.graph, workload.traffic, workload.params, config);
+  WeightSetting w(ev.graph().num_links());
+  Rng rng(seed_from_env(1));
+  randomize_weights(w, 30, rng);
+  ScenarioSet set = enumerate_k_link_failures(
+      ev.graph(), {2, 2 * ev.graph().num_links(), seed_from_env(1)});
+  apply_rate_weights(set, derive_failure_rates(ev.graph()));
+
+  double checksum = 0.0;
+  for (auto _ : state) {
+    const SweepResult r = ev.sweep(w, set.scenarios(), nullptr, set.weights());
+    checksum += r.phi;
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetLabel(incremental ? "incremental" : "full");
+  state.counters["scenarios"] = static_cast<double>(set.size());
+}
+BENCHMARK(BM_CompoundFailureSweep)
+    ->ArgNames({"incremental"})
+    ->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------

@@ -2,7 +2,10 @@
 /// topology, synthesize traffic, run the two-phase robust optimization, and
 /// export the deployable artifacts (weight file, Graphviz map, failure
 /// report). The `campaign` subcommand runs a whole sharded experiment
-/// campaign from a spec file and writes the schema-versioned JSON artifact.
+/// campaign from a spec file and writes the schema-versioned JSON artifact;
+/// the `scenarios` subcommand generates a failure-scenario catalog (k-link
+/// combinations, SRLG files, synthetic conduits) and lists/describes/exports
+/// it as dtr.scenarios.v1 JSON.
 ///
 /// Usage:
 ///   dtr_tool [--topology rand|near|pl|isp] [--nodes N] [--degree D]
@@ -13,11 +16,18 @@
 ///   dtr_tool campaign --spec FILE [--json FILE] [--workers N]
 ///            [--inner-threads N] [--filter SUBSTR] [--list] [--timings]
 ///            [--no-incremental] [--no-base-cache] [--no-delay-dp]
+///   dtr_tool scenarios --set all_links|all_nodes|k_link|srlg_file|geo_srlg
+///            [--k N] [--budget N] [--srlg-file FILE] [--geo-grid N]
+///            [--rates] [--topology rand|near|pl|isp] [--nodes N]
+///            [--degree D] [--seed S] [--theta MS] [--in-graph FILE]
+///            [--json FILE] [--list] [--describe]
 ///
 /// Examples:
 ///   dtr_tool --topology isp --report --out-weights isp.weights
 ///   dtr_tool --topology rand --nodes 24 --degree 6 --out-dot net.dot
 ///   dtr_tool campaign --spec sweep.campaign --json sweep.json --workers 0
+///   dtr_tool scenarios --set k_link --k 2 --budget 50 --rates --json k2.json
+///   dtr_tool scenarios --set geo_srlg --topology rand --nodes 30 --describe
 ///
 /// Campaign spec format (line-based; '#' starts a comment):
 ///   name = demo            # top-level keys: name, effort, seed
@@ -29,8 +39,12 @@
 ///   nodes = 16             #   delay_fraction, seed, repeats, seed_stride,
 ///   degree = 5             #   critical_fraction, floor, fluctuation
 ///   repeats = 3            #   (none|gaussian|hotspot), trials, epsilon,
-///                          #   top_fraction, direction, server_fraction,
-///                          #   client_fraction, scale_min, scale_max
+///   scenario_set = k_link  #   top_fraction, direction, server_fraction,
+///   k_link = 2             #   client_fraction, scale_min, scale_max, and
+///   rate_weights = 1       #   the scenario-catalog keys: scenario_set
+///                          #   (none|all_links|all_nodes|k_link|srlg_file|
+///                          #   geo_srlg), k_link, scenario_budget,
+///                          #   srlg_file, geo_grid, percentile, rate_weights
 
 #include <cstdlib>
 #include <fstream>
@@ -47,6 +61,7 @@
 #include "graph/isp.h"
 #include "graph/topology.h"
 #include "routing/weights_io.h"
+#include "scenarios/scenario_set.h"
 #include "traffic/gravity.h"
 #include "traffic/scaling.h"
 #include "util/table.h"
@@ -71,6 +86,47 @@ struct Options {
 [[noreturn]] void usage_error(const std::string& message) {
   std::cerr << "dtr_tool: " << message << "\n(see the header comment for usage)\n";
   std::exit(2);
+}
+
+struct BuiltTopology {
+  Graph graph;
+  std::vector<std::string> names;  ///< city names (ISP topology only)
+};
+
+/// The one topology-construction path for every subcommand, so scenario
+/// catalogs, campaigns, and the optimizer front end all agree on element
+/// ids for the same flags. Synthesized AND ISP delays are SLA-calibrated
+/// like make_workload's (DESIGN §4/§4b), so rate-derived catalog weights
+/// match what a campaign cell computes for the same topology; only loaded
+/// graph files keep their delays verbatim.
+BuiltTopology build_topology(const std::string& topology, const std::string& in_graph,
+                             int nodes, double degree, std::uint64_t seed,
+                             double theta_ms) {
+  BuiltTopology built;
+  if (!in_graph.empty()) {
+    std::ifstream in(in_graph);
+    if (!in) usage_error("cannot open " + in_graph);
+    built.graph = read_graph(in);
+    return built;
+  }
+  if (topology == "isp") {
+    IspTopology isp = make_isp_backbone();
+    built.graph = std::move(isp.graph);
+    built.names = std::move(isp.city_names);
+    calibrate_delays_to_sla(built.graph, theta_ms);
+    return built;
+  }
+  if (topology == "rand") {
+    built.graph = make_rand_topo({nodes, degree, 500.0, seed});
+  } else if (topology == "near") {
+    built.graph = make_near_topo({nodes, degree, 500.0, seed});
+  } else if (topology == "pl") {
+    built.graph = make_pl_topo({nodes, 3, 500.0, seed});
+  } else {
+    usage_error("unknown topology: " + topology);
+  }
+  calibrate_delays_to_sla(built.graph, theta_ms);
+  return built;
 }
 
 Options parse_args(int argc, char** argv) {
@@ -190,37 +246,113 @@ int run_campaign_command(int argc, char** argv) {
   return failures > 0 ? 1 : 0;
 }
 
+int run_scenarios_command(int argc, char** argv) {
+  namespace exp = dtr::experiments;
+  exp::ScenarioSpec spec;
+  spec.kind = exp::ScenarioSpec::Kind::kAllLinks;
+  spec.budget = 100;
+  std::string set_name = "all_links", topology = "rand", in_graph, json_path;
+  int nodes = 16;
+  double degree = 5.0, theta_ms = 25.0;
+  std::uint64_t seed = 1;
+  bool list = false, describe = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--set") {
+      set_name = next();
+      if (set_name == "all_links") spec.kind = exp::ScenarioSpec::Kind::kAllLinks;
+      else if (set_name == "all_nodes") spec.kind = exp::ScenarioSpec::Kind::kAllNodes;
+      else if (set_name == "k_link") spec.kind = exp::ScenarioSpec::Kind::kKLink;
+      else if (set_name == "srlg_file") spec.kind = exp::ScenarioSpec::Kind::kSrlgFile;
+      else if (set_name == "geo_srlg") spec.kind = exp::ScenarioSpec::Kind::kGeoSrlg;
+      else usage_error("unknown scenario set: " + set_name);
+    } else if (arg == "--k") spec.k = std::stoi(next());
+    else if (arg == "--budget") {
+      // Same floor as the campaign spec's scenario_budget: a zero budget
+      // would silently emit an empty catalog.
+      const long budget = std::stol(next());
+      if (budget < 1) usage_error("--budget must be >= 1");
+      spec.budget = static_cast<std::size_t>(budget);
+    } else if (arg == "--srlg-file") spec.srlg_file = next();
+    else if (arg == "--geo-grid") spec.geo_grid = std::stoi(next());
+    else if (arg == "--rates") spec.rate_weights = true;
+    else if (arg == "--topology") topology = next();
+    else if (arg == "--nodes") nodes = std::stoi(next());
+    else if (arg == "--degree") degree = std::stod(next());
+    else if (arg == "--seed") seed = std::stoull(next());
+    else if (arg == "--theta") theta_ms = std::stod(next());
+    else if (arg == "--in-graph") in_graph = next();
+    else if (arg == "--json") json_path = next();
+    else if (arg == "--list") list = true;
+    else if (arg == "--describe") describe = true;
+    else usage_error("unknown scenarios flag: " + arg);
+  }
+  if (spec.kind == exp::ScenarioSpec::Kind::kSrlgFile && spec.srlg_file.empty())
+    usage_error("scenarios --set srlg_file needs --srlg-file FILE");
+
+  const Graph graph =
+      build_topology(topology, in_graph, nodes, degree, seed, theta_ms).graph;
+
+  ScenarioSet set;
+  try {
+    set = exp::build_scenario_set(spec, graph, seed);
+  } catch (const std::exception& e) {
+    usage_error(e.what());
+  }
+
+  if (list) {
+    for (std::size_t i = 0; i < set.size(); ++i) std::cout << set.name(i) << "\n";
+    return 0;
+  }
+  if (describe) {
+    Table table({"scenario", "kind", "links", "nodes", "weight"});
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      std::size_t num_links = 0, num_nodes = 0;
+      for_each_failed_element(
+          set.scenario(i), [&](LinkId) { ++num_links; }, [&](NodeId) { ++num_nodes; });
+      table.row()
+          .cell(set.name(i))
+          .cell(std::string(to_string(set.scenario(i).kind)))
+          .integer(static_cast<long long>(num_links))
+          .integer(static_cast<long long>(num_nodes))
+          .num(set.weight(i));
+    }
+    std::cout << "scenario catalog '" << set_name << "': " << set.size()
+              << " scenarios, total weight " << set.total_weight() << "\n";
+    table.print(std::cout);
+    return 0;
+  }
+  if (json_path.empty()) {
+    write_scenario_set_json(std::cout, set, set_name);
+  } else {
+    std::ofstream out(json_path);
+    if (!out) usage_error("cannot write " + json_path);
+    write_scenario_set_json(out, set, set_name);
+    std::cout << "wrote " << set.size() << " scenarios to " << json_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "campaign")
     return run_campaign_command(argc, argv);
+  if (argc >= 2 && std::string(argv[1]) == "scenarios")
+    return run_scenarios_command(argc, argv);
   const Options opt = parse_args(argc, argv);
 
   // ---- topology
-  Graph graph;
-  std::vector<std::string> names;
-  if (!opt.in_graph.empty()) {
-    std::ifstream in(opt.in_graph);
-    if (!in) usage_error("cannot open " + opt.in_graph);
-    graph = read_graph(in);
-  } else if (opt.topology == "isp") {
-    IspTopology isp = make_isp_backbone();
-    graph = std::move(isp.graph);
-    names = std::move(isp.city_names);
-  } else if (opt.topology == "rand") {
-    graph = make_rand_topo({opt.nodes, opt.degree, 500.0, opt.seed});
-  } else if (opt.topology == "near") {
-    graph = make_near_topo({opt.nodes, opt.degree, 500.0, opt.seed});
-  } else if (opt.topology == "pl") {
-    graph = make_pl_topo({opt.nodes, 3, 500.0, opt.seed});
-  } else {
-    usage_error("unknown topology: " + opt.topology);
-  }
+  BuiltTopology built = build_topology(opt.topology, opt.in_graph, opt.nodes,
+                                       opt.degree, opt.seed, opt.theta_ms);
+  Graph& graph = built.graph;
+  const std::vector<std::string>& names = built.names;
   EvalParams params;
   params.sla.theta_ms = opt.theta_ms;
-  if (opt.topology != "isp" && opt.in_graph.empty())
-    calibrate_delays_to_sla(graph, opt.theta_ms);
 
   // ---- traffic
   ClassedTraffic traffic =

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Regenerates the CI golden campaign artifact (tests/golden/campaign_smoke.json)
-# from tests/golden/campaign_smoke.spec.
+# Regenerates the CI golden campaign artifacts (tests/golden/campaign_smoke.json
+# and tests/golden/scenario_smoke.json) from the specs next to them.
 #
 # The CI bench-smoke job runs the same campaign and `diff`s its output against
 # the checked-in JSON, so silent metric regressions fail CI. Only regenerate
@@ -30,5 +30,13 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target dtr_tool
   --json tests/golden/campaign_smoke.json \
   --workers 2
 
-echo "regenerated tests/golden/campaign_smoke.json:"
-git --no-pager diff --stat -- tests/golden/campaign_smoke.json
+# Scenario-catalog gate artifact (weighted SRLG / k-link / geo-conduit
+# campaign; the spec's srlg_file path is repo-root relative, matching CI).
+"$BUILD_DIR"/examples/dtr_tool campaign \
+  --spec tests/golden/scenario_smoke.spec \
+  --json tests/golden/scenario_smoke.json \
+  --workers 2
+
+echo "regenerated golden campaign artifacts:"
+git --no-pager diff --stat -- tests/golden/campaign_smoke.json \
+  tests/golden/scenario_smoke.json

@@ -144,7 +144,7 @@ int unavoidable_violations(const Evaluator& evaluator, const FailureScenario& sc
   const Graph& g = evaluator.graph();
   std::vector<std::uint8_t> mask;
   build_alive_mask(g, scenario, mask);
-  const NodeId skip = skipped_node(scenario);
+  const std::span<const NodeId> skip = skipped_nodes(scenario);
 
   std::vector<double> prop_cost(g.num_arcs());
   for (ArcId a = 0; a < g.num_arcs(); ++a) prop_cost[a] = g.arc(a).prop_delay_ms;
@@ -154,14 +154,14 @@ int unavoidable_violations(const Evaluator& evaluator, const FailureScenario& sc
   int count = 0;
   std::vector<double> dist;
   for (NodeId t = 0; t < g.num_nodes(); ++t) {
-    if (t == skip) continue;
+    if (is_skipped(skip, t)) continue;
     bool any = false;
     for (NodeId s = 0; s < g.num_nodes() && !any; ++s)
-      any = (s != t && s != skip && demands.at(s, t) > 0.0);
+      any = (s != t && !is_skipped(skip, s) && demands.at(s, t) > 0.0);
     if (!any) continue;
     shortest_distances_to(g, t, prop_cost, mask, dist);
     for (NodeId s = 0; s < g.num_nodes(); ++s) {
-      if (s == t || s == skip || demands.at(s, t) <= 0.0) continue;
+      if (s == t || is_skipped(skip, s) || demands.at(s, t) <= 0.0) continue;
       if (dist[s] > theta) ++count;  // includes kInfDist (disconnected)
     }
   }

@@ -22,6 +22,7 @@
 #include "experiments/results.h"
 #include "experiments/workloads.h"
 #include "routing/evaluator.h"
+#include "scenarios/scenario_set.h"
 #include "traffic/uncertainty.h"
 
 namespace dtr {
@@ -42,6 +43,40 @@ struct FluctuationSpec {
 };
 
 std::string to_string(FluctuationSpec::Model m);
+
+/// Scenario-catalog attachment (spec directives `scenario_set`, `k_link`,
+/// `scenario_budget`, `srlg_file`, `geo_grid`, `percentile`, `rate_weights`):
+/// when kind != kNone, the cell builds a ScenarioSet against the workload
+/// graph and additionally profiles both routings over it, emitting the
+/// weighted `scn_*` metrics (expected / percentile / worst).
+struct ScenarioSpec {
+  enum class Kind : std::uint8_t {
+    kNone,      ///< no scenario catalog (the default; cell output unchanged)
+    kAllLinks,  ///< every single-link failure
+    kAllNodes,  ///< every single-node failure
+    kKLink,     ///< k-link combinations, budget-capped (enumerate_k_link_failures)
+    kSrlgFile,  ///< explicit SRLG catalog from a `.srlg` sidecar file
+    kGeoSrlg,   ///< synthetic conduit catalog (synthesize_geo_srlgs)
+  };
+  Kind kind = Kind::kNone;
+  int k = 2;                  ///< kKLink: simultaneous link failures
+  std::size_t budget = 100;   ///< kKLink: catalog size cap
+  std::string srlg_file;      ///< kSrlgFile: sidecar path (relative to the CWD)
+  int geo_grid = 4;           ///< kGeoSrlg: grid resolution
+  double percentile = 0.95;   ///< percentile for the scn_p_* metrics
+  bool rate_weights = false;  ///< reweight by per-element failure rates
+  /// kKLink sampling stream = rep seed + offset (decorrelated from the
+  /// optimizer/fluctuation streams, like FluctuationSpec::seed_offset).
+  std::uint64_t seed_offset = 17;
+};
+
+std::string to_string(ScenarioSpec::Kind kind);
+
+/// Builds the catalog a spec describes against `g` (deterministic in
+/// `seed`). kSrlgFile reads spec.srlg_file here, so a missing sidecar
+/// surfaces as the cell error of the rep that needed it.
+ScenarioSet build_scenario_set(const ScenarioSpec& spec, const Graph& g,
+                               std::uint64_t seed);
 
 /// Execution context handed to cell bodies: the inner pool is non-null only
 /// when cells run sequentially; `inner_threads` is the matching
@@ -64,6 +99,7 @@ struct CampaignCell {
   double critical_fraction = 0.0;  ///< > 0 overrides the optimizer default
   bool unavoidable_floor = false;  ///< also compute the violation lower bound
   FluctuationSpec fluctuation;
+  ScenarioSpec scenario;
   /// Evaluate against this graph instead of the spec-built one (the NearTopo
   /// resize experiment); traffic/params still come from the spec workload.
   std::shared_ptr<const Graph> graph_override;

@@ -14,19 +14,29 @@ namespace dtr {
 struct Evaluator::IncrementalBase {
   ClassRouting delay;
   ClassRouting tput;
-  RoutingBaseRecord delay_record;
-  RoutingBaseRecord tput_record;
+
+  /// Patch-only machinery, lazily materialized (ensure_patch_records) on the
+  /// first call that patches a failure from this record: Phase-1 probes
+  /// build bases that are usually evicted unused, so they skip the recording
+  /// cost. `records_once` guards the upgrade — cached bases are shared
+  /// across speculative-evaluation threads; readers either ran the call_once
+  /// themselves or the flags were set before the base was published, so the
+  /// plain bools need no atomics.
+  mutable std::once_flag records_once;
+  mutable bool has_records = false;
+  mutable bool has_dp_index = false;
+  mutable RoutingBaseRecord delay_record;
+  mutable RoutingBaseRecord tput_record;
+  mutable DelayDpIndex dp_index;
 
   /// No-failure products, filled when with_delay_base (see build_base):
   /// `sd_delay` holds the POST-aggregation values (disconnected pairs capped
   /// at the disconnect charge), so a replayed column matches what the full
   /// path's aggregation would leave in place bit for bit.
   bool has_delay_base = false;
-  bool has_dp_index = false;
   std::vector<double> total_load;
   std::vector<double> arc_delay;
   std::vector<double> sd_delay;
-  DelayDpIndex dp_index;
   EvalResult none_result;  ///< costs-only fields of the no-failure evaluation
 };
 
@@ -106,18 +116,27 @@ class Evaluator::BaseCache {
 
 namespace {
 
-/// Arc-removal scenarios patch cleanly from the no-failure base; node
-/// failures also drop the node's demands, which the replay records don't
-/// capture — those take the full path.
+/// Arc-removal scenarios patch cleanly from the no-failure base; scenarios
+/// that fail nodes (kNode, compound with nodes) also drop those nodes'
+/// demands, which the replay records don't capture — those take the full
+/// path.
 bool incremental_eligible(const FailureScenario& s) {
-  return s.kind != FailureScenario::Kind::kNode;
+  return skipped_nodes(s).empty();
 }
 
 /// Scenarios the base actually accelerates beyond a plain no-failure replay:
-/// arc removals that patch instead of recompute.
+/// arc removals — single links, link pairs, and links-only compound
+/// scenarios — that patch instead of recompute.
 bool incremental_patchable(const FailureScenario& s) {
-  return s.kind == FailureScenario::Kind::kLink ||
-         s.kind == FailureScenario::Kind::kLinkPair;
+  switch (s.kind) {
+    case FailureScenario::Kind::kLink:
+    case FailureScenario::Kind::kLinkPair:
+      return true;
+    case FailureScenario::Kind::kCompound:
+      return s.nodes.empty() && !s.links.empty();
+    default:
+      return false;
+  }
 }
 
 }  // namespace
@@ -181,18 +200,26 @@ EvalResult Evaluator::evaluate(const WeightSetting& w, const FailureScenario& sc
   // patches instead of recomputing).
   std::shared_ptr<const IncrementalBase> base;
   if (cache_ != nullptr && incremental_eligible(scenario))
-    base = acquire_base(w, scratch.cost_delay, scratch.cost_tput, 1);
+    base = acquire_base(w, scratch.cost_delay, scratch.cost_tput, 1,
+                        incremental_patchable(scenario) ? 1 : 0);
   return evaluate_impl(scratch.cost_delay, scratch.cost_tput, scenario, detail, scratch,
                        base.get());
 }
 
 void Evaluator::build_base(std::span<const double> cost_delay,
                            std::span<const double> cost_tput, IncrementalBase& base,
-                           bool with_delay_base) const {
-  base.delay.compute(graph_, cost_delay, traffic_.delay, {}, kInvalidNode,
-                     &base.delay_record);
-  base.tput.compute(graph_, cost_tput, traffic_.throughput, {}, kInvalidNode,
-                    &base.tput_record);
+                           bool with_delay_base, bool with_records) const {
+  base.delay.compute(graph_, cost_delay, traffic_.delay, {}, {},
+                     with_records ? &base.delay_record : nullptr);
+  base.tput.compute(graph_, cost_tput, traffic_.throughput, {}, {},
+                    with_records ? &base.tput_record : nullptr);
+  if (with_records) {
+    // Mark the once_flag spent so ensure_patch_records never re-records a
+    // base that was built eagerly. Runs before the base is published, so the
+    // plain flag writes need no further synchronization.
+    std::call_once(base.records_once, [] {});
+    base.has_records = true;
+  }
   if (!with_delay_base) return;
 
   const std::size_t num_arcs = graph_.num_arcs();
@@ -205,10 +232,11 @@ void Evaluator::build_base(std::span<const double> cost_delay,
                                       arc.prop_delay_ms, params_.delay_model);
   }
 
-  DelayDpIndex* record = config_.incremental_delay ? &base.dp_index : nullptr;
+  DelayDpIndex* record =
+      with_records && config_.incremental_delay ? &base.dp_index : nullptr;
   base.delay.end_to_end_delays(graph_, cost_delay, {}, base.arc_delay, traffic_.delay,
-                               params_.sla_delay_mode, kInvalidNode, base.sd_delay,
-                               record);
+                               params_.sla_delay_mode, {}, base.sd_delay, record);
+  base.has_dp_index = record != nullptr;
 
   // The same aggregation the full path runs, so a served no-failure result is
   // bit-identical to a computed one.
@@ -229,30 +257,65 @@ void Evaluator::build_base(std::span<const double> cost_delay,
   none.disconnected_tput_pairs = base.tput.disconnected_demand_count();
 
   base.has_delay_base = true;
-  base.has_dp_index = record != nullptr;
+}
+
+void Evaluator::ensure_patch_records(std::span<const double> cost_delay,
+                                     std::span<const double> cost_tput,
+                                     const IncrementalBase& base) const {
+  std::call_once(base.records_once, [&] {
+    // Replay the load sweeps over the base's EXISTING distance labels (no
+    // Dijkstra) to capture the per-destination replay slices, and the delay
+    // DP (which also reads only existing labels) to capture the dirty-arc
+    // index: same labels, same float ops, so the recorded values are exactly
+    // what an eager build would have recorded.
+    base.delay.record_contributions(graph_, cost_delay, traffic_.delay, {}, {},
+                                    base.delay_record);
+    base.tput.record_contributions(graph_, cost_tput, traffic_.throughput, {}, {},
+                                   base.tput_record);
+    if (config_.incremental_delay && base.has_delay_base) {
+      std::vector<double> sd_scratch;
+      base.delay.end_to_end_delays(graph_, cost_delay, {}, base.arc_delay,
+                                   traffic_.delay, params_.sla_delay_mode, {},
+                                   sd_scratch, &base.dp_index);
+      base.has_dp_index = true;
+    }
+    base.has_records = true;
+  });
 }
 
 std::shared_ptr<const Evaluator::IncrementalBase> Evaluator::acquire_base(
     const WeightSetting& w, std::span<const double> cost_delay,
-    std::span<const double> cost_tput, std::size_t eligible_scenarios) const {
-  if (!config_.incremental) return nullptr;
+    std::span<const double> cost_tput, std::size_t eligible_scenarios,
+    std::size_t patchable_scenarios) const {
+  std::shared_ptr<const IncrementalBase> base;
+  if (!config_.incremental) return base;
   if (cache_ != nullptr) {
-    if (auto base = cache_->find(w)) return base;
-    if (eligible_scenarios < 1) return nullptr;
-    auto base = std::make_shared<IncrementalBase>();
-    // A cached record always carries the delay base: serving no-failure
-    // evaluations from it is half the point of caching.
-    build_base(cost_delay, cost_tput, *base, /*with_delay_base=*/true);
-    cache_->insert(w, base);
-    return base;
+    base = cache_->find(w);
+    if (base == nullptr) {
+      if (eligible_scenarios < 1) return base;
+      auto built = std::make_shared<IncrementalBase>();
+      // A cached record always carries the delay base (serving no-failure
+      // evaluations from it is half the point of caching) but defers the
+      // patch records to first reuse — most cached bases are Phase-1 probes
+      // that are evicted without ever patching a failure.
+      build_base(cost_delay, cost_tput, *built, /*with_delay_base=*/true,
+                 /*with_records=*/false);
+      cache_->insert(w, built);
+      base = std::move(built);
+    }
+  } else {
+    // Uncached: the base costs about one full routing to build; with fewer
+    // than two eligible scenarios it cannot pay for itself. The threshold
+    // depends only on the scenario list, so results stay independent of the
+    // execution shape. Records are built inline — an uncached base is
+    // always consumed by the very call that built it.
+    if (eligible_scenarios < 2) return base;
+    auto built = std::make_shared<IncrementalBase>();
+    build_base(cost_delay, cost_tput, *built, config_.incremental_delay,
+               /*with_records=*/true);
+    base = std::move(built);
   }
-  // Uncached: the base costs about one full routing to build; with fewer
-  // than two patchable scenarios it cannot pay for itself. The threshold
-  // depends only on the scenario list, so results stay independent of the
-  // execution shape.
-  if (eligible_scenarios < 2) return nullptr;
-  auto base = std::make_shared<IncrementalBase>();
-  build_base(cost_delay, cost_tput, *base, config_.incremental_delay);
+  if (patchable_scenarios > 0) ensure_patch_records(cost_delay, cost_tput, *base);
   return base;
 }
 
@@ -278,27 +341,29 @@ EvalResult Evaluator::evaluate_impl(std::span<const double> cost_delay,
                                     const FailureScenario& scenario, EvalDetail detail,
                                     Scratch& s, const IncrementalBase* base) const {
   build_alive_mask(graph_, scenario, s.mask);
-  const NodeId skip = skipped_node(scenario);
+  const std::span<const NodeId> skip = skipped_nodes(scenario);
 
   bool patched = false;
   if (base != nullptr && incremental_eligible(scenario)) {
     if (scenario.kind == FailureScenario::Kind::kNone && base->has_delay_base)
       return serve_none_from_base(*base, detail);
-    s.removed.clear();
-    if (scenario.kind != FailureScenario::Kind::kNone) {
-      for (ArcId a : graph_.link_arcs(scenario.id)) s.removed.push_back(a);
-      if (scenario.kind == FailureScenario::Kind::kLinkPair)
-        for (ArcId a : graph_.link_arcs(scenario.id2)) s.removed.push_back(a);
+    if (incremental_patchable(scenario) && base->has_records) {
+      // One compound representation internally: every patchable kind —
+      // kLink, kLinkPair, kCompound — collects its dead arcs through the
+      // same element dispatch and rides the same multi-arc delta update.
+      s.removed.clear();
+      for_each_failed_arc(graph_, scenario, [&](ArcId a) { s.removed.push_back(a); });
+      const double fraction = config_.incremental_max_affected_fraction;
+      s.delay_routing.compute_from_base(graph_, cost_delay, traffic_.delay, base->delay,
+                                        base->delay_record, s.removed, s.mask, fraction,
+                                        s.failure);
+      s.tput_routing.compute_from_base(graph_, cost_tput, traffic_.throughput,
+                                       base->tput, base->tput_record, s.removed, s.mask,
+                                       fraction, s.failure);
+      patched = true;
     }
-    const double fraction = config_.incremental_max_affected_fraction;
-    s.delay_routing.compute_from_base(graph_, cost_delay, traffic_.delay, base->delay,
-                                      base->delay_record, s.removed, s.mask, fraction,
-                                      s.failure);
-    s.tput_routing.compute_from_base(graph_, cost_tput, traffic_.throughput, base->tput,
-                                     base->tput_record, s.removed, s.mask, fraction,
-                                     s.failure);
-    patched = true;
-  } else {
+  }
+  if (!patched) {
     s.delay_routing.compute(graph_, cost_delay, traffic_.delay, s.mask, skip);
     s.tput_routing.compute(graph_, cost_tput, traffic_.throughput, s.mask, skip);
   }
@@ -376,8 +441,11 @@ std::vector<EvalResult> Evaluator::evaluate_failures(
 
   const auto eligible =
       std::count_if(scenarios.begin(), scenarios.end(), incremental_eligible);
+  const auto patchable =
+      std::count_if(scenarios.begin(), scenarios.end(), incremental_patchable);
   const std::shared_ptr<const IncrementalBase> base =
-      acquire_base(w, cost_delay, cost_tput, static_cast<std::size_t>(eligible));
+      acquire_base(w, cost_delay, cost_tput, static_cast<std::size_t>(eligible),
+                   static_cast<std::size_t>(patchable));
   const IncrementalBase* base_ptr = base.get();
 
   std::vector<EvalResult> out(scenarios.size());
@@ -424,7 +492,8 @@ std::vector<CostPair> Evaluator::evaluate_costs(std::span<const EvalJob> jobs,
       const WeightSetting& w = *distinct[d];
       w.arc_costs(graph_, TrafficClass::kDelay, cost_delay);
       w.arc_costs(graph_, TrafficClass::kThroughput, cost_tput);
-      if (auto base = acquire_base(w, cost_delay, cost_tput, patchable[d])) {
+      if (auto base = acquire_base(w, cost_delay, cost_tput, patchable[d],
+                                   patchable[d])) {
         group_base[d] = base.get();
         held.push_back(std::move(base));
       }
@@ -488,8 +557,11 @@ SweepResult Evaluator::sweep(const WeightSetting& w,
 
   const auto eligible =
       std::count_if(scenarios.begin(), scenarios.end(), incremental_eligible);
+  const auto patchable =
+      std::count_if(scenarios.begin(), scenarios.end(), incremental_patchable);
   const std::shared_ptr<const IncrementalBase> base =
-      acquire_base(w, cost_delay, cost_tput, static_cast<std::size_t>(eligible));
+      acquire_base(w, cost_delay, cost_tput, static_cast<std::size_t>(eligible),
+                   static_cast<std::size_t>(patchable));
   const IncrementalBase* base_ptr = base.get();
 
   if (pool == nullptr || pool->num_workers() <= 1 || scenarios.size() <= 1) {

@@ -44,10 +44,13 @@ struct EvaluatorConfig {
   /// sweep_detailed) computes one shared no-failure base routing per call
   /// and patches each arc-removal scenario from it: distance labels are
   /// delta-updated per destination and untouched destinations replay their
-  /// recorded load contributions instead of re-aggregating. Node-failure
-  /// scenarios always take the full path (their skip semantics change the
-  /// demand set, not just arcs). Master switch: the two caches below only
-  /// engage when this is on.
+  /// recorded load contributions instead of re-aggregating. This covers
+  /// single links, link pairs, AND links-only compound scenarios (SRLGs,
+  /// k-link failures) — any number of removed arcs flows through the same
+  /// multi-arc delta-SPF + replay path. Scenarios that fail nodes always
+  /// take the full path (their skip semantics change the demand set, not
+  /// just arcs). Master switch: the two caches below only engage when this
+  /// is on.
   bool incremental = true;
   /// Per-destination fallback: when a failure invalidates more than this
   /// fraction of one destination's distance labels, that destination is
@@ -55,11 +58,14 @@ struct EvaluatorConfig {
   /// stops paying for itself.
   double incremental_max_affected_fraction = 0.25;
   /// Weights-keyed LRU cache of base-routing records across calls. A
-  /// no-failure evaluate() builds and caches the full base (routings +
-  /// replay records + delay-DP base), so the sweep / evaluate_failures /
-  /// single-failure evaluate() calls the optimizer issues for the SAME
-  /// weight vector reuse one record instead of recomputing the full
-  /// Dijkstra + aggregation per call. Keys are compared by VALUE (the whole
+  /// no-failure evaluate() builds and caches the base (routings + no-failure
+  /// products), so the sweep / evaluate_failures / single-failure evaluate()
+  /// calls the optimizer issues for the SAME weight vector reuse one record
+  /// instead of recomputing the full Dijkstra + aggregation per call. The
+  /// patch-only machinery (replay CSRs + delay-DP index) is materialized
+  /// LAZILY on the first call that actually patches a failure from the
+  /// record, so Phase-1 probes that build a base which is evicted unused
+  /// never pay the recording cost. Keys are compared by VALUE (the whole
   /// weight vector), so mutating a caller's WeightSetting can never serve a
   /// stale record.
   bool base_routing_cache = true;
@@ -247,21 +253,35 @@ class Evaluator {
                            const FailureScenario& scenario, EvalDetail detail,
                            Scratch& scratch, const IncrementalBase* base = nullptr) const;
 
-  /// Builds the no-failure base for these arc costs: both routings with
-  /// replay records, plus the delay-DP base (loads, delays, sd_delay,
-  /// dirty-arc index, aggregated no-failure costs) when `with_delay_base`.
+  /// Builds the no-failure base for these arc costs: both routings, plus the
+  /// delay-DP base (loads, delays, sd_delay, aggregated no-failure costs)
+  /// when `with_delay_base`. With `with_records` the replay CSRs and the
+  /// dirty-arc delay-DP index are recorded inline (the uncached path, which
+  /// patches immediately); without, they are left for ensure_patch_records
+  /// to materialize on first reuse.
   void build_base(std::span<const double> cost_delay, std::span<const double> cost_tput,
-                  IncrementalBase& base, bool with_delay_base) const;
+                  IncrementalBase& base, bool with_delay_base, bool with_records) const;
+
+  /// Materializes the patch-only machinery of a lazily built base — the
+  /// replay CSRs and (when the delay DP is on) the dirty-arc index — by
+  /// re-running the deterministic base computation with recording enabled.
+  /// Thread-safe (call_once); a no-op when the base already carries records.
+  void ensure_patch_records(std::span<const double> cost_delay,
+                            std::span<const double> cost_tput,
+                            const IncrementalBase& base) const;
 
   /// Returns the base record to patch from, or nullptr when the incremental
   /// path is off / cannot pay for itself. Consults the cache first (hit =
-  /// free reuse); on a miss, builds when at least one patchable scenario
+  /// free reuse); on a miss, builds when at least one eligible scenario
   /// amortizes the build (cache on: >= 1, since the record is kept for later
   /// calls; cache off: >= 2, the build costs about one full evaluation).
   /// `eligible_scenarios` = 0 means "find only, never build".
+  /// `patchable_scenarios` > 0 additionally guarantees the returned base
+  /// carries patch records (ensure_patch_records has run).
   std::shared_ptr<const IncrementalBase> acquire_base(
       const WeightSetting& w, std::span<const double> cost_delay,
-      std::span<const double> cost_tput, std::size_t eligible_scenarios) const;
+      std::span<const double> cost_tput, std::size_t eligible_scenarios,
+      std::size_t patchable_scenarios) const;
 
   /// No-failure evaluation served from a cached base: returns the stored
   /// aggregate (and rebuilds the kFull detail vectors from the stored

@@ -2,8 +2,38 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace dtr {
+
+namespace {
+
+void sort_unique_u32(std::vector<std::uint32_t>& xs) {
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+}
+
+std::string join_ids(std::span<const std::uint32_t> ids) {
+  std::string out;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += "+";
+    out += std::to_string(ids[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+FailureScenario FailureScenario::compound(std::vector<LinkId> links,
+                                          std::vector<NodeId> nodes) {
+  FailureScenario s;
+  s.kind = Kind::kCompound;
+  sort_unique_u32(links);
+  sort_unique_u32(nodes);
+  s.links = std::move(links);
+  s.nodes = std::move(nodes);
+  return s;
+}
 
 std::string to_string(const FailureScenario& s) {
   switch (s.kind) {
@@ -12,6 +42,16 @@ std::string to_string(const FailureScenario& s) {
     case FailureScenario::Kind::kNode: return "node#" + std::to_string(s.id);
     case FailureScenario::Kind::kLinkPair:
       return "links#" + std::to_string(s.id) + "+" + std::to_string(s.id2);
+    case FailureScenario::Kind::kCompound: {
+      if (s.links.empty() && s.nodes.empty()) return "compound#empty";
+      std::string out;
+      if (!s.links.empty()) out += "links#" + join_ids(s.links);
+      if (!s.nodes.empty()) {
+        if (!out.empty()) out += "|";
+        out += "nodes#" + join_ids(s.nodes);
+      }
+      return out;
+    }
   }
   return "?";
 }
@@ -30,53 +70,52 @@ std::vector<FailureScenario> all_node_failures(const Graph& g) {
   return out;
 }
 
+std::vector<FailureScenario> sample_k_link_failures(const Graph& g, int k,
+                                                    std::size_t count, Rng& rng) {
+  if (k < 1) throw std::invalid_argument("sample_k_link_failures: k must be >= 1");
+  if (g.num_links() < static_cast<std::size_t>(k))
+    throw std::invalid_argument("sample_k_link_failures: need >= k links");
+  std::vector<FailureScenario> out;
+  out.reserve(count);
+  std::vector<LinkId> draw(static_cast<std::size_t>(k));
+  std::size_t guard = 64 * count + 64;
+  while (out.size() < count) {
+    if (guard-- == 0)
+      throw std::runtime_error("sample_k_link_failures: sampling stalled");
+    for (LinkId& l : draw) l = static_cast<LinkId>(rng.uniform_index(g.num_links()));
+    std::sort(draw.begin(), draw.end());
+    if (std::adjacent_find(draw.begin(), draw.end()) != draw.end()) continue;
+    FailureScenario s = FailureScenario::compound(draw);
+    if (std::find(out.begin(), out.end(), s) != out.end()) continue;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 std::vector<FailureScenario> sample_dual_link_failures(const Graph& g,
                                                        std::size_t count, Rng& rng) {
   if (g.num_links() < 2)
     throw std::invalid_argument("sample_dual_link_failures: need >= 2 links");
-  std::vector<FailureScenario> out;
-  out.reserve(count);
-  std::size_t guard = 64 * count + 64;
-  while (out.size() < count) {
-    if (guard-- == 0)
-      throw std::runtime_error("sample_dual_link_failures: sampling stalled");
-    auto a = static_cast<LinkId>(rng.uniform_index(g.num_links()));
-    auto b = static_cast<LinkId>(rng.uniform_index(g.num_links()));
-    if (a == b) continue;
-    if (a > b) std::swap(a, b);
-    const FailureScenario s = FailureScenario::link_pair(a, b);
-    if (std::find(out.begin(), out.end(), s) != out.end()) continue;
-    out.push_back(s);
-  }
+  std::vector<FailureScenario> out = sample_k_link_failures(g, 2, count, rng);
+  for (FailureScenario& s : out) s = FailureScenario::link_pair(s.links[0], s.links[1]);
   return out;
 }
 
 void build_alive_mask(const Graph& g, const FailureScenario& s,
                       std::vector<std::uint8_t>& mask) {
   mask.assign(g.num_arcs(), 1);
-  switch (s.kind) {
-    case FailureScenario::Kind::kNone:
-      return;
-    case FailureScenario::Kind::kLink:
-      if (s.id >= g.num_links()) throw std::out_of_range("build_alive_mask: link id");
-      for (ArcId a : g.link_arcs(s.id)) mask[a] = 0;
-      return;
-    case FailureScenario::Kind::kNode:
-      if (s.id >= g.num_nodes()) throw std::out_of_range("build_alive_mask: node id");
-      for (ArcId a : g.out_arcs(s.id)) mask[a] = 0;
-      for (ArcId a : g.in_arcs(s.id)) mask[a] = 0;
-      return;
-    case FailureScenario::Kind::kLinkPair:
-      if (s.id >= g.num_links() || s.id2 >= g.num_links())
-        throw std::out_of_range("build_alive_mask: link pair id");
-      for (ArcId a : g.link_arcs(s.id)) mask[a] = 0;
-      for (ArcId a : g.link_arcs(s.id2)) mask[a] = 0;
-      return;
-  }
+  for_each_failed_arc(g, s, [&](ArcId a) { mask[a] = 0; });
 }
 
-NodeId skipped_node(const FailureScenario& s) {
-  return s.kind == FailureScenario::Kind::kNode ? static_cast<NodeId>(s.id) : kInvalidNode;
+std::span<const NodeId> skipped_nodes(const FailureScenario& s) {
+  switch (s.kind) {
+    case FailureScenario::Kind::kNode:
+      return {&s.id, 1};
+    case FailureScenario::Kind::kCompound:
+      return s.nodes;
+    default:
+      return {};
+  }
 }
 
 }  // namespace dtr

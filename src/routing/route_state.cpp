@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "routing/failures.h"
+
 namespace dtr {
 
 namespace {
@@ -87,13 +89,14 @@ void RoutingBaseRecord::reset(std::size_t num_nodes) {
 
 ClassRouting::ClassRouting(const Graph& g, std::span<const double> arc_cost,
                            const TrafficMatrix& demands, ArcAliveMask alive_mask,
-                           NodeId skip_node) {
-  compute(g, arc_cost, demands, alive_mask, skip_node);
+                           std::span<const NodeId> skip_nodes) {
+  compute(g, arc_cost, demands, alive_mask, skip_nodes);
 }
 
 void ClassRouting::compute(const Graph& g, std::span<const double> arc_cost,
                            const TrafficMatrix& demands, ArcAliveMask alive_mask,
-                           NodeId skip_node, RoutingBaseRecord* record) {
+                           std::span<const NodeId> skip_nodes,
+                           RoutingBaseRecord* record) {
   if (demands.num_nodes() != g.num_nodes())
     throw std::invalid_argument("ClassRouting: traffic matrix / graph size mismatch");
 
@@ -107,8 +110,8 @@ void ClassRouting::compute(const Graph& g, std::span<const double> arc_cost,
 
   for (NodeId t = 0; t < n; ++t) {
     shortest_distances_to(g, t, arc_cost, alive_mask, dist_[t]);
-    if (t != skip_node) {
-      sweep_destination(g, arc_cost, demands, alive_mask, skip_node, t, record);
+    if (!is_skipped(skip_nodes, t)) {
+      sweep_destination(g, arc_cost, demands, alive_mask, skip_nodes, t, record);
     } else if (record != nullptr) {
       record->disconnected.push_back(0);
       record->disconnected_volume.push_back(0.0);
@@ -119,12 +122,21 @@ void ClassRouting::compute(const Graph& g, std::span<const double> arc_cost,
 
 void ClassRouting::sweep_destination(const Graph& g, std::span<const double> arc_cost,
                                      const TrafficMatrix& demands, ArcAliveMask alive_mask,
-                                     NodeId skip_node, NodeId t,
+                                     std::span<const NodeId> skip_nodes, NodeId t,
                                      RoutingBaseRecord* record) {
+  sweep_destination_body(g, arc_cost, demands, alive_mask, skip_nodes, t, record,
+                         &arc_load_, &disconnected_, &disconnected_volume_, node_flow_,
+                         order_);
+}
+
+void ClassRouting::sweep_destination_body(
+    const Graph& g, std::span<const double> arc_cost, const TrafficMatrix& demands,
+    ArcAliveMask alive_mask, std::span<const NodeId> skip_nodes, NodeId t,
+    RoutingBaseRecord* record, std::vector<double>* arc_load,
+    std::size_t* disconnected, double* disconnected_volume,
+    std::vector<double>& node_flow, std::vector<NodeId>& order) const {
   const std::size_t n = g.num_nodes();
   const auto& dist = dist_[t];
-  std::vector<double>& node_flow = node_flow_;
-  std::vector<NodeId>& order = order_;
   node_flow.assign(n, 0.0);
 
   // Seed node flows with the demands toward t. Disconnection is accumulated
@@ -134,7 +146,7 @@ void ClassRouting::sweep_destination(const Graph& g, std::span<const double> arc
   std::uint32_t dest_disconnected = 0;
   double dest_volume = 0.0;
   for (NodeId s = 0; s < n; ++s) {
-    if (s == t || s == skip_node) continue;
+    if (s == t || is_skipped(skip_nodes, s)) continue;
     const double d = demands.at(s, t);
     if (d <= 0.0) continue;
     if (dist[s] == kInfDist) {
@@ -145,8 +157,8 @@ void ClassRouting::sweep_destination(const Graph& g, std::span<const double> arc
     node_flow[s] = d;
     any_flow = true;
   }
-  disconnected_ += dest_disconnected;
-  disconnected_volume_ += dest_volume;
+  if (disconnected != nullptr) *disconnected += dest_disconnected;
+  if (disconnected_volume != nullptr) *disconnected_volume += dest_volume;
   if (record != nullptr) {
     record->disconnected.push_back(dest_disconnected);
     record->disconnected_volume.push_back(dest_volume);
@@ -175,7 +187,7 @@ void ClassRouting::sweep_destination(const Graph& g, std::span<const double> arc
     const double share = flow / tight_count;
     for (ArcId a : g.out_arcs(u)) {
       if (!alive(alive_mask, a) || !arc_is_tight(g.arc(a), arc_cost[a], dist)) continue;
-      arc_load_[a] += share;
+      if (arc_load != nullptr) (*arc_load)[a] += share;
       node_flow[g.arc(a).dst] += share;
       if (record != nullptr) {
         record->contrib_arc.push_back(a);
@@ -183,6 +195,33 @@ void ClassRouting::sweep_destination(const Graph& g, std::span<const double> arc
       }
     }
     node_flow[u] = 0.0;
+  }
+}
+
+void ClassRouting::record_contributions(const Graph& g, std::span<const double> arc_cost,
+                                        const TrafficMatrix& demands,
+                                        ArcAliveMask alive_mask,
+                                        std::span<const NodeId> skip_nodes,
+                                        RoutingBaseRecord& record) const {
+  const std::size_t n = g.num_nodes();
+  if (dist_.size() != n)
+    throw std::logic_error("record_contributions: routing not computed for this graph");
+  record.reset(n);
+
+  // The same sweep_destination_body every load path runs — here with null
+  // load/disconnection accumulators (this routing already holds the correct
+  // totals), so only the record is written.
+  std::vector<double> node_flow;
+  std::vector<NodeId> order;
+  for (NodeId t = 0; t < n; ++t) {
+    if (is_skipped(skip_nodes, t)) {
+      record.disconnected.push_back(0);
+      record.disconnected_volume.push_back(0.0);
+    } else {
+      sweep_destination_body(g, arc_cost, demands, alive_mask, skip_nodes, t, &record,
+                             nullptr, nullptr, nullptr, node_flow, order);
+    }
+    record.contrib_offset.push_back(record.contrib_arc.size());
   }
 }
 
@@ -234,7 +273,7 @@ void ClassRouting::compute_from_base(const Graph& g, std::span<const double> arc
       }
     }
     if (affected) {
-      sweep_destination(g, arc_cost, demands, alive_mask, kInvalidNode, t, nullptr);
+      sweep_destination(g, arc_cost, demands, alive_mask, {}, t, nullptr);
     } else {
       // Untouched DAG: replay the base contributions. Every accumulator
       // receives the same float terms in the same destination order as a
@@ -252,7 +291,7 @@ void ClassRouting::delay_dp_destination(const Graph& g, std::span<const double> 
                                         ArcAliveMask alive_mask,
                                         std::span<const double> arc_delay_ms,
                                         const TrafficMatrix& demands, SlaDelayMode mode,
-                                        NodeId skip_node, NodeId t,
+                                        std::span<const NodeId> skip_nodes, NodeId t,
                                         std::vector<double>& node_delay,
                                         std::vector<NodeId>& order,
                                         std::vector<double>& out,
@@ -262,7 +301,7 @@ void ClassRouting::delay_dp_destination(const Graph& g, std::span<const double> 
 
   bool any_demand = false;
   for (NodeId s = 0; s < n && !any_demand; ++s)
-    any_demand = (s != t && s != skip_node && demands.at(s, t) > 0.0);
+    any_demand = (s != t && !is_skipped(skip_nodes, s) && demands.at(s, t) > 0.0);
   if (!any_demand) return;
 
   // DP over the shortest-path DAG in increasing distance order:
@@ -296,7 +335,7 @@ void ClassRouting::delay_dp_destination(const Graph& g, std::span<const double> 
   }
 
   for (NodeId s = 0; s < n; ++s) {
-    if (s == t || s == skip_node) continue;
+    if (s == t || is_skipped(skip_nodes, s)) continue;
     if (demands.at(s, t) <= 0.0) continue;
     out[static_cast<std::size_t>(s) * n + t] =
         (dist[s] == kInfDist) ? kInfDist : node_delay[s];
@@ -307,7 +346,8 @@ void ClassRouting::end_to_end_delays(const Graph& g, std::span<const double> arc
                                      ArcAliveMask alive_mask,
                                      std::span<const double> arc_delay_ms,
                                      const TrafficMatrix& demands, SlaDelayMode mode,
-                                     NodeId skip_node, std::vector<double>& out,
+                                     std::span<const NodeId> skip_nodes,
+                                     std::vector<double>& out,
                                      DelayDpIndex* record) const {
   const std::size_t n = g.num_nodes();
   if (arc_delay_ms.size() != g.num_arcs())
@@ -319,9 +359,9 @@ void ClassRouting::end_to_end_delays(const Graph& g, std::span<const double> arc
   std::vector<NodeId> order(n);
 
   for (NodeId t = 0; t < n; ++t) {
-    if (t == skip_node) continue;
+    if (is_skipped(skip_nodes, t)) continue;
     delay_dp_destination(g, arc_cost, alive_mask, arc_delay_ms, demands, mode,
-                         skip_node, t, node_delay, order, out, record);
+                         skip_nodes, t, node_delay, order, out, record);
   }
   if (record != nullptr) record->finalize();
 }
@@ -360,9 +400,8 @@ void ClassRouting::end_to_end_delays_from_base(
         out[static_cast<std::size_t>(s) * n + t] =
             base_sd_delay_ms[static_cast<std::size_t>(s) * n + t];
     } else {
-      delay_dp_destination(g, arc_cost, alive_mask, arc_delay_ms, demands, mode,
-                           kInvalidNode, t, scratch.node_delay_, scratch.order_, out,
-                           nullptr);
+      delay_dp_destination(g, arc_cost, alive_mask, arc_delay_ms, demands, mode, {}, t,
+                           scratch.node_delay_, scratch.order_, out, nullptr);
     }
   }
 }

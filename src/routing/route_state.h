@@ -67,11 +67,13 @@ class FailureScratch {
 /// accumulated flow evenly across its tight out-arcs.
 class ClassRouting {
  public:
-  /// `skip_node`: demands sourced or sunk at this node are ignored
-  /// (node-failure semantics); pass kInvalidNode for none.
+  /// `skip_nodes`: demands sourced or sunk at any of these nodes are ignored
+  /// (node-failure semantics; compound scenarios may fail several nodes at
+  /// once). Pass an empty span for none. The set is tiny, so membership is a
+  /// linear scan (is_skipped).
   ClassRouting(const Graph& g, std::span<const double> arc_cost,
                const TrafficMatrix& demands, ArcAliveMask alive,
-               NodeId skip_node = kInvalidNode);
+               std::span<const NodeId> skip_nodes = {});
 
   /// Empty routing; call `compute` before any accessor. Exists so scratch
   /// holders (per-worker evaluation buffers) can reuse one instance's
@@ -83,7 +85,21 @@ class ClassRouting {
   /// incremental failure path (compute_from_base) replays.
   void compute(const Graph& g, std::span<const double> arc_cost,
                const TrafficMatrix& demands, ArcAliveMask alive,
-               NodeId skip_node = kInvalidNode, RoutingBaseRecord* record = nullptr);
+               std::span<const NodeId> skip_nodes = {},
+               RoutingBaseRecord* record = nullptr);
+
+  /// Re-derives the RoutingBaseRecord that compute(..., record) would have
+  /// produced, from this routing's EXISTING distance labels — the demand
+  /// seeding and ECMP share arithmetic re-run over dist_, but no Dijkstra.
+  /// The appended values are bitwise identical to an eagerly recorded
+  /// base's (same labels, same float ops, same order; test-enforced via the
+  /// incremental byte-identity suites). Used by the evaluator's lazy
+  /// base-record materialization; `alive`/`skip_nodes` must match the
+  /// compute() call that produced this routing.
+  void record_contributions(const Graph& g, std::span<const double> arc_cost,
+                            const TrafficMatrix& demands, ArcAliveMask alive,
+                            std::span<const NodeId> skip_nodes,
+                            RoutingBaseRecord& record) const;
 
   /// Incremental recompute of this routing under an arc-removal failure,
   /// patching from `base` — the same graph/costs/demands with every removed
@@ -132,7 +148,7 @@ class ClassRouting {
   void end_to_end_delays(const Graph& g, std::span<const double> arc_cost,
                          ArcAliveMask alive, std::span<const double> arc_delay_ms,
                          const TrafficMatrix& demands, SlaDelayMode mode,
-                         NodeId skip_node, std::vector<double>& out,
+                         std::span<const NodeId> skip_nodes, std::vector<double>& out,
                          DelayDpIndex* record = nullptr) const;
 
   /// Incremental end-to-end delay DP for a routing produced by
@@ -165,7 +181,23 @@ class ClassRouting {
   /// float operations are literally the same code.
   void sweep_destination(const Graph& g, std::span<const double> arc_cost,
                          const TrafficMatrix& demands, ArcAliveMask alive_mask,
-                         NodeId skip_node, NodeId t, RoutingBaseRecord* record);
+                         std::span<const NodeId> skip_nodes, NodeId t,
+                         RoutingBaseRecord* record);
+
+  /// The one per-destination seed + ECMP share sweep every load path runs:
+  /// `arc_load` / `disconnected` / `disconnected_volume` receive the results
+  /// when non-null (compute / compute_from_base via sweep_destination), and
+  /// `record` receives the replay slices (eager recording and the lazy
+  /// record_contributions, which passes null accumulators). One body means
+  /// one set of float ops — the recorded shares cannot drift from the
+  /// applied ones.
+  void sweep_destination_body(const Graph& g, std::span<const double> arc_cost,
+                              const TrafficMatrix& demands, ArcAliveMask alive_mask,
+                              std::span<const NodeId> skip_nodes, NodeId t,
+                              RoutingBaseRecord* record, std::vector<double>* arc_load,
+                              std::size_t* disconnected, double* disconnected_volume,
+                              std::vector<double>& node_flow,
+                              std::vector<NodeId>& order) const;
 
   /// One destination's delay DP (demand check, increasing-distance order,
   /// expected/worst accumulation). Shared by the full and incremental delay
@@ -175,9 +207,9 @@ class ClassRouting {
                             ArcAliveMask alive_mask,
                             std::span<const double> arc_delay_ms,
                             const TrafficMatrix& demands, SlaDelayMode mode,
-                            NodeId skip_node, NodeId t, std::vector<double>& node_delay,
-                            std::vector<NodeId>& order, std::vector<double>& out,
-                            DelayDpIndex* record) const;
+                            std::span<const NodeId> skip_nodes, NodeId t,
+                            std::vector<double>& node_delay, std::vector<NodeId>& order,
+                            std::vector<double>& out, DelayDpIndex* record) const;
 
   std::vector<double> arc_load_;
   std::vector<std::vector<double>> dist_;

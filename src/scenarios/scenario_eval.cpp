@@ -1,0 +1,57 @@
+#include "scenarios/scenario_eval.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace dtr {
+
+ScenarioSummary summarize_scenarios(const Evaluator& evaluator, const WeightSetting& w,
+                                    const ScenarioSet& set, double percentile,
+                                    ThreadPool* pool) {
+  if (percentile < 0.0 || percentile > 1.0)
+    throw std::invalid_argument("summarize_scenarios: percentile outside [0, 1]");
+
+  ScenarioSummary summary;
+  summary.count = set.size();
+  summary.percentile = percentile;
+  if (set.empty()) return summary;
+
+  const std::vector<EvalResult> results =
+      evaluator.evaluate_failures(w, set.scenarios(), pool);
+
+  std::vector<double> lambda(results.size()), phi(results.size()),
+      violations(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    lambda[i] = results[i].lambda;
+    phi[i] = results[i].phi;
+    violations[i] = static_cast<double>(results[i].sla_violations);
+
+    const double weight = set.weight(i);
+    summary.total_weight += weight;
+    summary.expected_lambda += weight * lambda[i];
+    summary.expected_phi += weight * phi[i];
+    summary.expected_violations += weight * violations[i];
+
+    summary.worst_lambda = std::max(summary.worst_lambda, lambda[i]);
+    summary.worst_phi = std::max(summary.worst_phi, phi[i]);
+    summary.worst_violations = std::max(summary.worst_violations, violations[i]);
+  }
+  if (summary.total_weight > 0.0) {
+    summary.expected_lambda /= summary.total_weight;
+    summary.expected_phi /= summary.total_weight;
+    summary.expected_violations /= summary.total_weight;
+    summary.percentile_lambda =
+        weighted_percentile(lambda, set.weights(), percentile);
+    summary.percentile_phi = weighted_percentile(phi, set.weights(), percentile);
+    summary.percentile_violations =
+        weighted_percentile(violations, set.weights(), percentile);
+  } else {
+    summary.expected_lambda = 0.0;
+    summary.expected_phi = 0.0;
+    summary.expected_violations = 0.0;
+  }
+  return summary;
+}
+
+}  // namespace dtr

@@ -1,0 +1,51 @@
+#pragma once
+
+/// Weighted scenario-set evaluation: the bridge between scenario catalogs
+/// and the Evaluator. Extends the existing sum/max sweeps with the
+/// probability-weighted aggregates of an availability model — expected cost
+/// under the scenario distribution, the worst case, and a weighted
+/// percentile between them.
+
+#include <span>
+
+#include "routing/evaluator.h"
+#include "scenarios/scenario_set.h"
+
+namespace dtr {
+
+class ThreadPool;
+
+/// Weighted aggregate of one routing's per-scenario costs over a catalog.
+/// `expected_*` are weight-normalized means (an expectation when the weights
+/// are a probability distribution), `worst_*` are unweighted maxima (the
+/// robustness view: weights say how LIKELY a scenario is, not how much its
+/// damage matters once it happens), `percentile_*` are weighted percentiles
+/// (weighted_percentile at the requested p).
+struct ScenarioSummary {
+  std::size_t count = 0;
+  double total_weight = 0.0;
+  double percentile = 0.0;  ///< the p the percentile_* fields were taken at
+
+  double expected_lambda = 0.0;
+  double expected_phi = 0.0;
+  double expected_violations = 0.0;
+
+  double worst_lambda = 0.0;
+  double worst_phi = 0.0;
+  double worst_violations = 0.0;
+
+  double percentile_lambda = 0.0;
+  double percentile_phi = 0.0;
+  double percentile_violations = 0.0;
+};
+
+/// Evaluates `w` under every scenario of `set` (batched across `pool` when
+/// given; compound link-only scenarios ride the incremental base-patching
+/// path) and reduces in catalog order — bit-identical for any worker count.
+/// Zero-total-weight sets yield expected_* = 0; an empty set returns a
+/// default summary.
+ScenarioSummary summarize_scenarios(const Evaluator& evaluator, const WeightSetting& w,
+                                    const ScenarioSet& set, double percentile = 0.95,
+                                    ThreadPool* pool = nullptr);
+
+}  // namespace dtr

@@ -1,0 +1,72 @@
+#pragma once
+
+/// Shared-risk link groups (SRLGs): sets of elements that fail together
+/// because they share a physical risk — a conduit, a duct bank, a
+/// geographic corridor. Catalogs come from a `.srlg` sidecar file (real
+/// deployments know their conduits) or from the synthetic
+/// conduit/geographic generator for synthesized topologies.
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "scenarios/scenario_set.h"
+
+namespace dtr {
+
+/// One shared-risk group: every listed link and node fails simultaneously.
+struct SrlgGroup {
+  std::string name;
+  std::vector<LinkId> links;
+  std::vector<NodeId> nodes;
+  double weight = 1.0;  ///< relative cut rate / probability mass
+
+  bool operator==(const SrlgGroup&) const = default;
+};
+
+/// Parses the line-based `.srlg` sidecar format ('#' starts a comment):
+///
+///   [srlg]                  # one section per group
+///   name = conduit-7        # optional; defaults to "srlg-<index>"
+///   weight = 0.01           # optional; defaults to 1
+///   links = 3 7 12          # whitespace-separated link ids
+///   nodes = 2               # optional node ids
+///
+/// Throws std::runtime_error naming the offending line on malformed input.
+/// Ids are validated against a graph later (srlg_scenario_set), not here, so
+/// a catalog can be parsed independently of any topology.
+std::vector<SrlgGroup> parse_srlg(std::istream& in);
+
+/// Writes groups back in the canonical `.srlg` form parse_srlg reads
+/// (round-trip identity: parse(write(groups)) == groups). Throws
+/// std::invalid_argument on names the format cannot represent (empty, or
+/// containing the '#' comment character) — parse_srlg never produces
+/// those, so anything it returned round-trips.
+void write_srlg(std::ostream& os, std::span<const SrlgGroup> groups);
+
+/// Synthetic conduit catalog for synthesized topologies (node positions in
+/// the unit square / projected km).
+struct GeoSrlgParams {
+  /// Grid resolution over the position bounding box: links whose midpoints
+  /// share a grid cell are assumed to share a conduit.
+  int grid = 4;
+  /// Cells grouping fewer links than this are dropped (a one-link "group"
+  /// is just that link's single failure).
+  std::size_t min_links = 2;
+  double weight = 1.0;  ///< weight assigned to every generated group
+};
+
+/// Groups links by the grid cell of their geometric midpoint — a
+/// deterministic pure function of the positions (no RNG): same graph, same
+/// params, same catalog. Groups are named "geo-<cx>-<cy>" and emitted in
+/// cell-index order.
+std::vector<SrlgGroup> synthesize_geo_srlgs(const Graph& g, const GeoSrlgParams& params);
+
+/// One compound scenario per group (canonicalized element sets), carrying
+/// the group's name and weight. Validates every id against `g` (throws
+/// std::out_of_range naming the group).
+ScenarioSet srlg_scenario_set(const Graph& g, std::span<const SrlgGroup> groups);
+
+}  // namespace dtr

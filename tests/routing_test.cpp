@@ -185,7 +185,8 @@ TEST(ClassRoutingTest, SkipNodeIgnoresItsTraffic) {
   tm.set(0, 2, 10.0);
   tm.set(1, 2, 4.0);
   const std::vector<double> costs(g.num_arcs(), 1.0);
-  const ClassRouting r(g, costs, tm, {}, /*skip_node=*/1);
+  const NodeId skip[] = {1};
+  const ClassRouting r(g, costs, tm, {}, skip);
   double total = 0.0;
   for (ArcId a = 0; a < g.num_arcs(); ++a) total += r.arc_load(a);
   // Only the 0->2 demand routes (2 hops around the ring either way).
@@ -217,7 +218,7 @@ TEST(EndToEndDelayTest, SumsArcDelaysOnSinglePath) {
   std::vector<double> arc_delay(g.num_arcs());
   for (ArcId a = 0; a < g.num_arcs(); ++a) arc_delay[a] = g.arc(a).prop_delay_ms;
   std::vector<double> out;
-  r.end_to_end_delays(g, costs, {}, arc_delay, tm, SlaDelayMode::kExpected, kInvalidNode,
+  r.end_to_end_delays(g, costs, {}, arc_delay, tm, SlaDelayMode::kExpected, {},
                       out);
   EXPECT_DOUBLE_EQ(out[0 * 3 + 2], 5.0);
   EXPECT_DOUBLE_EQ(out[1 * 3 + 2], -1.0);  // no demand
@@ -238,9 +239,9 @@ TEST(EndToEndDelayTest, ExpectedVsWorstPath) {
   for (ArcId a = 0; a < g.num_arcs(); ++a) arc_delay[a] = g.arc(a).prop_delay_ms;
 
   std::vector<double> expected, worst;
-  r.end_to_end_delays(g, costs, {}, arc_delay, tm, SlaDelayMode::kExpected, kInvalidNode,
+  r.end_to_end_delays(g, costs, {}, arc_delay, tm, SlaDelayMode::kExpected, {},
                       expected);
-  r.end_to_end_delays(g, costs, {}, arc_delay, tm, SlaDelayMode::kWorstPath, kInvalidNode,
+  r.end_to_end_delays(g, costs, {}, arc_delay, tm, SlaDelayMode::kWorstPath, {},
                       worst);
   EXPECT_DOUBLE_EQ(expected[3], 5.0);  // (2+8)/2
   EXPECT_DOUBLE_EQ(worst[3], 8.0);
@@ -255,7 +256,7 @@ TEST(EndToEndDelayTest, DisconnectedIsInfinite) {
   const ClassRouting r(g, costs, tm, {});
   std::vector<double> arc_delay(g.num_arcs(), 1.0);
   std::vector<double> out;
-  r.end_to_end_delays(g, costs, {}, arc_delay, tm, SlaDelayMode::kExpected, kInvalidNode,
+  r.end_to_end_delays(g, costs, {}, arc_delay, tm, SlaDelayMode::kExpected, {},
                       out);
   EXPECT_EQ(out[0 * 3 + 2], kInfDist);
 }
@@ -387,10 +388,19 @@ TEST(FailuresTest, NoneMaskAllAlive) {
   for (auto m : mask) EXPECT_EQ(m, 1);
 }
 
-TEST(FailuresTest, SkippedNode) {
-  EXPECT_EQ(skipped_node(FailureScenario::node(3)), 3u);
-  EXPECT_EQ(skipped_node(FailureScenario::link(3)), kInvalidNode);
-  EXPECT_EQ(skipped_node(FailureScenario::none()), kInvalidNode);
+TEST(FailuresTest, SkippedNodes) {
+  const auto node = FailureScenario::node(3);
+  ASSERT_EQ(skipped_nodes(node).size(), 1u);
+  EXPECT_EQ(skipped_nodes(node)[0], 3u);
+  EXPECT_TRUE(skipped_nodes(FailureScenario::link(3)).empty());
+  EXPECT_TRUE(skipped_nodes(FailureScenario::none()).empty());
+  EXPECT_TRUE(skipped_nodes(FailureScenario::link_pair(1, 2)).empty());
+  const auto compound = FailureScenario::compound({0}, {5, 2, 5});
+  ASSERT_EQ(skipped_nodes(compound).size(), 2u);  // canonical: sorted, deduped
+  EXPECT_EQ(skipped_nodes(compound)[0], 2u);
+  EXPECT_EQ(skipped_nodes(compound)[1], 5u);
+  EXPECT_TRUE(is_skipped(skipped_nodes(compound), 5));
+  EXPECT_FALSE(is_skipped(skipped_nodes(compound), 3));
 }
 
 TEST(FailuresTest, LinkPairMaskKillsBothLinks) {
