@@ -65,7 +65,7 @@ int main() {
         const LexicographicOrder ord;
         if (!ord.values_equal(normal.lambda, star_.lambda)) return std::nullopt;
         if (normal.phi > (1.0 + chi_) * star_.phi + ord.abs_tol()) return std::nullopt;
-        return ev_.sweep(ws, scen_, incumbent).cost();
+        return ev_.sweep(ws, scen_, {.abort_bound = incumbent}).cost();
       }
      private:
       const Evaluator& ev_;

@@ -99,7 +99,7 @@ void BM_FailureSweepWithAbort(benchmark::State& state) {
   const SweepResult full = f.evaluator->sweep(f.weights, scenarios);
   const CostPair bound{full.lambda * 0.25, full.phi * 0.25};
   for (auto _ : state) {
-    const SweepResult r = f.evaluator->sweep(f.weights, scenarios, &bound);
+    const SweepResult r = f.evaluator->sweep(f.weights, scenarios, {.abort_bound = &bound});
     benchmark::DoNotOptimize(r.aborted);
   }
 }

@@ -168,7 +168,7 @@ void BM_CompoundFailureSweep(benchmark::State& state) {
 
   double checksum = 0.0;
   for (auto _ : state) {
-    const SweepResult r = ev.sweep(w, set.scenarios(), nullptr, set.weights());
+    const SweepResult r = ev.sweep(w, set.scenarios(), {.scenario_weights = set.weights()});
     checksum += r.phi;
   }
   benchmark::DoNotOptimize(checksum);
@@ -206,6 +206,43 @@ void BM_Phase2BaseCache(benchmark::State& state) {
   state.counters["cache_misses"] = static_cast<double>(last.base_cache_misses);
 }
 BENCHMARK(BM_Phase2BaseCache)->Arg(0)->Arg(1)->Unit(benchmark::kSecond)->Iterations(1);
+
+// ---------------------------------------------------------------------------
+// Catalog-objective Phase 2 (HardeningObjective): the optimizer hardened
+// against a rate-weighted 2-link catalog under each aggregation mode, vs.
+// the classic per-link pipeline of BM_CriticalSearch. Expected cost rides
+// the weighted early-abort sweep, downtime the violation-bound abort,
+// percentile pays full sweeps — the counters expose how many scenario
+// evaluations each mode needed for the same phase structure.
+// ---------------------------------------------------------------------------
+
+void BM_Phase2CatalogObjective(benchmark::State& state) {
+  const auto mode = static_cast<AggregationMode>(state.range(0));
+  const Effort effort = effort_from_env(Effort::kQuick);
+  const Evaluator& ev = *fixture().evaluator;
+
+  ScenarioSet set = enumerate_k_link_failures(
+      ev.graph(), {2, 2 * ev.graph().num_links(), seed_from_env(1)});
+  apply_rate_weights(set, derive_failure_rates(ev.graph()));
+  HardeningObjective objective;
+  objective.set = std::move(set);
+  objective.mode = mode;
+
+  OptimizeResult last;
+  for (auto _ : state) {
+    last = run_optimizer(ev, effort, seed_from_env(1),
+                         [&](OptimizerConfig& c) { c.objective = objective; });
+  }
+  report_phases(state, last);
+  state.SetLabel(std::string(to_string(mode)));
+  state.counters["catalog"] = static_cast<double>(last.catalog_size);
+  state.counters["Sc"] = static_cast<double>(last.critical_scenarios.size());
+}
+BENCHMARK(BM_Phase2CatalogObjective)
+    ->Arg(static_cast<int>(AggregationMode::kExpectedCost))
+    ->Arg(static_cast<int>(AggregationMode::kWeightedPercentile))
+    ->Arg(static_cast<int>(AggregationMode::kExpectedDowntime))
+    ->Unit(benchmark::kSecond)->Iterations(1);
 
 void BM_CriticalSearchThreads(benchmark::State& state) {
   const Effort effort = effort_from_env(Effort::kQuick);

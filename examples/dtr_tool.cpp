@@ -11,6 +11,11 @@
 ///   dtr_tool [--topology rand|near|pl|isp] [--nodes N] [--degree D]
 ///            [--seed S] [--avg-util U | --max-util U] [--theta MS]
 ///            [--effort smoke|quick|full] [--fraction F]
+///            [--objective expected|percentile|downtime]
+///            [--harden-set all_links|all_nodes|k_link|srlg_file|geo_srlg]
+///            [--harden-k N] [--harden-budget N] [--harden-srlg-file FILE]
+///            [--harden-geo-grid N] [--harden-rates] [--harden-percentile P]
+///            [--harden-period MIN]
 ///            [--in-graph FILE] [--out-graph FILE] [--out-weights FILE]
 ///            [--out-dot FILE] [--report]
 ///   dtr_tool campaign --spec FILE [--json FILE] [--workers N]
@@ -25,9 +30,18 @@
 /// Examples:
 ///   dtr_tool --topology isp --report --out-weights isp.weights
 ///   dtr_tool --topology rand --nodes 24 --degree 6 --out-dot net.dot
+///   dtr_tool --topology rand --objective downtime --harden-set geo_srlg
+///            --harden-rates --report
 ///   dtr_tool campaign --spec sweep.campaign --json sweep.json --workers 0
 ///   dtr_tool scenarios --set k_link --k 2 --budget 50 --rates --json k2.json
 ///   dtr_tool scenarios --set geo_srlg --topology rand --nodes 30 --describe
+///
+/// Hardening (availability-aware optimization): --objective switches Phase 2
+/// to a HardeningObjective — a scenario catalog (--harden-set, defaulting to
+/// all single-link failures) aggregated as expected cost, weighted
+/// percentile, or expected downtime minutes. --harden-rates weights the
+/// catalog by per-element failure probabilities; --harden-period sets the
+/// downtime period (minutes, default 43200 = one month).
 ///
 /// Campaign spec format (line-based; '#' starts a comment):
 ///   name = demo            # top-level keys: name, effort, seed
@@ -42,10 +56,17 @@
 ///   scenario_set = k_link  #   top_fraction, direction, server_fraction,
 ///   k_link = 2             #   client_fraction, scale_min, scale_max, and
 ///   rate_weights = 1       #   the scenario-catalog keys: scenario_set
-///                          #   (none|all_links|all_nodes|k_link|srlg_file|
-///                          #   geo_srlg), k_link, scenario_budget,
-///                          #   srlg_file, geo_grid, percentile, rate_weights
+///   objective = downtime   #   (none|all_links|all_nodes|k_link|srlg_file|
+///   harden_set = geo_srlg  #   geo_srlg), k_link, scenario_budget,
+///   harden_rate_weights=1  #   srlg_file, geo_grid, percentile, rate_weights
+///                          # hardening keys (availability-aware Phase 2):
+///                          #   objective (expected|percentile|downtime),
+///                          #   harden_set (same kinds as scenario_set),
+///                          #   harden_k, harden_budget, harden_srlg_file,
+///                          #   harden_geo_grid, harden_rate_weights,
+///                          #   harden_percentile, harden_period_min
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -81,6 +102,10 @@ struct Options {
   double fraction = 0.15;
   std::string in_graph, out_graph, out_weights, out_dot;
   bool report = false;
+  /// Availability-aware hardening (the --objective / --harden-* flags);
+  /// harden.enabled is set by --objective, mirroring the campaign spec's
+  /// `objective=` opt-in.
+  dtr::experiments::HardenSpec harden;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -130,7 +155,9 @@ BuiltTopology build_topology(const std::string& topology, const std::string& in_
 }
 
 Options parse_args(int argc, char** argv) {
+  namespace exp = dtr::experiments;
   Options opt;
+  bool harden_flag_seen = false;
   std::map<std::string, std::string> flags;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -138,11 +165,54 @@ Options parse_args(int argc, char** argv) {
       opt.report = true;
       continue;
     }
+    if (arg == "--harden-rates") {
+      opt.harden.catalog.rate_weights = true;
+      harden_flag_seen = true;
+      continue;
+    }
     if (arg.rfind("--", 0) != 0 || i + 1 >= argc) usage_error("bad argument: " + arg);
     flags[arg] = argv[++i];
   }
   for (const auto& [flag, value] : flags) {
     if (flag == "--topology") opt.topology = value;
+    else if (flag == "--objective") {
+      const auto mode = parse_aggregation_mode(value);
+      if (!mode.has_value()) usage_error("unknown objective: " + value);
+      opt.harden.mode = *mode;
+      opt.harden.enabled = true;
+    } else if (flag == "--harden-set") {
+      if (value == "all_links") opt.harden.catalog.kind = exp::ScenarioSpec::Kind::kAllLinks;
+      else if (value == "all_nodes") opt.harden.catalog.kind = exp::ScenarioSpec::Kind::kAllNodes;
+      else if (value == "k_link") opt.harden.catalog.kind = exp::ScenarioSpec::Kind::kKLink;
+      else if (value == "srlg_file") opt.harden.catalog.kind = exp::ScenarioSpec::Kind::kSrlgFile;
+      else if (value == "geo_srlg") opt.harden.catalog.kind = exp::ScenarioSpec::Kind::kGeoSrlg;
+      else usage_error("unknown hardening set: " + value);
+      harden_flag_seen = true;
+    } else if (flag == "--harden-k") {
+      opt.harden.catalog.k = std::stoi(value);
+      harden_flag_seen = true;
+    } else if (flag == "--harden-budget") {
+      const long budget = std::stol(value);
+      if (budget < 1) usage_error("--harden-budget must be >= 1");
+      opt.harden.catalog.budget = static_cast<std::size_t>(budget);
+      harden_flag_seen = true;
+    } else if (flag == "--harden-srlg-file") {
+      opt.harden.catalog.srlg_file = value;
+      harden_flag_seen = true;
+    } else if (flag == "--harden-geo-grid") {
+      opt.harden.catalog.geo_grid = std::stoi(value);
+      harden_flag_seen = true;
+    } else if (flag == "--harden-percentile") {
+      const double p = std::stod(value);
+      if (p < 0.0 || p > 1.0) usage_error("--harden-percentile must be in [0, 1]");
+      opt.harden.catalog.percentile = p;
+      harden_flag_seen = true;
+    } else if (flag == "--harden-period") {
+      const double minutes = std::stod(value);
+      if (minutes <= 0.0) usage_error("--harden-period must be > 0 minutes");
+      opt.harden.period_minutes = minutes;
+      harden_flag_seen = true;
+    }
     else if (flag == "--nodes") opt.nodes = std::stoi(value);
     else if (flag == "--degree") opt.degree = std::stod(value);
     else if (flag == "--seed") opt.seed = std::stoull(value);
@@ -163,6 +233,12 @@ Options parse_args(int argc, char** argv) {
     else if (flag == "--out-dot") opt.out_dot = value;
     else usage_error("unknown flag: " + flag);
   }
+  if (harden_flag_seen && !opt.harden.enabled)
+    usage_error("--harden-* flags need --objective expected|percentile|downtime");
+  if (opt.harden.enabled &&
+      opt.harden.catalog.kind == exp::ScenarioSpec::Kind::kSrlgFile &&
+      opt.harden.catalog.srlg_file.empty())
+    usage_error("--harden-set srlg_file needs --harden-srlg-file FILE");
   return opt;
 }
 
@@ -363,6 +439,14 @@ int main(int argc, char** argv) {
   const Evaluator evaluator(graph, traffic, params);
   OptimizerConfig config = default_optimizer_config(opt.effort, opt.seed);
   config.critical_fraction = opt.fraction;
+  if (opt.harden.enabled) {
+    try {
+      config.objective = dtr::experiments::build_hardening_objective(
+          opt.harden, graph, opt.seed + opt.harden.seed_offset);
+    } catch (const std::exception& e) {
+      usage_error(e.what());
+    }
+  }
   RobustOptimizer optimizer(evaluator, config);
   const OptimizeResult result = optimizer.optimize();
 
@@ -372,6 +456,14 @@ int main(int argc, char** argv) {
   std::cout << "normal cost regular: " << to_string(result.regular_cost)
             << "\nnormal cost robust:  " << to_string(result.robust_normal_cost)
             << "\ncritical set |Ec| = " << result.critical.size() << "\n";
+  if (opt.harden.enabled) {
+    std::cout << "hardening objective: " << to_string(opt.harden.mode)
+              << "  catalog=" << result.catalog_size
+              << " |Sc|=" << result.critical_scenarios.size()
+              << " samples=" << result.scenario_samples << "\n";
+    if (std::isfinite(result.robust_objective_value))
+      std::cout << "robust objective value: " << result.robust_objective_value << "\n";
+  }
 
   // ---- exports
   if (!opt.out_graph.empty()) {

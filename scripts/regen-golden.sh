@@ -37,6 +37,16 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target dtr_tool
   --json tests/golden/scenario_smoke.json \
   --workers 2
 
+# SLA-availability gate artifact (hardening-objective campaign). Besides
+# byte-identity, CI asserts the headline: the SRLG-hardened cell's
+# scn_exp_downtime_r is strictly lower than the single-link-hardened
+# cell's. If a regeneration flips that ordering, the change broke the
+# catalog objective — don't just commit the new bytes.
+"$BUILD_DIR"/examples/dtr_tool campaign \
+  --spec tests/golden/availability_smoke.spec \
+  --json tests/golden/availability_smoke.json \
+  --workers 2
+
 echo "regenerated golden campaign artifacts:"
 git --no-pager diff --stat -- tests/golden/campaign_smoke.json \
-  tests/golden/scenario_smoke.json
+  tests/golden/scenario_smoke.json tests/golden/availability_smoke.json

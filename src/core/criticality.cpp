@@ -201,4 +201,58 @@ long top_up_criticality_samples(const Evaluator& evaluator,
   return generated;
 }
 
+ScenarioCriticality estimate_scenario_criticality(
+    const Evaluator& evaluator, std::span<const FailureScenario> scenarios,
+    std::span<const AcceptableStore::Entry* const> entries,
+    const CriticalityParams& params, long budget, Rng& rng, ThreadPool* pool) {
+  if (scenarios.empty())
+    throw std::invalid_argument("estimate_scenario_criticality: empty catalog");
+  if (entries.empty())
+    throw std::invalid_argument("estimate_scenario_criticality: empty entry pool");
+
+  // The per-link collector machinery is index-generic: instantiate it over
+  // catalog positions. wmax/b1 feed only the Phase-1a perturbation trigger,
+  // which direct add_sample injection never consults.
+  CriticalityCollector collector(scenarios.size(), /*wmax=*/100, /*b1=*/0.0, params,
+                                 rng.split().seed());
+
+  long generated = 0;
+  std::vector<LinkId> order;
+  std::vector<std::size_t> batch_index;
+  std::vector<EvalJob> jobs;
+  while (!collector.converged() && generated < budget) {
+    order = collector.links_by_sample_need();
+    std::size_t pos = 0;
+    while (pos < order.size()) {
+      if (collector.converged() || generated >= budget) break;
+      // Batch at most up to the next rank refresh: convergence cannot change
+      // mid-batch, so drawing/evaluating these jobs ahead of time replays the
+      // sequential loop exactly.
+      const std::size_t batch =
+          std::min({order.size() - pos, static_cast<std::size_t>(budget - generated),
+                    collector.samples_until_next_rank_update()});
+      batch_index.clear();
+      jobs.clear();
+      for (std::size_t i = 0; i < batch; ++i) {
+        const std::size_t index = order[pos + i];
+        const AcceptableStore::Entry& entry = *entries[rng.uniform_index(entries.size())];
+        batch_index.push_back(index);
+        jobs.push_back({&entry.setting, scenarios[index]});
+      }
+      const std::vector<CostPair> costs = evaluator.evaluate_costs(jobs, pool);
+      for (std::size_t i = 0; i < batch; ++i) {
+        collector.add_sample(static_cast<LinkId>(batch_index[i]), costs[i]);
+        ++generated;
+      }
+      pos += batch;
+    }
+  }
+
+  ScenarioCriticality out;
+  out.estimates = collector.estimates();
+  out.samples = generated;
+  out.converged = collector.converged();
+  return out;
+}
+
 }  // namespace dtr

@@ -1,11 +1,14 @@
 #include "core/optimizer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "core/baseline_selectors.h"
+#include "core/metrics.h"
 #include "util/thread_pool.h"
 
 namespace dtr {
@@ -31,12 +34,12 @@ class NormalObjective final : public SearchObjective {
   const Evaluator& evaluator_;
 };
 
-/// Phase 2 objective: K_fail-bar over the critical scenarios, subject to
-/// constraints (5) and (6) on normal-condition performance. Uses the
-/// incumbent cost as an early-abort bound for the failure sweep.
-class RobustObjective final : public SearchObjective {
+/// Shared Phase-2 scaffolding: every aggregation minimizes its own compound
+/// cost subject to the SAME constraints (5) and (6) on normal-condition
+/// performance, and reports how many failure-scenario evaluations it spent.
+class Phase2Objective : public SearchObjective {
  public:
-  RobustObjective(const Evaluator& evaluator, std::vector<FailureScenario> scenarios,
+  Phase2Objective(const Evaluator& evaluator, std::vector<FailureScenario> scenarios,
                   std::vector<double> scenario_weights, CostPair star, double chi,
                   ThreadPool* pool)
       : evaluator_(evaluator),
@@ -46,21 +49,19 @@ class RobustObjective final : public SearchObjective {
         chi_(chi),
         pool_(pool) {}
 
-  std::optional<CostPair> evaluate(const WeightSetting& w,
-                                   const CostPair* incumbent) override {
-    const CostPair normal = evaluator_.evaluate(w).cost();
-    const LexicographicOrder order;
-    if (!order.values_equal(normal.lambda, star_.lambda)) return std::nullopt;  // Eq. (5)
-    if (normal.phi > (1.0 + chi_) * star_.phi + order.abs_tol()) return std::nullopt;  // Eq. (6)
-    const SweepResult sweep =
-        evaluator_.sweep(w, scenarios_, incumbent, scenario_weights_, pool_);
-    scenario_evaluations_ += static_cast<long>(sweep.scenarios_evaluated);
-    return sweep.cost();
-  }
-
   long scenario_evaluations() const { return scenario_evaluations_; }
 
- private:
+ protected:
+  /// Constraint gate: Eq. (5) pins Lambda_normal to Lambda*, Eq. (6) bounds
+  /// Phi_normal by (1+chi) * Phi*.
+  bool normal_feasible(const WeightSetting& w) const {
+    const CostPair normal = evaluator_.evaluate(w).cost();
+    const LexicographicOrder order;
+    if (!order.values_equal(normal.lambda, star_.lambda)) return false;  // Eq. (5)
+    if (normal.phi > (1.0 + chi_) * star_.phi + order.abs_tol()) return false;  // Eq. (6)
+    return true;
+  }
+
   const Evaluator& evaluator_;
   std::vector<FailureScenario> scenarios_;
   std::vector<double> scenario_weights_;
@@ -68,6 +69,112 @@ class RobustObjective final : public SearchObjective {
   double chi_;
   ThreadPool* pool_;
   long scenario_evaluations_ = 0;
+};
+
+/// Expected-cost aggregation: (weighted) K_fail-bar over the scenarios — the
+/// Eq. (4) objective, and an expectation when the weights are probabilities.
+/// Uses the incumbent cost as an early-abort bound for the failure sweep.
+class ExpectedCostObjective final : public Phase2Objective {
+ public:
+  using Phase2Objective::Phase2Objective;
+
+  std::optional<CostPair> evaluate(const WeightSetting& w,
+                                   const CostPair* incumbent) override {
+    if (!normal_feasible(w)) return std::nullopt;
+    SweepOptions options;
+    options.abort_bound = incumbent;
+    options.scenario_weights = scenario_weights_;
+    options.pool = pool_;
+    const SweepResult sweep = evaluator_.sweep(w, scenarios_, options);
+    scenario_evaluations_ += static_cast<long>(sweep.scenarios_evaluated);
+    return sweep.cost();
+  }
+};
+
+/// Weighted-percentile aggregation: the per-scenario (Lambda, Phi) costs
+/// reduced to their weighted p-quantiles. Order statistics need every
+/// scenario's cost, so there is no early abort — the catalog is swept in
+/// full per candidate (parallelized across the pool).
+class PercentileObjective final : public Phase2Objective {
+ public:
+  PercentileObjective(const Evaluator& evaluator, std::vector<FailureScenario> scenarios,
+                      std::vector<double> scenario_weights, double percentile,
+                      CostPair star, double chi, ThreadPool* pool)
+      : Phase2Objective(evaluator, std::move(scenarios), std::move(scenario_weights),
+                        star, chi, pool),
+        percentile_(percentile) {}
+
+  std::optional<CostPair> evaluate(const WeightSetting& w, const CostPair*) override {
+    if (!normal_feasible(w)) return std::nullopt;
+    const std::vector<EvalResult> results =
+        evaluator_.evaluate_failures(w, scenarios_, pool_);
+    scenario_evaluations_ += static_cast<long>(results.size());
+    lambda_.clear();
+    phi_.clear();
+    for (const EvalResult& r : results) {
+      lambda_.push_back(r.lambda);
+      phi_.push_back(r.phi);
+    }
+    return CostPair{weighted_percentile(lambda_, scenario_weights_, percentile_),
+                    weighted_percentile(phi_, scenario_weights_, percentile_)};
+  }
+
+ private:
+  double percentile_;
+  std::vector<double> lambda_;  // per-candidate scratch
+  std::vector<double> phi_;
+};
+
+/// Expected-downtime aggregation: Sum_s w_s * (violations_s - unavoidable_s)
+/// * period_minutes, with the routing-independent unavoidable floor
+/// (metrics::unavoidable_violations) precomputed per scenario. Because the
+/// floor does not depend on the weights being scored, minimizing the raw
+/// weighted violation sum V is equivalent — so the sweep's early abort runs
+/// on the violations axis (SweepOptions::abort_on_violations) with the
+/// incumbent downtime translated into a violation-mass bound.
+class DowntimeObjective final : public Phase2Objective {
+ public:
+  DowntimeObjective(const Evaluator& evaluator, std::vector<FailureScenario> scenarios,
+                    std::vector<double> scenario_weights, double period_minutes,
+                    CostPair star, double chi, ThreadPool* pool)
+      : Phase2Objective(evaluator, std::move(scenarios), std::move(scenario_weights),
+                        star, chi, pool),
+        period_minutes_(period_minutes) {
+    const std::vector<double> unavoidable =
+        unavoidable_violation_profile(evaluator_, scenarios_, pool_);
+    for (std::size_t i = 0; i < unavoidable.size(); ++i)
+      unavoidable_mass_ += scenario_weights_[i] * unavoidable[i];
+  }
+
+  std::optional<CostPair> evaluate(const WeightSetting& w,
+                                   const CostPair* incumbent) override {
+    if (!normal_feasible(w)) return std::nullopt;
+    SweepOptions options;
+    options.scenario_weights = scenario_weights_;
+    options.pool = pool_;
+    options.abort_on_violations = true;
+    CostPair bound;
+    if (incumbent != nullptr) {
+      // incumbent->lambda is avoidable downtime in minutes; the equivalent
+      // bound on the weighted violation sum is U + D / period.
+      bound = CostPair{unavoidable_mass_ + incumbent->lambda / period_minutes_,
+                       incumbent->phi};
+      options.abort_bound = &bound;
+    }
+    const SweepResult sweep = evaluator_.sweep(w, scenarios_, options);
+    scenario_evaluations_ += static_cast<long>(sweep.scenarios_evaluated);
+    // On abort, return the incumbent itself: partial violation mass already
+    // exceeds the translated bound, but converting it back through the
+    // division/multiplication round trip could round to "better" — the
+    // incumbent is exactly not-better, which is all the contract needs.
+    if (sweep.aborted) return *incumbent;
+    const double avoidable = std::max(0.0, sweep.violations - unavoidable_mass_);
+    return CostPair{avoidable * period_minutes_, sweep.phi};
+  }
+
+ private:
+  double period_minutes_;
+  double unavoidable_mass_ = 0.0;  ///< U = Sum_s w_s * unavoidable_s
 };
 
 }  // namespace
@@ -116,23 +223,52 @@ RobustOptimizer::RobustOptimizer(const Evaluator& evaluator, OptimizerConfig con
       (config_.critical_fraction <= 0.0 || config_.critical_fraction > 1.0))
     throw std::invalid_argument("RobustOptimizer: critical_fraction outside (0,1]");
   if (config_.chi < 0.0) throw std::invalid_argument("RobustOptimizer: negative chi");
+  if (config_.objective && !config_.link_failure_probabilities.empty())
+    throw std::invalid_argument(
+        "RobustOptimizer: set either objective or the deprecated "
+        "link_failure_probabilities, not both");
   // The criticality acceptability relaxation chi and constraint (6) chi are
   // the same knob in the paper; keep them consistent.
   config_.criticality.chi = config_.chi;
 }
 
 std::size_t RobustOptimizer::critical_target_size() const {
-  const std::size_t num_links = evaluator_.graph().num_links();
-  if (config_.critical_count > 0) return std::min(config_.critical_count, num_links);
+  // The selection universe is the physical link set — or the scenario
+  // catalog, when a catalog-mode objective replaces it.
+  std::size_t universe = evaluator_.graph().num_links();
+  if (config_.objective &&
+      !as_per_link_probabilities(*config_.objective, universe).has_value())
+    universe = config_.objective->set.size();
+  if (config_.critical_count > 0) return std::min(config_.critical_count, universe);
   const auto target = static_cast<std::size_t>(
-      std::lround(config_.critical_fraction * static_cast<double>(num_links)));
-  return std::max<std::size_t>(1, std::min(target, num_links));
+      std::lround(config_.critical_fraction * static_cast<double>(universe)));
+  return std::max<std::size_t>(1, std::min(target, universe));
 }
 
 OptimizeResult RobustOptimizer::optimize() {
   const Graph& graph = evaluator_.graph();
   const std::size_t num_links = graph.num_links();
   Rng rng(config_.seed);
+
+  // ---- Objective resolution (the one place the legacy shim is honored) ----
+  // A per-link-shaped expected-cost objective (exactly what the deprecated
+  // link_failure_probabilities field means) runs the classic per-link
+  // pipeline with the catalog weights as link probabilities — the SAME code
+  // and RNG stream as before the objective API existed, so shim runs are
+  // bit-identical to their pre-API equivalents. Anything else (compound
+  // scenarios, percentile / downtime aggregation) takes the catalog path.
+  std::optional<HardeningObjective> objective = config_.objective;
+  if (!objective && !config_.link_failure_probabilities.empty())
+    objective = objective_from_link_probabilities(graph, config_.link_failure_probabilities);
+  std::vector<double> link_probabilities;
+  bool catalog_mode = false;
+  if (objective) {
+    validate_objective(*objective, graph);
+    if (auto per_link = as_per_link_probabilities(*objective, num_links))
+      link_probabilities = std::move(*per_link);
+    else
+      catalog_mode = true;
+  }
 
   // Failure-scenario evaluation pool. num_threads == 1 keeps everything on
   // the calling thread (the seed's sequential path); the engine is
@@ -155,9 +291,11 @@ OptimizeResult RobustOptimizer::optimize() {
                                  config_.criticality, rng.split().seed());
   AcceptableStore store(config_.store_capacity, rng.split().seed());
 
+  // Catalog mode ranks scenarios in Phase 1b' instead of links in Phase
+  // 1a/1b, so the per-link observer machinery stays detached there.
   const bool selector_needs_samples =
-      config_.selector == SelectorKind::kDistributionGap ||
-      config_.selector == SelectorKind::kThresholdCrossing;
+      !catalog_mode && (config_.selector == SelectorKind::kDistributionGap ||
+                        config_.selector == SelectorKind::kThresholdCrossing);
 
   // Phase 1a probes score under NormalObjective, which is stateless and
   // therefore safe for LocalSearch's speculative parallel scoring.
@@ -202,82 +340,169 @@ OptimizeResult RobustOptimizer::optimize() {
 
   // ------------- Phase 1b: top-up sampling until rank convergence ---------
   const auto phase1b_start = Clock::now();
-  if (selector_needs_samples) {
-    const long budget = config_.max_phase1b_samples > 0
-                            ? config_.max_phase1b_samples
-                            : 20L * config_.criticality.tau * static_cast<long>(num_links);
-    // Samples must stay conditioned on acceptable routings: build the pool of
-    // acceptable stored settings once. The Phase 1 incumbent is acceptable by
-    // definition, so the pool is never empty.
+  // Samples must stay conditioned on acceptable routings: the pool of
+  // acceptable stored settings, shared by the per-link and catalog samplers.
+  // The Phase 1 incumbent is acceptable by definition, so it is never empty.
+  const AcceptableStore::Entry incumbent_entry{result.regular, result.regular_cost};
+  const auto acceptable_entries = [&] {
     std::vector<const AcceptableStore::Entry*> entry_pool;
-    const AcceptableStore::Entry incumbent{result.regular, result.regular_cost};
-    entry_pool.push_back(&incumbent);
+    entry_pool.push_back(&incumbent_entry);
     for (std::size_t i = 0; i < store.size(); ++i) {
       const AcceptableStore::Entry& entry = store.entry(i);
       if (collector.cost_acceptable(entry.cost, result.regular_cost))
         entry_pool.push_back(&entry);
     }
-
+    return entry_pool;
+  };
+  if (selector_needs_samples) {
+    const long budget = config_.max_phase1b_samples > 0
+                            ? config_.max_phase1b_samples
+                            : 20L * config_.criticality.tau * static_cast<long>(num_links);
+    const std::vector<const AcceptableStore::Entry*> entry_pool = acceptable_entries();
     const long generated = top_up_criticality_samples(
         evaluator_, collector, entry_pool, config_.sampling_mode, config_.wmax, budget,
         rng, pool.get());
     result.phase1b_samples = static_cast<std::size_t>(generated);
     result.criticality_converged = collector.converged();
     result.estimates = collector.estimates();
+  } else if (catalog_mode && config_.selector == SelectorKind::kDistributionGap) {
+    // Phase 1b': catalog criticality — the distribution-gap estimator over
+    // compound scenarios instead of single links.
+    const long budget =
+        config_.max_phase1b_samples > 0
+            ? config_.max_phase1b_samples
+            : 20L * config_.criticality.tau * static_cast<long>(objective->set.size());
+    const std::vector<const AcceptableStore::Entry*> entry_pool = acceptable_entries();
+    const ScenarioCriticality crit = estimate_scenario_criticality(
+        evaluator_, objective->set.scenarios(), entry_pool, config_.criticality, budget,
+        rng, pool.get());
+    result.scenario_estimates = crit.estimates;
+    result.scenario_rank_converged = crit.converged;
+    result.scenario_samples = static_cast<std::size_t>(crit.samples);
   }
   result.phase1b_seconds = seconds_since(phase1b_start);
 
-  // ---------------- Phase 1c: critical link selection ---------------------
+  // ---------------- Phase 1c: critical set selection ----------------------
   const std::size_t target = critical_target_size();
-  switch (config_.selector) {
-    case SelectorKind::kDistributionGap: {
-      CriticalityEstimates estimates = result.estimates;
-      if (!config_.link_failure_probabilities.empty()) {
-        // Probabilistic extension: criticality becomes the expected regret
-        // p_l * (mean - left-tail mean).
-        if (config_.link_failure_probabilities.size() != num_links)
-          throw std::invalid_argument(
-              "RobustOptimizer: link_failure_probabilities size mismatch");
-        for (LinkId l = 0; l < num_links; ++l) {
-          estimates.rho_lambda[l] *= config_.link_failure_probabilities[l];
-          estimates.rho_phi[l] *= config_.link_failure_probabilities[l];
+  if (catalog_mode) {
+    result.catalog_size = objective->set.size();
+    switch (config_.selector) {
+      case SelectorKind::kDistributionGap: {
+        // Expected regret: scale each scenario's distribution gap by its
+        // probability mass before Algorithm 1 selection (the catalog
+        // analogue of the per-link probabilistic scaling below).
+        CriticalityEstimates estimates = result.scenario_estimates;
+        const std::span<const double> catalog_weights = objective->set.weights();
+        for (std::size_t i = 0; i < estimates.rho_lambda.size(); ++i) {
+          estimates.rho_lambda[i] *= catalog_weights[i];
+          estimates.rho_phi[i] *= catalog_weights[i];
         }
+        const std::vector<LinkId> picked = select_critical_links(estimates, target).critical;
+        result.critical_scenarios.assign(picked.begin(), picked.end());
+        break;
       }
-      result.critical = select_critical_links(estimates, target).critical;
-      break;
+      case SelectorKind::kRandom: {
+        Rng selector_rng = rng.split();
+        const std::vector<LinkId> picked =
+            select_random_links(objective->set.size(), target, selector_rng);
+        result.critical_scenarios.assign(picked.begin(), picked.end());
+        break;
+      }
+      case SelectorKind::kFullSearch:
+        result.critical_scenarios.resize(objective->set.size());
+        for (std::size_t i = 0; i < result.critical_scenarios.size(); ++i)
+          result.critical_scenarios[i] = i;
+        break;
+      case SelectorKind::kLoad:
+      case SelectorKind::kThresholdCrossing:
+        throw std::invalid_argument(
+            "RobustOptimizer: selector not supported with a scenario-catalog "
+            "objective (use distribution-gap, random, or full-search)");
     }
-    case SelectorKind::kRandom: {
-      Rng selector_rng = rng.split();
-      result.critical = select_random_links(num_links, target, selector_rng);
-      break;
+    // Ec diagnostic: the physical links the selected scenarios can take down.
+    std::vector<LinkId> links;
+    for (const std::size_t i : result.critical_scenarios)
+      for_each_failed_element(
+          objective->set.scenario(i), [&](LinkId l) { links.push_back(l); },
+          [](NodeId) {});
+    std::sort(links.begin(), links.end());
+    links.erase(std::unique(links.begin(), links.end()), links.end());
+    result.critical = std::move(links);
+  } else {
+    switch (config_.selector) {
+      case SelectorKind::kDistributionGap: {
+        CriticalityEstimates estimates = result.estimates;
+        if (!link_probabilities.empty()) {
+          // Probabilistic extension: criticality becomes the expected regret
+          // p_l * (mean - left-tail mean).
+          for (LinkId l = 0; l < num_links; ++l) {
+            estimates.rho_lambda[l] *= link_probabilities[l];
+            estimates.rho_phi[l] *= link_probabilities[l];
+          }
+        }
+        result.critical = select_critical_links(estimates, target).critical;
+        break;
+      }
+      case SelectorKind::kRandom: {
+        Rng selector_rng = rng.split();
+        result.critical = select_random_links(num_links, target, selector_rng);
+        break;
+      }
+      case SelectorKind::kLoad:
+        result.critical = select_by_load(evaluator_, result.regular, target);
+        break;
+      case SelectorKind::kThresholdCrossing:
+        result.critical = select_by_threshold_crossings(collector, target);
+        break;
+      case SelectorKind::kFullSearch:
+        result.critical.resize(num_links);
+        for (LinkId l = 0; l < num_links; ++l) result.critical[l] = l;
+        break;
     }
-    case SelectorKind::kLoad:
-      result.critical = select_by_load(evaluator_, result.regular, target);
-      break;
-    case SelectorKind::kThresholdCrossing:
-      result.critical = select_by_threshold_crossings(collector, target);
-      break;
-    case SelectorKind::kFullSearch:
-      result.critical.resize(num_links);
-      for (LinkId l = 0; l < num_links; ++l) result.critical[l] = l;
-      break;
   }
 
   // ---------------- Phase 2: robust optimization (Eq. 4) ------------------
   const auto phase2_start = Clock::now();
   std::vector<FailureScenario> scenarios;
   std::vector<double> scenario_weights;
-  scenarios.reserve(result.critical.size());
-  for (LinkId l : result.critical) {
-    scenarios.push_back(FailureScenario::link(l));
-    if (!config_.link_failure_probabilities.empty())
-      scenario_weights.push_back(config_.link_failure_probabilities.at(l));
+  if (catalog_mode) {
+    scenarios.reserve(result.critical_scenarios.size());
+    scenario_weights.reserve(result.critical_scenarios.size());
+    for (const std::size_t i : result.critical_scenarios) {
+      scenarios.push_back(objective->set.scenario(i));
+      scenario_weights.push_back(objective->set.weight(i));
+    }
+  } else {
+    scenarios.reserve(result.critical.size());
+    for (LinkId l : result.critical) {
+      scenarios.push_back(FailureScenario::link(l));
+      if (!link_probabilities.empty())
+        scenario_weights.push_back(link_probabilities.at(l));
+    }
   }
 
-  // Phase 2 parallelism lives inside the critical-scenario sweep (RobustObjective
-  // is stateful, so its candidates are scored one at a time).
-  RobustObjective robust_objective(evaluator_, scenarios, scenario_weights,
-                                   result.regular_cost, config_.chi, pool.get());
+  // Phase 2 parallelism lives inside the scenario sweep (the objectives are
+  // stateful, so their candidates are scored one at a time).
+  std::unique_ptr<Phase2Objective> robust_objective;
+  const AggregationMode mode =
+      catalog_mode ? objective->mode : AggregationMode::kExpectedCost;
+  switch (mode) {
+    case AggregationMode::kExpectedCost:
+      robust_objective = std::make_unique<ExpectedCostObjective>(
+          evaluator_, std::move(scenarios), std::move(scenario_weights),
+          result.regular_cost, config_.chi, pool.get());
+      break;
+    case AggregationMode::kWeightedPercentile:
+      robust_objective = std::make_unique<PercentileObjective>(
+          evaluator_, std::move(scenarios), std::move(scenario_weights),
+          objective->percentile, result.regular_cost, config_.chi, pool.get());
+      break;
+    case AggregationMode::kExpectedDowntime:
+      robust_objective = std::make_unique<DowntimeObjective>(
+          evaluator_, std::move(scenarios), std::move(scenario_weights),
+          objective->period_minutes, result.regular_cost, config_.chi, pool.get());
+      break;
+  }
 
   const auto feasible =
       store.feasible_entries(result.regular_cost.lambda, result.regular_cost.phi,
@@ -302,14 +527,15 @@ OptimizeResult RobustOptimizer::optimize() {
     return w;
   });
 
-  const LocalSearch::Result phase2 = phase2_search.run(robust_objective, result.regular);
+  const LocalSearch::Result phase2 = phase2_search.run(*robust_objective, result.regular);
   result.robust = phase2.best;
   result.robust_kfail = phase2.best_cost;
   result.robust_normal_cost = evaluator_.evaluate(result.robust).cost();
   result.phase2_evaluations = phase2.evaluations;
-  result.phase2_scenario_evaluations = robust_objective.scenario_evaluations();
+  result.phase2_scenario_evaluations = robust_objective->scenario_evaluations();
   result.phase2_diversifications = phase2.diversifications;
   result.phase2_seconds = seconds_since(phase2_start);
+  if (catalog_mode) result.robust_objective_value = phase2.best_cost.lambda;
 
   const EvaluatorCacheStats cache_after = evaluator_.base_cache_stats();
   result.base_cache_hits = cache_after.hits - cache_before.hits;

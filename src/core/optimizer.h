@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
+#include <optional>
 #include <vector>
 
 #include "core/acceptable_store.h"
@@ -8,6 +10,7 @@
 #include "core/criticality.h"
 #include "core/local_search.h"
 #include "routing/evaluator.h"
+#include "scenarios/hardening.h"
 #include "util/presets.h"
 
 namespace dtr {
@@ -48,12 +51,25 @@ struct OptimizerConfig {
   /// scoring (speculative probes), Phase 1b sampling batches, and the
   /// Phase 2 critical-scenario sweeps.
   int num_threads = 1;
-  /// Probabilistic failure model (the extension sketched in the paper's
-  /// conclusion). When non-empty (one weight per physical link, >= 0),
-  /// Phase 2 minimizes the failure-probability-weighted compound cost
-  /// (an expectation instead of a sum), and the criticality of link l is
-  /// scaled by its probability before Phase 1c selection — links that fail
-  /// often AND hurt get priority in Ec.
+  /// Hardening objective: WHAT Phase 2 optimizes against. When set, the
+  /// catalog's scenarios replace the critical single-link set as the failure
+  /// model and `objective->mode` picks the aggregation (expected cost /
+  /// weighted percentile / expected downtime). Criticality generalizes with
+  /// it: compound scenarios are ranked by distribution gap (scaled by their
+  /// probability weight) through the same Algorithm 1 machinery that ranks
+  /// links, and Phase 2 sweeps only the selected critical sub-catalog. One
+  /// exception keeps the classic pipeline byte-compatible: an expected-cost
+  /// objective over exactly the per-link single-failure set (what
+  /// objective_from_link_probabilities builds) runs the per-link Phase
+  /// 1a/1b/1c path with the catalog weights as link probabilities —
+  /// bit-identical to the deprecated field below.
+  std::optional<HardeningObjective> objective;
+  /// DEPRECATED — compatibility shim over `objective`. When non-empty (one
+  /// probability per physical link, >= 0), the optimizer behaves exactly as
+  /// if `objective` were
+  /// objective_from_link_probabilities(graph, link_failure_probabilities)
+  /// (test-enforced bit-identical). Setting BOTH fields throws. Migrate to
+  /// the objective API; this field is kept for one release.
   std::vector<double> link_failure_probabilities;
 };
 
@@ -75,6 +91,18 @@ struct OptimizeResult {
   bool criticality_converged = false;
   std::size_t phase1a_samples = 0;  ///< failure-like samples from Phase 1a
   std::size_t phase1b_samples = 0;  ///< top-up samples from Phase 1b
+
+  // Catalog-objective diagnostics (zero / empty when the run used the classic
+  // per-link pipeline — i.e. no objective, or a per-link-shaped shim):
+  std::size_t catalog_size = 0;  ///< |S| of the hardening catalog, 0 = per-link run
+  std::vector<std::size_t> critical_scenarios;  ///< Sc: catalog positions, ascending
+  CriticalityEstimates scenario_estimates;      ///< indexed by catalog position
+  bool scenario_rank_converged = false;
+  std::size_t scenario_samples = 0;  ///< Phase 1b' catalog-criticality samples
+  /// Phase-2 objective value of `robust` under the catalog aggregation
+  /// (expected cost / percentile cost / expected avoidable downtime minutes,
+  /// by objective->mode). NaN for per-link runs.
+  double robust_objective_value = std::numeric_limits<double>::quiet_NaN();
 
   double phase1_seconds = 0.0;
   double phase1b_seconds = 0.0;

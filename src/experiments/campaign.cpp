@@ -102,6 +102,23 @@ ScenarioSet build_scenario_set(const ScenarioSpec& spec, const Graph& g,
   return set;
 }
 
+HardeningObjective build_hardening_objective(const HardenSpec& spec, const Graph& g,
+                                             std::uint64_t seed) {
+  ScenarioSpec catalog = spec.catalog;
+  // `objective=` alone hardens against all single-link failures — the
+  // baseline the SRLG-vs-single-link comparisons measure against.
+  if (catalog.kind == ScenarioSpec::Kind::kNone)
+    catalog.kind = ScenarioSpec::Kind::kAllLinks;
+  HardeningObjective objective;
+  objective.set = build_scenario_set(catalog, g, seed);
+  objective.mode = spec.mode;
+  objective.percentile = catalog.percentile;
+  objective.period_minutes = spec.period_minutes;
+  if (objective.set.empty())
+    throw std::runtime_error("build_hardening_objective: empty hardening catalog");
+  return objective;
+}
+
 CampaignResult run_campaign(const Campaign& campaign, const CampaignOptions& options) {
   const auto start = std::chrono::steady_clock::now();
   if (options.workers < 0)
@@ -255,6 +272,9 @@ MetricRow standard_cell_rep(const CampaignCell& cell, Effort effort,
         config.num_threads = ctx.inner_threads;
         if (cell.critical_fraction > 0.0)
           config.critical_fraction = cell.critical_fraction;
+        if (cell.harden.enabled)
+          config.objective = build_hardening_objective(
+              cell.harden, w.graph, rep_seed + cell.harden.seed_offset);
       });
 
   const std::vector<FailureScenario> scenarios = all_link_failures(w.graph);
@@ -281,6 +301,20 @@ MetricRow standard_cell_rep(const CampaignCell& cell, Effort effort,
     row.values.emplace_back(
         "beta_floor",
         mean(unavoidable_violation_profile(evaluator, scenarios, ctx.inner_pool)));
+  }
+  if (cell.harden.enabled) {
+    // Hardening diagnostics: what the objective-driven optimizer saw. These
+    // keys only appear for cells with an `objective=` directive, so existing
+    // artifacts keep their bytes.
+    row.values.emplace_back("opt_scn_count", static_cast<double>(opt.catalog_size));
+    row.values.emplace_back("opt_scn_critical",
+                            static_cast<double>(opt.critical_scenarios.size()));
+    row.values.emplace_back("opt_scn_samples",
+                            static_cast<double>(opt.scenario_samples));
+    row.values.emplace_back("opt_scn_converged",
+                            opt.scenario_rank_converged ? 1.0 : 0.0);
+    if (std::isfinite(opt.robust_objective_value))
+      row.values.emplace_back("opt_objective", opt.robust_objective_value);
   }
 
   if (cell.fluctuation.model != FluctuationSpec::Model::kNone &&
@@ -328,10 +362,12 @@ MetricRow standard_cell_rep(const CampaignCell& cell, Effort effort,
     row.values.emplace_back("scn_total_weight", set.total_weight());
     if (!set.empty()) {
       const double denom = std::max(evaluator.phi_uncap(), 1e-9);
-      const ScenarioSummary r = summarize_scenarios(
-          evaluator, opt.robust, set, cell.scenario.percentile, ctx.inner_pool);
-      const ScenarioSummary nr = summarize_scenarios(
-          evaluator, opt.regular, set, cell.scenario.percentile, ctx.inner_pool);
+      const ScenarioSummary r =
+          summarize_scenarios(evaluator, opt.robust, set, cell.scenario.percentile,
+                              ctx.inner_pool, cell.harden.period_minutes);
+      const ScenarioSummary nr =
+          summarize_scenarios(evaluator, opt.regular, set, cell.scenario.percentile,
+                              ctx.inner_pool, cell.harden.period_minutes);
       row.values.emplace_back("scn_exp_viol_r", r.expected_violations);
       row.values.emplace_back("scn_exp_viol_nr", nr.expected_violations);
       row.values.emplace_back("scn_p_viol_r", r.percentile_violations);
@@ -342,6 +378,14 @@ MetricRow standard_cell_rep(const CampaignCell& cell, Effort effort,
       row.values.emplace_back("scn_exp_phi_nr", nr.expected_phi / denom);
       row.values.emplace_back("scn_worst_phi_r", r.worst_phi / denom);
       row.values.emplace_back("scn_worst_phi_nr", nr.worst_phi / denom);
+      if (cell.harden.enabled) {
+        // Availability headline: expected avoidable downtime minutes of each
+        // routing over the REPORTING catalog — the apples-to-apples number
+        // the SLA-availability campaigns compare across hardening sets.
+        // Hardening-gated so pre-existing scenario cells keep their bytes.
+        row.values.emplace_back("scn_exp_downtime_r", r.expected_downtime_min);
+        row.values.emplace_back("scn_exp_downtime_nr", nr.expected_downtime_min);
+      }
     }
   }
   return row;
@@ -383,40 +427,42 @@ Campaign parse_campaign_spec(std::istream& in) {
                              message);
   };
   // All three insist the whole token parses: stod/stoi alone would accept
-  // trailing garbage and silently truncate typos like "12x7".
-  const auto parse_double = [&](const std::string& v) {
+  // trailing garbage and silently truncate typos like "12x7". Error messages
+  // name the offending KEY alongside the line number, so a typo deep in a
+  // many-cell spec points straight at its directive.
+  const auto parse_double = [&](const std::string& key, const std::string& v) {
     std::size_t pos = 0;
     double out = 0.0;
     try {
       out = std::stod(v, &pos);
     } catch (const std::exception&) {
-      fail("bad number: " + v);
+      fail("bad number for key '" + key + "': " + v);
     }
-    if (pos != v.size()) fail("bad number: " + v);
+    if (pos != v.size()) fail("bad number for key '" + key + "': " + v);
     return out;
   };
-  const auto parse_int = [&](const std::string& v) {
+  const auto parse_int = [&](const std::string& key, const std::string& v) {
     std::size_t pos = 0;
     int out = 0;
     try {
       out = std::stoi(v, &pos);
     } catch (const std::exception&) {
-      fail("bad integer: " + v);
+      fail("bad integer for key '" + key + "': " + v);
     }
-    if (pos != v.size()) fail("bad integer: " + v);
+    if (pos != v.size()) fail("bad integer for key '" + key + "': " + v);
     return out;
   };
-  const auto parse_u64 = [&](const std::string& v) {
+  const auto parse_u64 = [&](const std::string& key, const std::string& v) {
     std::size_t pos = 0;
     std::uint64_t out = 0;
     // stoull would silently wrap a leading minus modulo 2^64.
-    if (!v.empty() && v[0] == '-') fail("bad seed: " + v);
+    if (!v.empty() && v[0] == '-') fail("bad seed for key '" + key + "': " + v);
     try {
       out = static_cast<std::uint64_t>(std::stoull(v, &pos));
     } catch (const std::exception&) {
-      fail("bad seed: " + v);
+      fail("bad seed for key '" + key + "': " + v);
     }
-    if (pos != v.size()) fail("bad seed: " + v);
+    if (pos != v.size()) fail("bad seed for key '" + key + "': " + v);
     return out;
   };
 
@@ -437,14 +483,27 @@ Campaign parse_campaign_spec(std::istream& in) {
     const std::string value = trim(std::string_view(line).substr(eq + 1));
     if (key.empty() || value.empty()) fail("expected key = value");
 
+    // Shared by `scenario_set` and `harden_set`: the same catalog kinds name
+    // WHAT is reported on and WHAT is hardened against.
+    const auto parse_catalog_kind = [&](const std::string& k, const std::string& v) {
+      if (v == "none") return ScenarioSpec::Kind::kNone;
+      if (v == "all_links") return ScenarioSpec::Kind::kAllLinks;
+      if (v == "all_nodes") return ScenarioSpec::Kind::kAllNodes;
+      if (v == "k_link") return ScenarioSpec::Kind::kKLink;
+      if (v == "srlg_file") return ScenarioSpec::Kind::kSrlgFile;
+      if (v == "geo_srlg") return ScenarioSpec::Kind::kGeoSrlg;
+      fail("unknown value for key '" + k + "': " + v);
+      return ScenarioSpec::Kind::kNone;  // unreachable
+    };
+
     if (cell == nullptr) {
       if (key == "name") campaign.name = value;
-      else if (key == "seed") campaign.seed = parse_u64(value);
+      else if (key == "seed") campaign.seed = parse_u64(key, value);
       else if (key == "effort") {
         if (value == "smoke") campaign.effort = Effort::kSmoke;
         else if (value == "quick") campaign.effort = Effort::kQuick;
         else if (value == "full") campaign.effort = Effort::kFull;
-        else fail("unknown effort: " + value);
+        else fail("unknown value for key 'effort': " + value);
       } else {
         fail("unknown campaign key: " + key);
       }
@@ -457,73 +516,103 @@ Campaign parse_campaign_spec(std::istream& in) {
       else if (value == "near") cell->spec.kind = TopologyKind::kNear;
       else if (value == "pl") cell->spec.kind = TopologyKind::kPl;
       else if (value == "isp") cell->spec.kind = TopologyKind::kIsp;
-      else fail("unknown topology: " + value);
-    } else if (key == "nodes") cell->spec.nodes = parse_int(value);
-    else if (key == "degree") cell->spec.degree = parse_double(value);
-    else if (key == "attachments") cell->spec.pl_attachments = parse_int(value);
-    else if (key == "theta") cell->spec.theta_ms = parse_double(value);
+      else fail("unknown value for key 'topology': " + value);
+    } else if (key == "nodes") cell->spec.nodes = parse_int(key, value);
+    else if (key == "degree") cell->spec.degree = parse_double(key, value);
+    else if (key == "attachments") cell->spec.pl_attachments = parse_int(key, value);
+    else if (key == "theta") cell->spec.theta_ms = parse_double(key, value);
     else if (key == "avg_util")
-      cell->spec.util = {UtilizationTarget::Kind::kAverage, parse_double(value)};
+      cell->spec.util = {UtilizationTarget::Kind::kAverage, parse_double(key, value)};
     else if (key == "max_util")
-      cell->spec.util = {UtilizationTarget::Kind::kMax, parse_double(value)};
-    else if (key == "delay_fraction") cell->spec.delay_fraction = parse_double(value);
-    else if (key == "seed") cell->spec.seed = parse_u64(value);
+      cell->spec.util = {UtilizationTarget::Kind::kMax, parse_double(key, value)};
+    else if (key == "delay_fraction") cell->spec.delay_fraction = parse_double(key, value);
+    else if (key == "seed") cell->spec.seed = parse_u64(key, value);
     else if (key == "repeats") {
-      cell->repeats = parse_int(value);
+      cell->repeats = parse_int(key, value);
       // Nothing downstream consumes repeats <= 0; it would just yield a cell
       // that "succeeds" with zero reps.
       if (cell->repeats < 1) fail("repeats must be >= 1, got " + value);
     }
-    else if (key == "seed_stride") cell->seed_stride = parse_u64(value);
-    else if (key == "critical_fraction") cell->critical_fraction = parse_double(value);
-    else if (key == "floor") cell->unavoidable_floor = parse_int(value) != 0;
+    else if (key == "seed_stride") cell->seed_stride = parse_u64(key, value);
+    else if (key == "critical_fraction")
+      cell->critical_fraction = parse_double(key, value);
+    else if (key == "floor") cell->unavoidable_floor = parse_int(key, value) != 0;
     else if (key == "fluctuation") {
       if (value == "none") cell->fluctuation.model = FluctuationSpec::Model::kNone;
       else if (value == "gaussian")
         cell->fluctuation.model = FluctuationSpec::Model::kGaussian;
       else if (value == "hotspot")
         cell->fluctuation.model = FluctuationSpec::Model::kHotSpot;
-      else fail("unknown fluctuation model: " + value);
-    } else if (key == "trials") cell->fluctuation.trials = parse_int(value);
-    else if (key == "epsilon") cell->fluctuation.gaussian.epsilon = parse_double(value);
-    else if (key == "top_fraction") cell->fluctuation.top_fraction = parse_double(value);
+      else fail("unknown value for key 'fluctuation': " + value);
+    } else if (key == "trials") cell->fluctuation.trials = parse_int(key, value);
+    else if (key == "epsilon")
+      cell->fluctuation.gaussian.epsilon = parse_double(key, value);
+    else if (key == "top_fraction")
+      cell->fluctuation.top_fraction = parse_double(key, value);
     else if (key == "direction") {
       if (value == "upload")
         cell->fluctuation.hot_spot.direction = HotSpotParams::Direction::kUpload;
       else if (value == "download")
         cell->fluctuation.hot_spot.direction = HotSpotParams::Direction::kDownload;
-      else fail("unknown direction: " + value);
+      else fail("unknown value for key 'direction': " + value);
     } else if (key == "server_fraction")
-      cell->fluctuation.hot_spot.server_fraction = parse_double(value);
+      cell->fluctuation.hot_spot.server_fraction = parse_double(key, value);
     else if (key == "client_fraction")
-      cell->fluctuation.hot_spot.client_fraction = parse_double(value);
-    else if (key == "scale_min") cell->fluctuation.hot_spot.scale_min = parse_double(value);
-    else if (key == "scale_max") cell->fluctuation.hot_spot.scale_max = parse_double(value);
-    else if (key == "scenario_set") {
-      if (value == "none") cell->scenario.kind = ScenarioSpec::Kind::kNone;
-      else if (value == "all_links") cell->scenario.kind = ScenarioSpec::Kind::kAllLinks;
-      else if (value == "all_nodes") cell->scenario.kind = ScenarioSpec::Kind::kAllNodes;
-      else if (value == "k_link") cell->scenario.kind = ScenarioSpec::Kind::kKLink;
-      else if (value == "srlg_file") cell->scenario.kind = ScenarioSpec::Kind::kSrlgFile;
-      else if (value == "geo_srlg") cell->scenario.kind = ScenarioSpec::Kind::kGeoSrlg;
-      else fail("unknown scenario set: " + value);
-    } else if (key == "k_link") {
-      cell->scenario.k = parse_int(value);
+      cell->fluctuation.hot_spot.client_fraction = parse_double(key, value);
+    else if (key == "scale_min")
+      cell->fluctuation.hot_spot.scale_min = parse_double(key, value);
+    else if (key == "scale_max")
+      cell->fluctuation.hot_spot.scale_max = parse_double(key, value);
+    else if (key == "scenario_set") cell->scenario.kind = parse_catalog_kind(key, value);
+    else if (key == "k_link") {
+      cell->scenario.k = parse_int(key, value);
       if (cell->scenario.k < 1) fail("k_link must be >= 1, got " + value);
     } else if (key == "scenario_budget") {
-      const int budget = parse_int(value);
+      const int budget = parse_int(key, value);
       if (budget < 1) fail("scenario_budget must be >= 1, got " + value);
       cell->scenario.budget = static_cast<std::size_t>(budget);
     } else if (key == "srlg_file") cell->scenario.srlg_file = value;
     else if (key == "geo_grid") {
-      cell->scenario.geo_grid = parse_int(value);
+      cell->scenario.geo_grid = parse_int(key, value);
       if (cell->scenario.geo_grid < 1) fail("geo_grid must be >= 1, got " + value);
     } else if (key == "percentile") {
-      cell->scenario.percentile = parse_double(value);
+      cell->scenario.percentile = parse_double(key, value);
       if (cell->scenario.percentile < 0.0 || cell->scenario.percentile > 1.0)
         fail("percentile must be in [0, 1], got " + value);
-    } else if (key == "rate_weights") cell->scenario.rate_weights = parse_int(value) != 0;
-    else fail("unknown cell key: " + key);
+    } else if (key == "rate_weights")
+      cell->scenario.rate_weights = parse_int(key, value) != 0;
+    else if (key == "objective") {
+      const std::optional<AggregationMode> mode = parse_aggregation_mode(value);
+      if (!mode)
+        fail("unknown value for key 'objective' "
+             "(expected | percentile | downtime): " + value);
+      cell->harden.enabled = true;
+      cell->harden.mode = *mode;
+    } else if (key == "harden_set")
+      cell->harden.catalog.kind = parse_catalog_kind(key, value);
+    else if (key == "harden_k") {
+      cell->harden.catalog.k = parse_int(key, value);
+      if (cell->harden.catalog.k < 1) fail("harden_k must be >= 1, got " + value);
+    } else if (key == "harden_budget") {
+      const int budget = parse_int(key, value);
+      if (budget < 1) fail("harden_budget must be >= 1, got " + value);
+      cell->harden.catalog.budget = static_cast<std::size_t>(budget);
+    } else if (key == "harden_srlg_file") cell->harden.catalog.srlg_file = value;
+    else if (key == "harden_geo_grid") {
+      cell->harden.catalog.geo_grid = parse_int(key, value);
+      if (cell->harden.catalog.geo_grid < 1)
+        fail("harden_geo_grid must be >= 1, got " + value);
+    } else if (key == "harden_rate_weights")
+      cell->harden.catalog.rate_weights = parse_int(key, value) != 0;
+    else if (key == "harden_percentile") {
+      cell->harden.catalog.percentile = parse_double(key, value);
+      if (cell->harden.catalog.percentile < 0.0 || cell->harden.catalog.percentile > 1.0)
+        fail("harden_percentile must be in [0, 1], got " + value);
+    } else if (key == "harden_period_min") {
+      cell->harden.period_minutes = parse_double(key, value);
+      if (cell->harden.period_minutes <= 0.0)
+        fail("harden_period_min must be > 0, got " + value);
+    } else fail("unknown cell key: " + key);
   }
 
   // Default ids so --filter / result lookup always has a handle. "/" (not

@@ -22,6 +22,7 @@
 #include "experiments/results.h"
 #include "experiments/workloads.h"
 #include "routing/evaluator.h"
+#include "scenarios/hardening.h"
 #include "scenarios/scenario_set.h"
 #include "traffic/uncertainty.h"
 
@@ -72,6 +73,34 @@ struct ScenarioSpec {
 
 std::string to_string(ScenarioSpec::Kind kind);
 
+/// Availability-aware hardening attachment (spec keys `objective`,
+/// `harden_set`, `harden_k`, `harden_budget`, `harden_srlg_file`,
+/// `harden_geo_grid`, `harden_rate_weights`, `harden_percentile`,
+/// `harden_period_min`): when enabled, the optimizer runs against a
+/// HardeningObjective built from this catalog — scenario-catalog criticality
+/// plus the chosen aggregation — instead of the classic per-link pipeline,
+/// and the cell emits the `opt_scn_*` / `scn_exp_downtime_*` metrics.
+/// `objective=` alone defaults the catalog to all single-link failures, so
+/// "objective=downtime" with no harden_set is the single-link-hardened
+/// baseline the SRLG-vs-single-link comparisons measure against.
+struct HardenSpec {
+  bool enabled = false;  ///< set by the `objective=` key (the opt-in)
+  AggregationMode mode = AggregationMode::kExpectedCost;
+  /// WHAT can fail during optimization — reuses the catalog directives of
+  /// ScenarioSpec under harden_-prefixed keys. kind == kNone (the default)
+  /// means all single-link failures.
+  ScenarioSpec catalog;
+  double period_minutes = 43200.0;  ///< downtime scale (default: 30-day month)
+  /// Hardening catalog sampling stream = rep seed + offset (decorrelated
+  /// from the optimizer / fluctuation / reporting-scenario streams).
+  std::uint64_t seed_offset = 23;
+};
+
+/// The HardeningObjective a cell's HardenSpec describes against `g`
+/// (deterministic in `seed`; throws when the catalog comes out empty).
+HardeningObjective build_hardening_objective(const HardenSpec& spec, const Graph& g,
+                                             std::uint64_t seed);
+
 /// Builds the catalog a spec describes against `g` (deterministic in
 /// `seed`). kSrlgFile reads spec.srlg_file here, so a missing sidecar
 /// surfaces as the cell error of the rep that needed it.
@@ -100,6 +129,7 @@ struct CampaignCell {
   bool unavoidable_floor = false;  ///< also compute the violation lower bound
   FluctuationSpec fluctuation;
   ScenarioSpec scenario;
+  HardenSpec harden;
   /// Evaluate against this graph instead of the spec-built one (the NearTopo
   /// resize experiment); traffic/params still come from the spec workload.
   std::shared_ptr<const Graph> graph_override;

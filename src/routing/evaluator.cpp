@@ -518,6 +518,16 @@ SweepResult Evaluator::sweep(const WeightSetting& w,
                              const CostPair* abort_bound,
                              std::span<const double> scenario_weights,
                              ThreadPool* pool, std::size_t chunk_size) const {
+  return sweep(w, scenarios,
+               SweepOptions{abort_bound, scenario_weights, pool, chunk_size});
+}
+
+SweepResult Evaluator::sweep(const WeightSetting& w,
+                             std::span<const FailureScenario> scenarios,
+                             const SweepOptions& options) const {
+  const std::span<const double> scenario_weights = options.scenario_weights;
+  const CostPair* abort_bound = options.abort_bound;
+  ThreadPool* pool = options.pool;
   if (!scenario_weights.empty() && scenario_weights.size() != scenarios.size())
     throw std::invalid_argument("Evaluator::sweep: scenario_weights size mismatch");
 
@@ -527,19 +537,23 @@ SweepResult Evaluator::sweep(const WeightSetting& w,
   // Accumulates scenario i's (already weighted) costs in order and applies
   // the abort bound; returns true to stop. Shared by both paths so the
   // parallel sweep is term-for-term identical to the sequential one.
-  auto accumulate = [&](double lambda, double phi) -> bool {
+  auto accumulate = [&](double lambda, double phi, double violations) -> bool {
     sum.lambda += lambda;
     sum.phi += phi;
+    sum.violations += violations;
     ++sum.scenarios_evaluated;
     if (abort_bound != nullptr) {
       // Partial sums only grow, so once they are lexicographically worse than
-      // the bound the final sums must be too.
-      const bool lambda_worse =
-          sum.lambda > abort_bound->lambda && !order.values_equal(sum.lambda, abort_bound->lambda);
-      const bool phi_worse_at_equal_lambda =
-          order.values_equal(sum.lambda, abort_bound->lambda) &&
+      // the bound the final sums must be too. The primary axis is the lambda
+      // sum, or the weighted violation sum for the downtime objective.
+      const double primary =
+          options.abort_on_violations ? sum.violations : sum.lambda;
+      const bool primary_worse =
+          primary > abort_bound->lambda && !order.values_equal(primary, abort_bound->lambda);
+      const bool phi_worse_at_equal_primary =
+          order.values_equal(primary, abort_bound->lambda) &&
           sum.phi > abort_bound->phi && !order.values_equal(sum.phi, abort_bound->phi);
-      if (lambda_worse || phi_worse_at_equal_lambda) {
+      if (primary_worse || phi_worse_at_equal_primary) {
         sum.aborted = true;
         return true;
       }
@@ -564,34 +578,48 @@ SweepResult Evaluator::sweep(const WeightSetting& w,
                    static_cast<std::size_t>(patchable));
   const IncrementalBase* base_ptr = base.get();
 
+  // Per-scenario terms the ordered accumulation consumes: costs plus the SLA
+  // violation count (the downtime objective's raw material).
+  struct Term {
+    CostPair cost;
+    double violations = 0.0;
+  };
+  const auto term_of = [](const EvalResult& r) -> Term {
+    return {r.cost(), static_cast<double>(r.sla_violations)};
+  };
+
   if (pool == nullptr || pool->num_workers() <= 1 || scenarios.size() <= 1) {
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
       const double weight = scenario_weights.empty() ? 1.0 : scenario_weights[i];
       if (weight < 0.0) throw std::invalid_argument("Evaluator::sweep: negative weight");
-      const CostPair r = evaluate_impl(cost_delay, cost_tput, scenarios[i],
-                                       EvalDetail::kCostsOnly, worker_scratch(), base_ptr)
-                             .cost();
-      if (accumulate(weight * r.lambda, weight * r.phi)) return sum;
+      const Term r = term_of(evaluate_impl(cost_delay, cost_tput, scenarios[i],
+                                           EvalDetail::kCostsOnly, worker_scratch(),
+                                           base_ptr));
+      if (accumulate(weight * r.cost.lambda, weight * r.cost.phi,
+                     weight * r.violations))
+        return sum;
     }
     return sum;
   }
 
   const std::size_t workers = pool->num_workers();
-  const std::size_t round = workers * std::max<std::size_t>(1, chunk_size);
-  std::vector<CostPair> chunk(round);
+  const std::size_t round = workers * std::max<std::size_t>(1, options.chunk_size);
+  std::vector<Term> chunk(round);
   for (std::size_t begin = 0; begin < scenarios.size(); begin += round) {
     const std::size_t count = std::min(round, scenarios.size() - begin);
     parallel_for(pool, count, [&](std::size_t, std::size_t i) {
-      chunk[i] = evaluate_impl(cost_delay, cost_tput, scenarios[begin + i],
-                               EvalDetail::kCostsOnly, worker_scratch(), base_ptr)
-                     .cost();
+      chunk[i] = term_of(evaluate_impl(cost_delay, cost_tput, scenarios[begin + i],
+                                       EvalDetail::kCostsOnly, worker_scratch(),
+                                       base_ptr));
     });
     for (std::size_t i = 0; i < count; ++i) {
       // Validated here, not upfront, so an invalid weight past an abort point
       // behaves exactly like the sequential path (abort wins over throw).
       const double weight = scenario_weights.empty() ? 1.0 : scenario_weights[begin + i];
       if (weight < 0.0) throw std::invalid_argument("Evaluator::sweep: negative weight");
-      if (accumulate(weight * chunk[i].lambda, weight * chunk[i].phi)) return sum;
+      if (accumulate(weight * chunk[i].cost.lambda, weight * chunk[i].cost.phi,
+                     weight * chunk[i].violations))
+        return sum;
     }
   }
   return sum;

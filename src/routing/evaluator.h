@@ -120,10 +120,45 @@ struct EvalJob {
 struct SweepResult {
   double lambda = 0.0;
   double phi = 0.0;
+  /// Weighted sum of per-scenario SLA violation counts — the raw material of
+  /// the expected-downtime objective (accumulated in the same ordered loop as
+  /// lambda/phi, so it shares their determinism contract).
+  double violations = 0.0;
   bool aborted = false;  ///< true if the early-abort bound was exceeded
   std::size_t scenarios_evaluated = 0;
 
   CostPair cost() const { return {lambda, phi}; }
+};
+
+/// Options of Evaluator::sweep, replacing its historical positional tail
+/// (abort_bound, scenario_weights, pool, chunk_size). Spans and pointers are
+/// borrowed — they must outlive the call, not the options object.
+struct SweepOptions {
+  /// Early-abort bound: the sweep stops as soon as the partial sums are
+  /// lexicographically worse (sound because per-scenario terms are
+  /// non-negative); SweepResult::aborted reports that outcome. This prunes
+  /// most rejected Phase 2 candidates after a handful of evaluations.
+  const CostPair* abort_bound = nullptr;
+  /// Optional per-scenario weights (same length as the scenario span,
+  /// non-negative): each scenario's contribution is multiplied by its weight,
+  /// turning the sums into expectations over a probabilistic failure model.
+  /// Early abort stays sound since weighted terms remain non-negative.
+  std::span<const double> scenario_weights = {};
+  /// When given (and > 1 worker), scenarios are evaluated in parallel rounds
+  /// of `chunk_size * workers` while sums accumulate in scenario order with
+  /// the abort bound checked after every term — so the returned SweepResult
+  /// (sums, aborted flag AND scenarios_evaluated) is bit-identical to the
+  /// sequential sweep for any worker count or chunk size; parallelism only
+  /// costs up to one round of wasted evaluations past an abort point.
+  ThreadPool* pool = nullptr;
+  /// Round fan-out per worker; trades parallelism against post-abort waste
+  /// (default 1 = the historical one-scenario-per-worker rounds).
+  std::size_t chunk_size = 1;
+  /// Reinterprets `abort_bound` for the expected-downtime objective: the
+  /// lexicographic abort comparison runs on (violations, phi) instead of
+  /// (lambda, phi) — abort_bound->lambda bounds the weighted violation sum.
+  /// The lambda/phi/violations sums themselves are unchanged.
+  bool abort_on_violations = false;
 };
 
 /// Evaluates DTR weight settings on a network instance: runs both class
@@ -148,28 +183,17 @@ class Evaluator {
                       const FailureScenario& scenario = FailureScenario::none(),
                       EvalDetail detail = EvalDetail::kCostsOnly) const;
 
-  /// Sums Lambda/Phi over `scenarios`. When `abort_bound` is set, the sweep
-  /// stops as soon as the partial sums are lexicographically worse than the
-  /// bound (sound because per-scenario costs are non-negative); `aborted`
-  /// reports that outcome. This prunes most rejected Phase 2 candidates after
-  /// a handful of scenario evaluations.
-  ///
-  /// `scenario_weights` (optional, same length as `scenarios`, non-negative)
-  /// turn the sums into expectations over a probabilistic failure model
-  /// (the extension sketched in the paper's conclusion): each scenario's
-  /// contribution is multiplied by its weight. Early abort stays sound since
-  /// weighted terms remain non-negative.
-  ///
-  /// When `pool` is given (and has > 1 worker), scenarios are evaluated in
-  /// parallel rounds of `chunk_size * workers` while sums accumulate in
-  /// scenario order with the abort bound checked after every term — so the
-  /// returned SweepResult (sums, aborted flag AND scenarios_evaluated) is
-  /// bit-identical to the sequential sweep for any worker count or chunk
-  /// size; parallelism only costs up to one round of wasted evaluations past
-  /// an abort point. `chunk_size` trades round fan-out against that waste
-  /// (default 1 = the historical one-scenario-per-worker rounds).
+  /// Sums weighted Lambda/Phi/violations over `scenarios` under the options'
+  /// early-abort / weighting / parallelism knobs (see SweepOptions). The
+  /// workhorse behind every catalog-aggregation objective.
   SweepResult sweep(const WeightSetting& w, std::span<const FailureScenario> scenarios,
-                    const CostPair* abort_bound = nullptr,
+                    const SweepOptions& options = {}) const;
+
+  /// Deprecated positional-tail spelling; forwards to the SweepOptions
+  /// overload (kept for one release — migrate to SweepOptions).
+  [[deprecated("pass a SweepOptions struct instead of the positional tail")]]
+  SweepResult sweep(const WeightSetting& w, std::span<const FailureScenario> scenarios,
+                    const CostPair* abort_bound,
                     std::span<const double> scenario_weights = {},
                     ThreadPool* pool = nullptr, std::size_t chunk_size = 1) const;
 

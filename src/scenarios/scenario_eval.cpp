@@ -4,17 +4,23 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/metrics.h"
+#include "scenarios/hardening.h"
+
 namespace dtr {
 
 ScenarioSummary summarize_scenarios(const Evaluator& evaluator, const WeightSetting& w,
                                     const ScenarioSet& set, double percentile,
-                                    ThreadPool* pool) {
+                                    ThreadPool* pool, double period_minutes) {
   if (percentile < 0.0 || percentile > 1.0)
     throw std::invalid_argument("summarize_scenarios: percentile outside [0, 1]");
+  if (period_minutes <= 0.0)
+    throw std::invalid_argument("summarize_scenarios: period_minutes must be > 0");
 
   ScenarioSummary summary;
   summary.count = set.size();
   summary.percentile = percentile;
+  summary.period_minutes = period_minutes;
   if (set.empty()) return summary;
 
   const std::vector<EvalResult> results =
@@ -51,6 +57,10 @@ ScenarioSummary summarize_scenarios(const Evaluator& evaluator, const WeightSett
     summary.expected_phi = 0.0;
     summary.expected_violations = 0.0;
   }
+  const std::vector<double> unavoidable =
+      unavoidable_violation_profile(evaluator, set.scenarios(), pool);
+  summary.expected_downtime_min =
+      expected_downtime_minutes(violations, unavoidable, set.weights(), period_minutes);
   return summary;
 }
 

@@ -37,6 +37,15 @@ struct ScenarioSummary {
   double percentile_lambda = 0.0;
   double percentile_phi = 0.0;
   double percentile_violations = 0.0;
+
+  /// Expected avoidable SLA downtime in minutes per period (the
+  /// kExpectedDowntime objective, reported for ANY routing):
+  ///   Sum_s w_s * max(0, violations_s - unavoidable_s) * period_minutes
+  /// with unavoidable_s = metrics::unavoidable_violations. RAW-weight sum
+  /// (not normalized), matching what the optimizer minimizes.
+  double expected_downtime_min = 0.0;
+  /// The period the downtime was scaled by (echo of the argument).
+  double period_minutes = 0.0;
 };
 
 /// Evaluates `w` under every scenario of `set` (batched across `pool` when
@@ -46,6 +55,7 @@ struct ScenarioSummary {
 /// default summary.
 ScenarioSummary summarize_scenarios(const Evaluator& evaluator, const WeightSetting& w,
                                     const ScenarioSet& set, double percentile = 0.95,
-                                    ThreadPool* pool = nullptr);
+                                    ThreadPool* pool = nullptr,
+                                    double period_minutes = 43200.0);
 
 }  // namespace dtr

@@ -245,7 +245,7 @@ TEST(CampaignTest, SpecParserRejectsMalformedInput) {
   expect_error("[cell]\nnodes = twelve\n", "bad integer");
   expect_error("[cell]\nnodes = 12x7\n", "bad integer");  // no silent truncation
   expect_error("[cell]\ndegree = 0.1.5\n", "bad number");
-  expect_error("effort = warp\n", "unknown effort");
+  expect_error("effort = warp\n", "unknown value for key 'effort'");
   expect_error("no equals here\n", "expected key = value");
   expect_error("seed = -1\n", "bad seed");  // stoull would wrap mod 2^64
   expect_error("[cell]\nrepeats = 0\n", "repeats must be >= 1");

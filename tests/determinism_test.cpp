@@ -68,7 +68,7 @@ TEST(DeterminismTest, SweepBitIdenticalIncludingEarlyAbort) {
 
   ThreadPool eight(8);
   const SweepResult seq = ev.sweep(w, scenarios);
-  const SweepResult par = ev.sweep(w, scenarios, nullptr, {}, &eight);
+  const SweepResult par = ev.sweep(w, scenarios, {.pool = &eight});
   EXPECT_EQ(seq.lambda, par.lambda);
   EXPECT_EQ(seq.phi, par.phi);
   EXPECT_EQ(seq.aborted, par.aborted);
@@ -77,8 +77,9 @@ TEST(DeterminismTest, SweepBitIdenticalIncludingEarlyAbort) {
   // A bound between 0 and the full sum forces an early abort: the parallel
   // sweep must stop at the same scenario with the same partial sums.
   const CostPair bound{seq.lambda / 2.0, seq.phi / 2.0};
-  const SweepResult seq_aborted = ev.sweep(w, scenarios, &bound);
-  const SweepResult par_aborted = ev.sweep(w, scenarios, &bound, {}, &eight);
+  const SweepResult seq_aborted = ev.sweep(w, scenarios, {.abort_bound = &bound});
+  const SweepResult par_aborted =
+      ev.sweep(w, scenarios, {.abort_bound = &bound, .pool = &eight});
   EXPECT_EQ(seq_aborted.aborted, par_aborted.aborted);
   EXPECT_EQ(seq_aborted.lambda, par_aborted.lambda);
   EXPECT_EQ(seq_aborted.phi, par_aborted.phi);
@@ -87,12 +88,13 @@ TEST(DeterminismTest, SweepBitIdenticalIncludingEarlyAbort) {
   // The round-size knob only trades wasted-work for fan-out; sums, abort
   // flag and scenarios_evaluated stay bit-identical at every chunk size.
   for (const std::size_t chunk_size : {std::size_t{2}, std::size_t{5}, std::size_t{64}}) {
-    const SweepResult chunked = ev.sweep(w, scenarios, nullptr, {}, &eight, chunk_size);
+    const SweepResult chunked =
+        ev.sweep(w, scenarios, {.pool = &eight, .chunk_size = chunk_size});
     EXPECT_EQ(seq.lambda, chunked.lambda);
     EXPECT_EQ(seq.phi, chunked.phi);
     EXPECT_EQ(seq.scenarios_evaluated, chunked.scenarios_evaluated);
-    const SweepResult chunked_aborted =
-        ev.sweep(w, scenarios, &bound, {}, &eight, chunk_size);
+    const SweepResult chunked_aborted = ev.sweep(
+        w, scenarios, {.abort_bound = &bound, .pool = &eight, .chunk_size = chunk_size});
     EXPECT_EQ(seq_aborted.aborted, chunked_aborted.aborted);
     EXPECT_EQ(seq_aborted.lambda, chunked_aborted.lambda);
     EXPECT_EQ(seq_aborted.phi, chunked_aborted.phi);

@@ -170,12 +170,12 @@ TEST(EvaluatorTest, SweepEarlyAbortsAgainstBound) {
   const SweepResult full = ev.sweep(w, scenarios);
   // A bound well below the true sum must trigger an abort before the end.
   const CostPair tight{full.lambda / 2.0, full.phi / 2.0};
-  const SweepResult aborted = ev.sweep(w, scenarios, &tight);
+  const SweepResult aborted = ev.sweep(w, scenarios, {.abort_bound = &tight});
   EXPECT_TRUE(aborted.aborted);
   EXPECT_LE(aborted.scenarios_evaluated, scenarios.size());
   // A very loose bound must not abort.
   const CostPair loose{full.lambda * 2.0 + 1.0, full.phi * 2.0 + 1.0};
-  const SweepResult kept = ev.sweep(w, scenarios, &loose);
+  const SweepResult kept = ev.sweep(w, scenarios, {.abort_bound = &loose});
   EXPECT_FALSE(kept.aborted);
   EXPECT_NEAR(kept.lambda, full.lambda, 1e-9);
 }
@@ -188,7 +188,7 @@ TEST(EvaluatorTest, WeightedSweepComputesExpectation) {
   std::vector<double> weights(scenarios.size(), 0.0);
   weights[0] = 2.0;
   weights[1] = 0.5;
-  const SweepResult weighted = ev.sweep(w, scenarios, nullptr, weights);
+  const SweepResult weighted = ev.sweep(w, scenarios, {.scenario_weights = weights});
   const EvalResult r0 = ev.evaluate(w, scenarios[0]);
   const EvalResult r1 = ev.evaluate(w, scenarios[1]);
   EXPECT_NEAR(weighted.lambda, 2.0 * r0.lambda + 0.5 * r1.lambda, 1e-9);
@@ -201,9 +201,11 @@ TEST(EvaluatorTest, WeightedSweepValidation) {
   WeightSetting w(inst.graph.num_links());
   const auto scenarios = all_link_failures(inst.graph);
   const std::vector<double> short_weights(2, 1.0);
-  EXPECT_THROW(ev.sweep(w, scenarios, nullptr, short_weights), std::invalid_argument);
+  EXPECT_THROW(ev.sweep(w, scenarios, {.scenario_weights = short_weights}),
+               std::invalid_argument);
   std::vector<double> negative(scenarios.size(), -1.0);
-  EXPECT_THROW(ev.sweep(w, scenarios, nullptr, negative), std::invalid_argument);
+  EXPECT_THROW(ev.sweep(w, scenarios, {.scenario_weights = negative}),
+               std::invalid_argument);
 }
 
 TEST(EvaluatorTest, PhiUncapPositiveAndStable) {

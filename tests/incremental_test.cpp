@@ -124,15 +124,16 @@ TEST(IncrementalTest, SweepMatchesFullPathIncludingEarlyAbort) {
   ThreadPool eight(8);
   const SweepResult ref = full.sweep(w, scenarios);
   for (ThreadPool* pool : {static_cast<ThreadPool*>(nullptr), &eight}) {
-    const SweepResult inc = incremental.sweep(w, scenarios, nullptr, {}, pool);
+    const SweepResult inc = incremental.sweep(w, scenarios, {.pool = pool});
     EXPECT_EQ(ref.lambda, inc.lambda);
     EXPECT_EQ(ref.phi, inc.phi);
     EXPECT_EQ(ref.scenarios_evaluated, inc.scenarios_evaluated);
   }
 
   const CostPair bound{ref.lambda / 2.0, ref.phi / 2.0};
-  const SweepResult ref_aborted = full.sweep(w, scenarios, &bound);
-  const SweepResult inc_aborted = incremental.sweep(w, scenarios, &bound, {}, &eight);
+  const SweepResult ref_aborted = full.sweep(w, scenarios, {.abort_bound = &bound});
+  const SweepResult inc_aborted =
+      incremental.sweep(w, scenarios, {.abort_bound = &bound, .pool = &eight});
   EXPECT_EQ(ref_aborted.aborted, inc_aborted.aborted);
   EXPECT_EQ(ref_aborted.lambda, inc_aborted.lambda);
   EXPECT_EQ(ref_aborted.phi, inc_aborted.phi);

@@ -143,7 +143,8 @@ TEST_P(PipelineProperty, SweepNeverExceedsScenarioCount) {
   const SweepResult sum = evaluator_->sweep(weights_, scenarios);
   EXPECT_EQ(sum.scenarios_evaluated, scenarios.size());
   const CostPair zero{0.0, 0.0};
-  const SweepResult bounded = evaluator_->sweep(weights_, scenarios, &zero);
+  const SweepResult bounded =
+      evaluator_->sweep(weights_, scenarios, {.abort_bound = &zero});
   EXPECT_LE(bounded.scenarios_evaluated, scenarios.size());
 }
 

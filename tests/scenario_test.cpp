@@ -318,7 +318,8 @@ TEST(ScenarioTest, SummarizeScenariosMatchesManualReduction) {
   // The weighted Evaluator::sweep accumulates the same weight * cost terms
   // in the same scenario order, so its sum matches the manual reduction
   // bitwise.
-  const SweepResult sweep = ev.sweep(w, set.scenarios(), nullptr, set.weights());
+  const SweepResult sweep =
+      ev.sweep(w, set.scenarios(), {.scenario_weights = set.weights()});
   EXPECT_EQ(sweep.lambda, exp_lambda);
 }
 
