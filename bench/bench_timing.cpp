@@ -21,6 +21,7 @@
 #include "experiments/bench_report.h"
 #include "routing/failures.h"
 #include "scenarios/scenario_set.h"
+#include "telemetry/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -145,6 +146,48 @@ BENCHMARK(BM_FailureSweepIncremental)
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
+// Telemetry overhead guard: the SAME all-link-failures sweep as
+// BM_FailureSweepIncremental's fastest shape, once with a live counter
+// registry attached (telemetry:1) and once with collection globally disabled
+// (telemetry:0, what DTR_TELEMETRY_OFF gives). The acceptance target is
+// <2% overhead on the instrumented run — counters are per-worker slab
+// accumulation plus one relaxed-atomic publish per batch, so the two rows
+// should be indistinguishable beyond noise.
+// ---------------------------------------------------------------------------
+
+void BM_FailureSweepTelemetry(benchmark::State& state) {
+  const bool instrumented = state.range(0) != 0;
+  const bool was_enabled = telemetry::enabled();
+  telemetry::set_enabled(instrumented);
+  const Workload& workload = fixture().workload;
+  telemetry::Registry registry;
+  EvaluatorConfig config;
+  config.base_routing_cache = false;  // isolate the per-call cost
+  config.telemetry = &registry;
+  const Evaluator ev(workload.graph, workload.traffic, workload.params, config);
+  WeightSetting w(ev.graph().num_links());
+  Rng rng(seed_from_env(1));
+  randomize_weights(w, 30, rng);
+  const std::vector<FailureScenario> scenarios = all_link_failures(ev.graph());
+
+  double checksum = 0.0;
+  for (auto _ : state) {
+    const auto results = ev.evaluate_failures(w, scenarios);
+    checksum += results.front().phi;
+  }
+  benchmark::DoNotOptimize(checksum);
+  telemetry::set_enabled(was_enabled);
+  state.SetLabel(instrumented ? "instrumented" : "telemetry-off");
+  state.counters["links"] = static_cast<double>(ev.graph().num_links());
+  state.counters["dests_delta"] = static_cast<double>(
+      registry.snapshot(telemetry::Plane::kDeterministic).counter("spf.dests_delta"));
+}
+BENCHMARK(BM_FailureSweepTelemetry)
+    ->ArgNames({"telemetry"})
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
 // Compound-failure (scenario-catalog) sweep: a budget-capped 2-link catalog
 // with rate-derived weights, aggregated through the weighted Evaluator::sweep.
 // Compound scenarios remove 4 arcs each, so this measures the multi-arc
@@ -202,8 +245,8 @@ void BM_Phase2BaseCache(benchmark::State& state) {
   }
   report_phases(state, last);
   state.SetLabel(cached ? "base-cache" : "no-cache");
-  state.counters["cache_hits"] = static_cast<double>(last.base_cache_hits);
-  state.counters["cache_misses"] = static_cast<double>(last.base_cache_misses);
+  state.counters["cache_hits"] = static_cast<double>(last.base_cache_hits());
+  state.counters["cache_misses"] = static_cast<double>(last.base_cache_misses());
 }
 BENCHMARK(BM_Phase2BaseCache)->Arg(0)->Arg(1)->Unit(benchmark::kSecond)->Iterations(1);
 

@@ -18,9 +18,11 @@
 ///            [--harden-period MIN]
 ///            [--in-graph FILE] [--out-graph FILE] [--out-weights FILE]
 ///            [--out-dot FILE] [--report]
+///            [--telemetry-json FILE] [--trace-out FILE]
 ///   dtr_tool campaign --spec FILE [--json FILE] [--workers N]
 ///            [--inner-threads N] [--filter SUBSTR] [--list] [--timings]
 ///            [--no-incremental] [--no-base-cache] [--no-delay-dp]
+///            [--telemetry-json FILE] [--trace-out FILE]
 ///   dtr_tool scenarios --set all_links|all_nodes|k_link|srlg_file|geo_srlg
 ///            [--k N] [--budget N] [--srlg-file FILE] [--geo-grid N]
 ///            [--rates] [--topology rand|near|pl|isp] [--nodes N]
@@ -42,6 +44,14 @@
 /// percentile, or expected downtime minutes. --harden-rates weights the
 /// catalog by per-element failure probabilities; --harden-period sets the
 /// downtime period (minutes, default 43200 = one month).
+///
+/// Observability: --telemetry-json exports the run's counter registry as a
+/// dtr.telemetry.v1 artifact (deterministic counters byte-identical for any
+/// --workers / --inner-threads shape, wall-time data in a separate process
+/// section); --trace-out exports the recorded phase/cell spans in Chrome
+/// trace-event format (open in chrome://tracing or Perfetto). The campaign
+/// JSON artifact itself is byte-identical with or without these flags.
+/// DTR_TELEMETRY_OFF=1 disables all collection.
 ///
 /// Campaign spec format (line-based; '#' starts a comment):
 ///   name = demo            # top-level keys: name, effort, seed
@@ -65,6 +75,8 @@
 ///                          #   harden_k, harden_budget, harden_srlg_file,
 ///                          #   harden_geo_grid, harden_rate_weights,
 ///                          #   harden_percentile, harden_period_min
+///                          # telemetry = 1 embeds the cell's deterministic
+///                          #   counter block in the artifact
 
 #include <cmath>
 #include <cstdlib>
@@ -83,6 +95,7 @@
 #include "graph/topology.h"
 #include "routing/weights_io.h"
 #include "scenarios/scenario_set.h"
+#include "telemetry/telemetry.h"
 #include "traffic/gravity.h"
 #include "traffic/scaling.h"
 #include "util/table.h"
@@ -101,6 +114,7 @@ struct Options {
   Effort effort = Effort::kQuick;
   double fraction = 0.15;
   std::string in_graph, out_graph, out_weights, out_dot;
+  std::string telemetry_json, trace_out;
   bool report = false;
   /// Availability-aware hardening (the --objective / --harden-* flags);
   /// harden.enabled is set by --objective, mirroring the campaign spec's
@@ -117,6 +131,27 @@ struct BuiltTopology {
   Graph graph;
   std::vector<std::string> names;  ///< city names (ISP topology only)
 };
+
+/// Writes the telemetry artifacts a run collected; empty paths skip that
+/// export. Valid (possibly empty-countered) files are still produced when
+/// DTR_TELEMETRY_OFF suppressed collection.
+void export_telemetry(const telemetry::Registry& registry, const std::string& name,
+                      const std::string& telemetry_json, const std::string& trace_out) {
+  if (!telemetry_json.empty()) {
+    std::ofstream out(telemetry_json);
+    if (!out) usage_error("cannot write " + telemetry_json);
+    telemetry::TelemetryJsonOptions options;
+    options.include_spans = true;
+    write_telemetry_json(out, registry, name, options);
+    std::cout << "wrote telemetry JSON to " << telemetry_json << "\n";
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) usage_error("cannot write " + trace_out);
+    write_chrome_trace(out, registry);
+    std::cout << "wrote Chrome trace to " << trace_out << "\n";
+  }
+}
 
 /// The one topology-construction path for every subcommand, so scenario
 /// catalogs, campaigns, and the optimizer front end all agree on element
@@ -231,6 +266,8 @@ Options parse_args(int argc, char** argv) {
     else if (flag == "--out-graph") opt.out_graph = value;
     else if (flag == "--out-weights") opt.out_weights = value;
     else if (flag == "--out-dot") opt.out_dot = value;
+    else if (flag == "--telemetry-json") opt.telemetry_json = value;
+    else if (flag == "--trace-out") opt.trace_out = value;
     else usage_error("unknown flag: " + flag);
   }
   if (harden_flag_seen && !opt.harden.enabled)
@@ -244,7 +281,7 @@ Options parse_args(int argc, char** argv) {
 
 int run_campaign_command(int argc, char** argv) {
   namespace exp = dtr::experiments;
-  std::string spec_path, json_path, filter;
+  std::string spec_path, json_path, filter, telemetry_json, trace_out;
   int workers = 0, inner_threads = 1;
   bool list = false, timings = false;
   // Evaluator execution knobs: results are bit-identical for every setting
@@ -274,6 +311,8 @@ int run_campaign_command(int argc, char** argv) {
     else if (arg == "--no-incremental") eval_config.incremental = false;
     else if (arg == "--no-base-cache") eval_config.base_routing_cache = false;
     else if (arg == "--no-delay-dp") eval_config.incremental_delay = false;
+    else if (arg == "--telemetry-json") telemetry_json = next();
+    else if (arg == "--trace-out") trace_out = next();
     else usage_error("unknown campaign flag: " + arg);
   }
   if (spec_path.empty()) usage_error("campaign needs --spec FILE");
@@ -292,8 +331,12 @@ int run_campaign_command(int argc, char** argv) {
     return 0;
   }
 
-  const exp::CampaignResult result =
-      exp::run_campaign(campaign, {workers, inner_threads, eval_config});
+  // The registry only becomes a sink when an export was requested; the
+  // campaign artifact's bytes are identical either way (test-enforced).
+  telemetry::Registry registry;
+  exp::CampaignOptions options{workers, inner_threads, eval_config};
+  if (!telemetry_json.empty() || !trace_out.empty()) options.telemetry = &registry;
+  const exp::CampaignResult result = exp::run_campaign(campaign, options);
 
   exp::CampaignJsonOptions json_options;
   json_options.include_timings = timings;
@@ -316,6 +359,7 @@ int run_campaign_command(int argc, char** argv) {
     }
     table.print(std::cout);
   }
+  export_telemetry(registry, campaign.name, telemetry_json, trace_out);
   int failures = 0;
   for (const exp::CellResult& cell : result.cells)
     if (!cell.error.empty()) ++failures;
@@ -436,9 +480,15 @@ int main(int argc, char** argv) {
   scale_to_utilization(graph, traffic, opt.util);
 
   // ---- optimize
-  const Evaluator evaluator(graph, traffic, params);
+  telemetry::Registry registry;
+  telemetry::Registry* telemetry_sink =
+      (opt.telemetry_json.empty() && opt.trace_out.empty()) ? nullptr : &registry;
+  EvaluatorConfig eval_config;
+  eval_config.telemetry = telemetry_sink;
+  const Evaluator evaluator(graph, traffic, params, eval_config);
   OptimizerConfig config = default_optimizer_config(opt.effort, opt.seed);
   config.critical_fraction = opt.fraction;
+  config.telemetry = telemetry_sink;
   if (opt.harden.enabled) {
     try {
       config.objective = dtr::experiments::build_hardening_objective(
@@ -495,6 +545,13 @@ int main(int argc, char** argv) {
         robust.phi_sum(), 0);
     std::cout << "\nAll single-link failures:\n";
     table.print(std::cout);
+  }
+
+  // ---- telemetry export (main owns the evaluator, so it flushes the cache
+  // totals — exactly once, after every consumer above is done with it)
+  if (telemetry_sink != nullptr) {
+    evaluator.flush_cache_stats_to_telemetry();
+    export_telemetry(registry, "dtr_tool", opt.telemetry_json, opt.trace_out);
   }
   return 0;
 }

@@ -11,6 +11,11 @@ compares it against the checked-in bench/baseline.json:
 - SLOWDOWNS are ADVISORY by default: entries slower than --threshold (x)
   times their baseline emit ::warning annotations but exit 0 — CI-runner
   timing noise must not block merges. Pass --strict to make them fail.
+- TELEMETRY (--telemetry, a dtr.telemetry.v1 artifact) is merged under the
+  output's "telemetry" key so counter trajectories (cache hit rates,
+  delta-vs-full takes) ride the same BENCH_<sha>.json series. A base-cache
+  hit-rate drop beyond --hit-rate-drop vs the baseline's telemetry section
+  is always ADVISORY (::warning, never blocking).
 
 Regenerate the baseline after an intentional perf change by copying the
 merged artifact over it:  cp BENCH_<sha>.json bench/baseline.json
@@ -22,6 +27,17 @@ import sys
 
 SCHEMA_BENCH = "dtr.bench.v1"
 SCHEMA_CAMPAIGN = "dtr.campaign.v1"
+SCHEMA_TELEMETRY = "dtr.telemetry.v1"
+
+
+def base_cache_hit_rate(telemetry: dict) -> float | None:
+    """Hit rate of the evaluator base-routing cache, None when unmeasured."""
+    counters = telemetry.get("process", {}).get("counters", {})
+    hits = counters.get("evaluator.base_cache.hits", 0)
+    misses = counters.get("evaluator.base_cache.misses", 0)
+    if hits + misses == 0:
+        return None
+    return hits / (hits + misses)
 
 
 def fail(message: str) -> None:
@@ -47,8 +63,11 @@ def main() -> int:
     parser.add_argument("--baseline", help="checked-in baseline (dtr.bench.v1)")
     parser.add_argument("--out", help="write the merged dtr.bench.v1 artifact here")
     parser.add_argument("--sha", default="", help="override the artifact's sha field")
+    parser.add_argument("--telemetry", help="dtr.telemetry.v1 counter snapshot to merge")
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="advisory slowdown ratio (default 2.0)")
+    parser.add_argument("--hit-rate-drop", type=float, default=0.10,
+                        help="advisory absolute base-cache hit-rate drop (default 0.10)")
     parser.add_argument("--strict", action="store_true",
                         help="treat slowdowns beyond the threshold as failures")
     args = parser.parse_args()
@@ -77,6 +96,13 @@ def main() -> int:
         if "seconds" in campaign:
             entries.append({"name": "campaign/total",
                             "real_ms": campaign["seconds"] * 1e3})
+
+    telemetry = None
+    if args.telemetry:
+        telemetry = load_json(args.telemetry, SCHEMA_TELEMETRY)
+        if not isinstance(telemetry.get("counters"), dict):
+            fail(f"{args.telemetry}: no counters section")
+        report["telemetry"] = telemetry
 
     if args.sha:
         report["sha"] = args.sha
@@ -109,6 +135,22 @@ def main() -> int:
     for name in sorted(set(current) - {e["name"] for e in baseline.get("benchmarks", [])}):
         print(f"  {name}: {current[name]:.3f} ms (new — not in baseline; "
               "refresh bench/baseline.json to start tracking it)")
+
+    if telemetry is not None:
+        # Cache-effectiveness trajectory: a hit-rate drop means the optimizer
+        # started rebuilding bases it used to reuse — worth a look, but runner
+        # variance keeps this advisory regardless of --strict.
+        cur_rate = base_cache_hit_rate(telemetry)
+        base_rate = base_cache_hit_rate(baseline.get("telemetry", {}))
+        if cur_rate is not None and base_rate is not None:
+            print(f"  base-cache hit rate: {cur_rate:.3f} vs baseline {base_rate:.3f}")
+            if base_rate - cur_rate > args.hit_rate_drop:
+                print(f"::warning::check-bench: base-cache hit rate dropped "
+                      f"{base_rate - cur_rate:.3f} vs baseline "
+                      f"({cur_rate:.3f} < {base_rate:.3f}; advisory)")
+        elif cur_rate is not None:
+            print(f"  base-cache hit rate: {cur_rate:.3f} (no baseline telemetry; "
+                  "refresh bench/baseline.json to start tracking it)")
 
     if missing:
         fail("benchmarks present in the baseline but missing from this run: "

@@ -383,6 +383,7 @@ OptimizeResult RobustOptimizer::optimize() {
   result.phase1b_seconds = seconds_since(phase1b_start);
 
   // ---------------- Phase 1c: critical set selection ----------------------
+  const auto phase1c_start = Clock::now();
   const std::size_t target = critical_target_size();
   if (catalog_mode) {
     result.catalog_size = objective->set.size();
@@ -537,9 +538,59 @@ OptimizeResult RobustOptimizer::optimize() {
   result.phase2_seconds = seconds_since(phase2_start);
   if (catalog_mode) result.robust_objective_value = phase2.best_cost.lambda;
 
+  // ---------------- Telemetry: run-local collection -----------------------
+  // A run-local registry always collects (the snapshots back the
+  // OptimizeResult accessors, enable switch or not); the config's sink gets
+  // the deterministic plane + phase spans merged in at the end. The cache
+  // diff stays process-plane-local: publishing evaluator cache numbers is
+  // the evaluator OWNER's job (flush_cache_stats_to_telemetry), once.
+  const auto phase2_end = Clock::now();
+  telemetry::Registry run_reg;
+  run_reg.counter("optimizer.runs").add(1);
+  run_reg.counter("optimizer.phase1_evaluations")
+      .add(static_cast<std::uint64_t>(result.phase1_evaluations));
+  run_reg.counter("optimizer.phase1_diversifications")
+      .add(static_cast<std::uint64_t>(result.phase1_diversifications));
+  run_reg.counter("optimizer.phase1a_samples").add(result.phase1a_samples);
+  run_reg.counter("optimizer.phase1b_samples").add(result.phase1b_samples);
+  run_reg.counter("optimizer.scenario_samples").add(result.scenario_samples);
+  run_reg.counter("optimizer.phase2_evaluations")
+      .add(static_cast<std::uint64_t>(result.phase2_evaluations));
+  run_reg.counter("optimizer.phase2_scenario_evaluations")
+      .add(static_cast<std::uint64_t>(result.phase2_scenario_evaluations));
+  run_reg.counter("optimizer.phase2_diversifications")
+      .add(static_cast<std::uint64_t>(result.phase2_diversifications));
+  run_reg.counter("optimizer.critical_links").add(result.critical.size());
+  run_reg.counter("optimizer.critical_scenarios").add(result.critical_scenarios.size());
+
   const EvaluatorCacheStats cache_after = evaluator_.base_cache_stats();
-  result.base_cache_hits = cache_after.hits - cache_before.hits;
-  result.base_cache_misses = cache_after.misses - cache_before.misses;
+  run_reg.counter("evaluator.base_cache.hits", telemetry::Plane::kProcess)
+      .add(cache_after.hits - cache_before.hits);
+  run_reg.counter("evaluator.base_cache.misses", telemetry::Plane::kProcess)
+      .add(cache_after.misses - cache_before.misses);
+  run_reg.counter("evaluator.base_cache.insertions", telemetry::Plane::kProcess)
+      .add(cache_after.insertions - cache_before.insertions);
+  run_reg.counter("evaluator.base_cache.evictions", telemetry::Plane::kProcess)
+      .add(cache_after.evictions - cache_before.evictions);
+
+  result.counters = run_reg.snapshot(telemetry::Plane::kDeterministic);
+  result.process_counters = run_reg.snapshot(telemetry::Plane::kProcess);
+
+  if (telemetry::Registry* sink = telemetry::effective(config_.telemetry)) {
+    const auto ns = [](Clock::time_point tp) {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(tp.time_since_epoch())
+              .count());
+    };
+    sink->merge_counters(result.counters);
+    sink->merge_spans(
+        {{"optimizer.phase1a", ns(phase1_start), ns(phase1b_start) - ns(phase1_start), 0, 0},
+         {"optimizer.phase1b", ns(phase1b_start), ns(phase1c_start) - ns(phase1b_start), 0,
+          0},
+         {"optimizer.phase1c", ns(phase1c_start), ns(phase2_start) - ns(phase1c_start), 0,
+          0},
+         {"optimizer.phase2", ns(phase2_start), ns(phase2_end) - ns(phase2_start), 0, 0}});
+  }
   return result;
 }
 

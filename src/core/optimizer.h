@@ -11,6 +11,7 @@
 #include "core/local_search.h"
 #include "routing/evaluator.h"
 #include "scenarios/hardening.h"
+#include "telemetry/telemetry.h"
 #include "util/presets.h"
 
 namespace dtr {
@@ -71,6 +72,15 @@ struct OptimizerConfig {
   /// (test-enforced bit-identical). Setting BOTH fields throws. Migrate to
   /// the objective API; this field is kept for one release.
   std::vector<double> link_failure_probabilities;
+  /// Optional telemetry sink (borrowed; may be null). The run's deterministic
+  /// optimizer.* counters and its phase spans are merged into it at the end
+  /// of optimize(); the shape-dependent base-cache diff stays in
+  /// OptimizeResult::process_counters only (the evaluator's OWNER publishes
+  /// cache totals once, via Evaluator::flush_cache_stats_to_telemetry — a
+  /// second publication here would double-count). Note the evaluator's own
+  /// eval.*/spf.* counters flow through EvaluatorConfig::telemetry, fixed
+  /// when the evaluator was constructed, not through this field.
+  telemetry::Registry* telemetry = nullptr;
 };
 
 /// Paper-ratio configs at the given effort level (see DESIGN.md §7).
@@ -113,11 +123,23 @@ struct OptimizeResult {
   int phase1_diversifications = 0;
   int phase2_diversifications = 0;
 
-  /// Evaluator base-routing-cache activity during this run (all zero when
-  /// the cache is disabled) — the observability hook behind the perf CI's
-  /// cache on/off benchmarks.
-  std::uint64_t base_cache_hits = 0;
-  std::uint64_t base_cache_misses = 0;
+  /// Telemetry snapshots of this run, collected into a run-local registry
+  /// regardless of OptimizerConfig::telemetry or the global enable switch:
+  /// `counters` holds the deterministic optimizer.* counters (byte-identical
+  /// across thread shapes), `process_counters` the shape-dependent
+  /// base-routing-cache activity DIFF over the run (all zero when the cache
+  /// is disabled).
+  telemetry::Snapshot counters;
+  telemetry::Snapshot process_counters;
+
+  /// Base-cache activity during this run — compatibility accessors over
+  /// `process_counters` (the former manually-maintained fields).
+  std::uint64_t base_cache_hits() const {
+    return process_counters.counter("evaluator.base_cache.hits");
+  }
+  std::uint64_t base_cache_misses() const {
+    return process_counters.counter("evaluator.base_cache.misses");
+  }
 };
 
 /// The paper's two-phase heuristic (Fig. 1): Phase 1 optimizes K_normal and

@@ -16,6 +16,7 @@
 #include "routing/failures.h"
 #include "scenarios/scenario_eval.h"
 #include "scenarios/srlg.h"
+#include "telemetry/telemetry.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -27,12 +28,21 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
-CellResult run_cell(const CampaignCell& cell, Effort effort, const CellContext& ctx) {
+CellResult run_cell(const CampaignCell& cell, Effort effort, CellContext ctx,
+                    telemetry::Registry* reg) {
   const auto start = std::chrono::steady_clock::now();
+  ctx.telemetry = reg;
   CellResult result;
   result.id = cell.id;
   result.label = cell.spec.label();
   try {
+    // The span covers every rep; campaign.* counters count the WORK the
+    // schedule was given, so they merge to the same totals for any shape.
+    telemetry::ScopedSpan cell_span(reg, "cell:" + cell.id);
+    if (reg != nullptr) {
+      reg->counter("campaign.cells").add(1);
+      reg->counter("campaign.reps").add(static_cast<std::uint64_t>(cell.repeats));
+    }
     for (int rep = 0; rep < cell.repeats; ++rep) {
       const std::uint64_t rep_seed =
           cell.spec.seed + static_cast<std::uint64_t>(rep) * cell.seed_stride;
@@ -43,6 +53,12 @@ CellResult run_cell(const CampaignCell& cell, Effort effort, const CellContext& 
     result.error = e.what();
   } catch (...) {
     result.error = "unknown error";
+  }
+  if (cell.telemetry && reg != nullptr) {
+    // Deterministic counters only: the embedded block must keep the artifact
+    // byte-identical across execution shapes.
+    const telemetry::Snapshot snap = reg->snapshot(telemetry::Plane::kDeterministic);
+    for (const auto& c : snap.counters) result.telemetry.emplace_back(c.name, c.value);
   }
   result.seconds = seconds_since(start);
   return result;
@@ -161,12 +177,35 @@ CampaignResult run_campaign(const Campaign& campaign, const CampaignOptions& opt
   out.inner_threads = ctx.inner_threads;
   out.cells.resize(campaign.cells.size());
 
+  // One registry PER CELL, merged in campaign order after the barrier: the
+  // sink's counter totals are then independent of which shard ran which cell
+  // and of cell-parallel vs inner-parallel execution. Allocated only for the
+  // cells that need one (a sink is set, or the cell embeds its block).
+  telemetry::Registry* sink = telemetry::effective(options.telemetry);
+  std::vector<std::unique_ptr<telemetry::Registry>> cell_regs(campaign.cells.size());
+  if (telemetry::enabled()) {
+    for (std::size_t i = 0; i < campaign.cells.size(); ++i) {
+      if (sink != nullptr || campaign.cells[i].telemetry)
+        cell_regs[i] = std::make_unique<telemetry::Registry>();
+    }
+  }
+
   ThreadPool cell_pool(static_cast<int>(workers));
   // Cells land in slot i regardless of which shard ran them, so the result
   // (and its JSON bytes) is independent of the execution schedule.
   parallel_for(&cell_pool, campaign.cells.size(), [&](std::size_t, std::size_t i) {
-    out.cells[i] = run_cell(campaign.cells[i], campaign.effort, ctx);
+    out.cells[i] = run_cell(campaign.cells[i], campaign.effort, ctx, cell_regs[i].get());
   });
+
+  if (sink != nullptr) {
+    for (const auto& reg : cell_regs) {
+      if (!reg) continue;
+      sink->merge_counters(reg->snapshot(telemetry::Plane::kDeterministic));
+      sink->merge_counters(reg->snapshot(telemetry::Plane::kProcess),
+                           telemetry::Plane::kProcess);
+      sink->merge_spans(reg->spans());
+    }
+  }
 
   out.seconds = seconds_since(start);
   return out;
@@ -266,10 +305,13 @@ MetricRow standard_cell_rep(const CampaignCell& cell, Effort effort,
   spec.seed = rep_seed;
   Workload w = make_workload(spec);
   if (cell.graph_override != nullptr) w.graph = *cell.graph_override;
-  const Evaluator evaluator(w.graph, w.traffic, w.params, ctx.eval_config);
+  EvaluatorConfig eval_config = ctx.eval_config;
+  eval_config.telemetry = ctx.telemetry;
+  const Evaluator evaluator(w.graph, w.traffic, w.params, eval_config);
   const OptimizeResult opt =
       run_optimizer(evaluator, effort, rep_seed, [&](OptimizerConfig& config) {
         config.num_threads = ctx.inner_threads;
+        config.telemetry = ctx.telemetry;
         if (cell.critical_fraction > 0.0)
           config.critical_fraction = cell.critical_fraction;
         if (cell.harden.enabled)
@@ -388,6 +430,9 @@ MetricRow standard_cell_rep(const CampaignCell& cell, Effort effort,
       }
     }
   }
+  // This rep OWNS `evaluator`, so it publishes the cache totals — exactly
+  // once, here (process plane; no-op when telemetry is off for the cell).
+  evaluator.flush_cache_stats_to_telemetry();
   return row;
 }
 
@@ -612,7 +657,8 @@ Campaign parse_campaign_spec(std::istream& in) {
       cell->harden.period_minutes = parse_double(key, value);
       if (cell->harden.period_minutes <= 0.0)
         fail("harden_period_min must be > 0, got " + value);
-    } else fail("unknown cell key: " + key);
+    } else if (key == "telemetry") cell->telemetry = parse_int(key, value) != 0;
+    else fail("unknown cell key: " + key);
   }
 
   // Default ids so --filter / result lookup always has a handle. "/" (not

@@ -30,6 +30,10 @@ namespace dtr {
 class ThreadPool;
 }  // namespace dtr
 
+namespace dtr::telemetry {
+class Registry;
+}  // namespace dtr::telemetry
+
 namespace dtr::experiments {
 
 /// Traffic-uncertainty stress attached to a cell (the Sec. V-F models).
@@ -118,6 +122,11 @@ struct CellContext {
   ThreadPool* inner_pool = nullptr;
   int inner_threads = 1;
   EvaluatorConfig eval_config{};
+  /// Per-cell telemetry registry (borrowed; null = telemetry off for the
+  /// cell). run_campaign hands every cell its OWN registry and merges them
+  /// in campaign order afterwards, so the merged counters are byte-identical
+  /// for any execution shape.
+  telemetry::Registry* telemetry = nullptr;
 };
 
 struct CampaignCell {
@@ -133,6 +142,10 @@ struct CampaignCell {
   /// Evaluate against this graph instead of the spec-built one (the NearTopo
   /// resize experiment); traffic/params still come from the spec workload.
   std::shared_ptr<const Graph> graph_override;
+  /// Spec key `telemetry=1`: embed this cell's deterministic counter block
+  /// in the artifact (CellResult::telemetry). Opt-in so existing artifacts
+  /// keep their bytes.
+  bool telemetry = false;
   /// Custom per-rep body (tests/extensions); empty = standard_cell_rep.
   std::function<MetricRow(const CampaignCell&, Effort, std::uint64_t,
                           const CellContext&)>
@@ -157,6 +170,12 @@ struct CampaignOptions {
   /// Evaluator execution knobs applied to every cell (results are
   /// bit-identical for any setting; only wall-clock changes).
   EvaluatorConfig eval_config{};
+  /// Optional campaign-wide telemetry sink (borrowed; may be null). Each
+  /// cell collects into its own registry; run_campaign merges them into the
+  /// sink in campaign order after the last cell finishes, so the sink's
+  /// deterministic counters are byte-identical for any workers /
+  /// inner_threads shape. Cell spans land here too (process plane).
+  telemetry::Registry* telemetry = nullptr;
 };
 
 /// Runs every cell: sharded across the pool, deterministic result order,

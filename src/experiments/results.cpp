@@ -106,6 +106,14 @@ void write_campaign_json(std::ostream& os, const CampaignResult& result,
       w.end_object();
     }
     w.end_object();
+    if (!cell.telemetry.empty()) {
+      // Only cells with a `telemetry=1` directive carry the block, so every
+      // pre-existing artifact keeps its exact bytes.
+      w.key("telemetry").begin_object();
+      for (const auto& [name, value] : cell.telemetry)
+        w.key(name).value(static_cast<unsigned long long>(value));
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();

@@ -33,6 +33,10 @@ struct CellResult {
   std::string label;
   std::string error;
   std::vector<MetricRow> reps;
+  /// Deterministic telemetry counters of this cell (name-sorted), filled
+  /// only when the cell opted in via the `telemetry=1` spec key. Emitted as
+  /// the "telemetry" object — byte-identical across execution shapes.
+  std::vector<std::pair<std::string, std::uint64_t>> telemetry;
   double seconds = 0.0;  ///< wall clock; excluded from deterministic JSON
 };
 

@@ -86,6 +86,7 @@ std::ptrdiff_t delta_spf_remove_arcs(const Graph& g, std::span<const double> arc
   if (dist.size() != g.num_nodes())
     throw std::invalid_argument("delta_spf_remove_arcs: dist size mismatch");
   if (removed_arcs.empty()) return 0;
+  scratch.boundary_seeds_ = 0;
 
   // Node states this epoch. Undecided nodes (stale stamp) are, for the
   // support checks below, indistinguishable from unaffected ones — which is
@@ -173,7 +174,10 @@ std::ptrdiff_t delta_spf_remove_arcs(const Graph& g, std::span<const double> arc
       if (cand < best) best = cand;
     }
     scratch.label_[u] = best;
-    if (best != kInfDist) push(best, u);
+    if (best != kInfDist) {
+      push(best, u);
+      ++scratch.boundary_seeds_;
+    }
   }
   while (!heap.empty()) {
     const auto [d, u] = pop();

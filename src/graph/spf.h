@@ -44,6 +44,13 @@ class DeltaSpfScratch {
  public:
   DeltaSpfScratch() = default;
 
+  /// Boundary-seed count of the most recent delta_spf_remove_arcs call: the
+  /// number of affected nodes with at least one alive arc into the unaffected
+  /// region (the phase-2 Dijkstra's starting frontier). Deterministic — a
+  /// pure function of graph + costs + removed arcs, so it feeds the
+  /// deterministic telemetry plane.
+  std::uint64_t last_boundary_seeds() const { return boundary_seeds_; }
+
  private:
   friend std::ptrdiff_t delta_spf_remove_arcs(const Graph& g,
                                               std::span<const double> arc_cost,
@@ -59,6 +66,7 @@ class DeltaSpfScratch {
   std::vector<std::pair<double, NodeId>> heap_;
   std::vector<NodeId> affected_;
   std::uint64_t epoch_ = 0;
+  std::uint64_t boundary_seeds_ = 0;
 };
 
 /// Incremental (Ramalingam–Reps-style) update of destination distance labels

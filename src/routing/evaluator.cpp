@@ -7,9 +7,17 @@
 
 #include "cost/fortz.h"
 #include "graph/spf.h"
+#include "telemetry/telemetry.h"
 #include "util/thread_pool.h"
 
 namespace dtr {
+
+void EvalStats::merge(const EvalStats& o) {
+  scenarios_patched += o.scenarios_patched;
+  scenarios_full += o.scenarios_full;
+  scenarios_served_none += o.scenarios_served_none;
+  patch.merge(o.patch);
+}
 
 struct Evaluator::IncrementalBase {
   ClassRouting delay;
@@ -139,6 +147,26 @@ bool incremental_patchable(const FailureScenario& s) {
   }
 }
 
+/// Folds one batch call's merged deterministic stats into the registry. The
+/// caller merged per-slot stats in index order on its own thread, so the
+/// values (and therefore the registered names) are shape-independent.
+void publish_eval_stats(telemetry::Registry& reg, const EvalStats& agg) {
+  reg.counter("eval.patched").add(agg.scenarios_patched);
+  reg.counter("eval.full").add(agg.scenarios_full);
+  reg.counter("eval.served_none").add(agg.scenarios_served_none);
+  const PatchStats& p = agg.patch;
+  reg.counter("spf.dests_delta").add(p.dests_delta);
+  reg.counter("spf.dests_full_fallback").add(p.dests_full_fallback);
+  reg.counter("spf.affected_nodes").add(p.affected_nodes);
+  reg.counter("spf.boundary_seeds").add(p.boundary_seeds);
+  reg.counter("load.dests_replayed").add(p.dests_replayed);
+  reg.counter("load.dests_resweep").add(p.dests_resweep);
+  reg.counter("delay.cols_replayed").add(p.delay_cols_replayed);
+  reg.counter("delay.cols_recomputed").add(p.delay_cols_recomputed);
+  reg.histogram("spf.affected_region", kAffectedBucketBounds)
+      .merge_buckets(p.affected_buckets, p.dests_delta, p.affected_nodes);
+}
+
 }  // namespace
 
 Evaluator::Evaluator(const Graph& g, const ClassedTraffic& traffic, EvalParams params,
@@ -177,6 +205,18 @@ std::size_t Evaluator::base_cache_size() const {
 
 void Evaluator::invalidate_base_cache() const {
   if (cache_ != nullptr) cache_->clear();
+}
+
+void Evaluator::flush_cache_stats_to_telemetry() const {
+  telemetry::Registry* reg = telemetry::effective(config_.telemetry);
+  if (reg == nullptr || cache_ == nullptr) return;
+  const EvaluatorCacheStats s = cache_->stats();
+  reg->counter("evaluator.base_cache.hits", telemetry::Plane::kProcess).add(s.hits);
+  reg->counter("evaluator.base_cache.misses", telemetry::Plane::kProcess).add(s.misses);
+  reg->counter("evaluator.base_cache.insertions", telemetry::Plane::kProcess)
+      .add(s.insertions);
+  reg->counter("evaluator.base_cache.evictions", telemetry::Plane::kProcess)
+      .add(s.evictions);
 }
 
 Evaluator::Scratch& Evaluator::worker_scratch() {
@@ -339,14 +379,21 @@ EvalResult Evaluator::serve_none_from_base(const IncrementalBase& base,
 EvalResult Evaluator::evaluate_impl(std::span<const double> cost_delay,
                                     std::span<const double> cost_tput,
                                     const FailureScenario& scenario, EvalDetail detail,
-                                    Scratch& s, const IncrementalBase* base) const {
+                                    Scratch& s, const IncrementalBase* base,
+                                    EvalStats* stats) const {
   build_alive_mask(graph_, scenario, s.mask);
   const std::span<const NodeId> skip = skipped_nodes(scenario);
 
+  // The shared scratch accumulates patch stats across this scenario's load +
+  // delay passes; reset here so the harvest below sees this scenario only.
+  if (stats != nullptr) s.failure.reset_stats();
+
   bool patched = false;
   if (base != nullptr && incremental_eligible(scenario)) {
-    if (scenario.kind == FailureScenario::Kind::kNone && base->has_delay_base)
+    if (scenario.kind == FailureScenario::Kind::kNone && base->has_delay_base) {
+      if (stats != nullptr) ++stats->scenarios_served_none;
       return serve_none_from_base(*base, detail);
+    }
     if (incremental_patchable(scenario) && base->has_records) {
       // One compound representation internally: every patchable kind —
       // kLink, kLinkPair, kCompound — collects its dead arcs through the
@@ -425,6 +472,14 @@ EvalResult Evaluator::evaluate_impl(std::span<const double> cost_delay,
     }
     result.sd_delay_ms = sd_delay;
   }
+  if (stats != nullptr) {
+    if (patched) {
+      ++stats->scenarios_patched;
+      stats->patch.merge(s.failure.stats());
+    } else {
+      ++stats->scenarios_full;
+    }
+  }
   return result;
 }
 
@@ -448,11 +503,24 @@ std::vector<EvalResult> Evaluator::evaluate_failures(
                    static_cast<std::size_t>(patchable));
   const IncrementalBase* base_ptr = base.get();
 
+  // Per-index stats slabs mirror the per-index result slots: each scenario's
+  // deterministic counters land in their own slot and are merged on the
+  // calling thread, so the published totals are shape-independent.
+  telemetry::Registry* reg = telemetry::effective(config_.telemetry);
+  std::vector<EvalStats> slabs(reg != nullptr ? scenarios.size() : 0);
+
   std::vector<EvalResult> out(scenarios.size());
   parallel_for(pool, scenarios.size(), [&](std::size_t, std::size_t i) {
     out[i] = evaluate_impl(cost_delay, cost_tput, scenarios[i], detail, worker_scratch(),
-                           base_ptr);
+                           base_ptr, slabs.empty() ? nullptr : &slabs[i]);
   });
+  if (reg != nullptr) {
+    EvalStats agg;
+    for (const EvalStats& s : slabs) agg.merge(s);
+    reg->counter("eval.batch_calls").add(1);
+    reg->counter("eval.scenarios").add(scenarios.size());
+    publish_eval_stats(*reg, agg);
+  }
   return out;
 }
 
@@ -501,25 +569,27 @@ std::vector<CostPair> Evaluator::evaluate_costs(std::span<const EvalJob> jobs,
     for (std::size_t i = 0; i < jobs.size(); ++i) job_base[i] = group_base[group[i]];
   }
 
+  telemetry::Registry* reg = telemetry::effective(config_.telemetry);
+  std::vector<EvalStats> slabs(reg != nullptr ? jobs.size() : 0);
+
   std::vector<CostPair> out(jobs.size());
   parallel_for(pool, jobs.size(), [&](std::size_t, std::size_t i) {
     Scratch& s = worker_scratch();
     jobs[i].weights->arc_costs(graph_, TrafficClass::kDelay, s.cost_delay);
     jobs[i].weights->arc_costs(graph_, TrafficClass::kThroughput, s.cost_tput);
     out[i] = evaluate_impl(s.cost_delay, s.cost_tput, jobs[i].scenario,
-                           EvalDetail::kCostsOnly, s, job_base[i])
+                           EvalDetail::kCostsOnly, s, job_base[i],
+                           slabs.empty() ? nullptr : &slabs[i])
                  .cost();
   });
+  if (reg != nullptr) {
+    EvalStats agg;
+    for (const EvalStats& s : slabs) agg.merge(s);
+    reg->counter("eval.batch_calls").add(1);
+    reg->counter("eval.scenarios").add(jobs.size());
+    publish_eval_stats(*reg, agg);
+  }
   return out;
-}
-
-SweepResult Evaluator::sweep(const WeightSetting& w,
-                             std::span<const FailureScenario> scenarios,
-                             const CostPair* abort_bound,
-                             std::span<const double> scenario_weights,
-                             ThreadPool* pool, std::size_t chunk_size) const {
-  return sweep(w, scenarios,
-               SweepOptions{abort_bound, scenario_weights, pool, chunk_size});
 }
 
 SweepResult Evaluator::sweep(const WeightSetting& w,
@@ -579,27 +649,45 @@ SweepResult Evaluator::sweep(const WeightSetting& w,
   const IncrementalBase* base_ptr = base.get();
 
   // Per-scenario terms the ordered accumulation consumes: costs plus the SLA
-  // violation count (the downtime objective's raw material).
+  // violation count (the downtime objective's raw material) plus the
+  // evaluation's deterministic stats.
   struct Term {
     CostPair cost;
     double violations = 0.0;
+    EvalStats stats;
   };
-  const auto term_of = [](const EvalResult& r) -> Term {
-    return {r.cost(), static_cast<double>(r.sla_violations)};
+
+  // Stats are merged ONLY for terms the ordered loop consumes — including
+  // the aborting term (accumulate counts it in scenarios_evaluated before
+  // the bound check) but never the parallel round's post-abort overshoot,
+  // which the sequential sweep would not have evaluated. That keeps the
+  // published counters identical for any worker count or chunk size.
+  telemetry::Registry* reg = telemetry::effective(config_.telemetry);
+  EvalStats agg;
+  const auto finish = [&]() -> SweepResult {
+    if (reg != nullptr) {
+      reg->counter("sweep.calls").add(1);
+      if (sum.aborted) reg->counter("sweep.aborts").add(1);
+      reg->counter("eval.scenarios").add(sum.scenarios_evaluated);
+      publish_eval_stats(*reg, agg);
+    }
+    return sum;
   };
 
   if (pool == nullptr || pool->num_workers() <= 1 || scenarios.size() <= 1) {
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
       const double weight = scenario_weights.empty() ? 1.0 : scenario_weights[i];
       if (weight < 0.0) throw std::invalid_argument("Evaluator::sweep: negative weight");
-      const Term r = term_of(evaluate_impl(cost_delay, cost_tput, scenarios[i],
-                                           EvalDetail::kCostsOnly, worker_scratch(),
-                                           base_ptr));
-      if (accumulate(weight * r.cost.lambda, weight * r.cost.phi,
-                     weight * r.violations))
-        return sum;
+      EvalStats ts;
+      const EvalResult r =
+          evaluate_impl(cost_delay, cost_tput, scenarios[i], EvalDetail::kCostsOnly,
+                        worker_scratch(), base_ptr, reg != nullptr ? &ts : nullptr);
+      if (reg != nullptr) agg.merge(ts);
+      if (accumulate(weight * r.lambda, weight * r.phi,
+                     weight * static_cast<double>(r.sla_violations)))
+        return finish();
     }
-    return sum;
+    return finish();
   }
 
   const std::size_t workers = pool->num_workers();
@@ -608,21 +696,26 @@ SweepResult Evaluator::sweep(const WeightSetting& w,
   for (std::size_t begin = 0; begin < scenarios.size(); begin += round) {
     const std::size_t count = std::min(round, scenarios.size() - begin);
     parallel_for(pool, count, [&](std::size_t, std::size_t i) {
-      chunk[i] = term_of(evaluate_impl(cost_delay, cost_tput, scenarios[begin + i],
-                                       EvalDetail::kCostsOnly, worker_scratch(),
-                                       base_ptr));
+      // The stats land in a local first: assigning to chunk[i] after the call
+      // keeps the whole Term (including stats) one well-ordered write.
+      EvalStats ts;
+      const EvalResult r = evaluate_impl(cost_delay, cost_tput, scenarios[begin + i],
+                                         EvalDetail::kCostsOnly, worker_scratch(),
+                                         base_ptr, reg != nullptr ? &ts : nullptr);
+      chunk[i] = Term{r.cost(), static_cast<double>(r.sla_violations), ts};
     });
     for (std::size_t i = 0; i < count; ++i) {
       // Validated here, not upfront, so an invalid weight past an abort point
       // behaves exactly like the sequential path (abort wins over throw).
       const double weight = scenario_weights.empty() ? 1.0 : scenario_weights[begin + i];
       if (weight < 0.0) throw std::invalid_argument("Evaluator::sweep: negative weight");
+      if (reg != nullptr) agg.merge(chunk[i].stats);
       if (accumulate(weight * chunk[i].cost.lambda, weight * chunk[i].cost.phi,
                      weight * chunk[i].violations))
-        return sum;
+        return finish();
     }
   }
-  return sum;
+  return finish();
 }
 
 std::vector<EvalResult> Evaluator::sweep_detailed(

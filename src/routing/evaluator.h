@@ -15,6 +15,10 @@
 #include "routing/weights.h"
 #include "traffic/traffic_matrix.h"
 
+namespace dtr::telemetry {
+class Registry;
+}
+
 namespace dtr {
 
 class ThreadPool;
@@ -79,6 +83,17 @@ struct EvaluatorConfig {
   /// replays the base's delay column for the rest — bit-identical by
   /// construction (same float terms, same order).
   bool incremental_delay = true;
+  /// Optional telemetry sink (borrowed; may be null). The BATCH entry points
+  /// (evaluate_failures, evaluate_costs, sweep) fold their deterministic
+  /// counters into it, aggregated per-scenario-slot and merged on the calling
+  /// thread — byte-identical across worker/thread shapes. Single evaluate()
+  /// calls never publish deterministic counters: the optimizer's speculative
+  /// Phase-1 probing issues a shape-dependent NUMBER of them, so per-call
+  /// publication would break the cross-shape identity. Base-cache counters
+  /// are shape-dependent by nature and flow to the process plane only, via
+  /// flush_cache_stats_to_telemetry(). Ignored while telemetry::enabled() is
+  /// off.
+  telemetry::Registry* telemetry = nullptr;
 };
 
 /// Counters of the weights-keyed base-routing cache (monotonic; snapshot via
@@ -88,6 +103,19 @@ struct EvaluatorCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+};
+
+/// Deterministic per-evaluation counters of one scenario evaluation, folded
+/// per-slot into the telemetry registry by the batch entry points. Every
+/// field is a pure function of (weights, scenario, config) — never of the
+/// execution shape.
+struct EvalStats {
+  std::uint64_t scenarios_patched = 0;      ///< rode the delta-SPF patch path
+  std::uint64_t scenarios_full = 0;         ///< full per-scenario recompute
+  std::uint64_t scenarios_served_none = 0;  ///< no-failure served from base
+  PatchStats patch;                         ///< delta-SPF / replay / delay-DP detail
+
+  void merge(const EvalStats& o);
 };
 
 struct EvalResult {
@@ -189,14 +217,6 @@ class Evaluator {
   SweepResult sweep(const WeightSetting& w, std::span<const FailureScenario> scenarios,
                     const SweepOptions& options = {}) const;
 
-  /// Deprecated positional-tail spelling; forwards to the SweepOptions
-  /// overload (kept for one release — migrate to SweepOptions).
-  [[deprecated("pass a SweepOptions struct instead of the positional tail")]]
-  SweepResult sweep(const WeightSetting& w, std::span<const FailureScenario> scenarios,
-                    const CostPair* abort_bound,
-                    std::span<const double> scenario_weights = {},
-                    ThreadPool* pool = nullptr, std::size_t chunk_size = 1) const;
-
   /// Per-scenario results (for the per-failure figures / metrics).
   std::vector<EvalResult> sweep_detailed(const WeightSetting& w,
                                          std::span<const FailureScenario> scenarios,
@@ -242,6 +262,14 @@ class Evaluator {
   /// observable in results.
   void invalidate_base_cache() const;
 
+  /// Publishes the base-routing cache LIFETIME totals into the process plane
+  /// of config().telemetry (`evaluator.base_cache.*`). Hit/miss counts depend
+  /// on the execution shape (LRU survivor sets, speculative lookups), so they
+  /// never enter the deterministic plane. The evaluator's owner calls this
+  /// exactly once, when done with it — repeated flushes would double-count.
+  /// No-op when telemetry is disabled, unset, or the cache is off.
+  void flush_cache_stats_to_telemetry() const;
+
  private:
   /// Reusable per-evaluation buffers. One instance per worker thread; reusing
   /// it across scenario evaluations keeps the hot path allocation-free.
@@ -271,11 +299,14 @@ class Evaluator {
 
   /// Core evaluation with pre-expanded arc costs and caller-owned scratch.
   /// A non-null `base` routes eligible scenarios through the incremental
-  /// path (bit-identical to the full one).
+  /// path (bit-identical to the full one). A non-null `stats` receives this
+  /// one evaluation's deterministic counters (the caller owns aggregation
+  /// order).
   EvalResult evaluate_impl(std::span<const double> cost_delay,
                            std::span<const double> cost_tput,
                            const FailureScenario& scenario, EvalDetail detail,
-                           Scratch& scratch, const IncrementalBase* base = nullptr) const;
+                           Scratch& scratch, const IncrementalBase* base = nullptr,
+                           EvalStats* stats = nullptr) const;
 
   /// Builds the no-failure base for these arc costs: both routings, plus the
   /// delay-DP base (loads, delays, sd_delay, aggregated no-failure costs)

@@ -15,6 +15,25 @@ constexpr double kTightEps = 1e-7;
 inline bool alive(ArcAliveMask mask, ArcId a) { return mask.empty() || mask[a] != 0; }
 }  // namespace
 
+void PatchStats::observe_affected(std::uint64_t n) {
+  const auto it =
+      std::lower_bound(kAffectedBucketBounds.begin(), kAffectedBucketBounds.end(), n);
+  ++affected_buckets[static_cast<std::size_t>(it - kAffectedBucketBounds.begin())];
+}
+
+void PatchStats::merge(const PatchStats& o) {
+  dests_delta += o.dests_delta;
+  dests_full_fallback += o.dests_full_fallback;
+  dests_resweep += o.dests_resweep;
+  dests_replayed += o.dests_replayed;
+  affected_nodes += o.affected_nodes;
+  boundary_seeds += o.boundary_seeds;
+  delay_cols_replayed += o.delay_cols_replayed;
+  delay_cols_recomputed += o.delay_cols_recomputed;
+  for (std::size_t i = 0; i < affected_buckets.size(); ++i)
+    affected_buckets[i] += o.affected_buckets[i];
+}
+
 bool arc_is_tight(const Arc& arc, double cost, std::span<const double> dist) {
   const double du = dist[arc.src];
   const double dv = dist[arc.dst];
@@ -261,6 +280,12 @@ void ClassRouting::compute_from_base(const Graph& g, std::span<const double> arc
       // cheaper than the delta bookkeeping (dist_[t] is still the untouched
       // base copy here).
       shortest_distances_to(g, t, arc_cost, alive_mask, dist_[t]);
+      ++scratch.stats_.dests_full_fallback;
+    } else if (touched > 0) {
+      ++scratch.stats_.dests_delta;
+      scratch.stats_.affected_nodes += static_cast<std::uint64_t>(touched);
+      scratch.stats_.boundary_seeds += scratch.spf_.last_boundary_seeds();
+      scratch.stats_.observe_affected(static_cast<std::uint64_t>(touched));
     }
     if (!affected) {
       // Distances survived, but a removed arc that was tight (by the sweep's
@@ -274,6 +299,7 @@ void ClassRouting::compute_from_base(const Graph& g, std::span<const double> arc
     }
     if (affected) {
       sweep_destination(g, arc_cost, demands, alive_mask, {}, t, nullptr);
+      ++scratch.stats_.dests_resweep;
     } else {
       // Untouched DAG: replay the base contributions. Every accumulator
       // receives the same float terms in the same destination order as a
@@ -283,6 +309,7 @@ void ClassRouting::compute_from_base(const Graph& g, std::span<const double> arc
       disconnected_ += record.disconnected[t];
       disconnected_volume_ += record.disconnected_volume[t];
       replayed_[t] = 1;
+      ++scratch.stats_.dests_replayed;
     }
   }
 }
@@ -399,9 +426,11 @@ void ClassRouting::end_to_end_delays_from_base(
       for (NodeId s = 0; s < n; ++s)
         out[static_cast<std::size_t>(s) * n + t] =
             base_sd_delay_ms[static_cast<std::size_t>(s) * n + t];
+      ++scratch.stats_.delay_cols_replayed;
     } else {
       delay_dp_destination(g, arc_cost, alive_mask, arc_delay_ms, demands, mode, {}, t,
                            scratch.node_delay_, scratch.order_, out, nullptr);
+      ++scratch.stats_.delay_cols_recomputed;
     }
   }
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -41,6 +42,37 @@ struct RoutingBaseRecord {
   void reset(std::size_t num_nodes);
 };
 
+/// Bucket upper bounds for the delta-SPF affected-region-size histogram
+/// (telemetry `spf.affected_region`): powers of two up to 1024 nodes plus an
+/// implicit overflow bucket. Shared by PatchStats and the telemetry registry
+/// so per-worker bucket arrays merge 1:1.
+inline constexpr std::array<std::uint64_t, 11> kAffectedBucketBounds = {
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+
+/// Deterministic per-call counters of the incremental failure path,
+/// accumulated by compute_from_base / end_to_end_delays_from_base into the
+/// worker's FailureScratch. Every field is a pure function of graph + costs +
+/// scenario (never of the execution shape), so callers may fold these into
+/// the deterministic telemetry plane.
+struct PatchStats {
+  std::uint64_t dests_delta = 0;          ///< destinations patched by delta-SPF
+  std::uint64_t dests_full_fallback = 0;  ///< delta overflow -> full Dijkstra
+  std::uint64_t dests_resweep = 0;        ///< affected DAG -> load re-sweep
+  std::uint64_t dests_replayed = 0;       ///< untouched DAG -> record replay
+  std::uint64_t affected_nodes = 0;       ///< total delta-recomputed labels
+  std::uint64_t boundary_seeds = 0;       ///< total phase-2 Dijkstra seeds
+  std::uint64_t delay_cols_replayed = 0;  ///< delay DP columns copied verbatim
+  std::uint64_t delay_cols_recomputed = 0;
+  /// Pre-binned affected-region sizes (kAffectedBucketBounds + overflow).
+  std::array<std::uint64_t, kAffectedBucketBounds.size() + 1> affected_buckets{};
+
+  /// Bins one delta-patched destination's affected-node count. Must use the
+  /// exact bucketing rule of telemetry::Histogram::observe (first bound >= v)
+  /// so merge_buckets is a faithful batch of observe calls.
+  void observe_affected(std::uint64_t n);
+  void merge(const PatchStats& o);
+};
+
 /// Reusable per-worker scratch for ClassRouting::compute_from_base and
 /// end_to_end_delays_from_base (delta-SPF buffers plus the incremental delay
 /// DP's dirty bitmap and per-destination DP buffers). One instance per worker
@@ -50,12 +82,19 @@ class FailureScratch {
  public:
   FailureScratch() = default;
 
+  /// Counters accumulated since the last reset_stats(). The owner (the
+  /// evaluator, which shares one scratch across the load + delay passes of a
+  /// scenario) resets before a scenario and harvests after it.
+  const PatchStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = PatchStats{}; }
+
  private:
   friend class ClassRouting;
   DeltaSpfScratch spf_;
   std::vector<std::uint8_t> dirty_;
   std::vector<double> node_delay_;
   std::vector<NodeId> order_;
+  PatchStats stats_;
 };
 
 /// Routing state of ONE traffic class under a given arc-cost vector and arc

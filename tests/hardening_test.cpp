@@ -208,28 +208,6 @@ TEST(HardeningTest, SweepAccumulatesViolationsAndAbortsOnThem) {
   EXPECT_EQ(parallel.phi, full.phi);
 }
 
-TEST(HardeningTest, DeprecatedSweepOverloadMatchesOptions) {
-  const TestInstance inst = make_test_instance(8, 4.0, 53);
-  const Evaluator ev(inst.graph, inst.traffic, inst.params);
-  const WeightSetting w = random_weights(inst.graph, 25, 55);
-  const ScenarioSet set = enumerate_k_link_failures(inst.graph, {2, 8, 5});
-  const CostPair bound{1e17, 1e17};
-
-  const SweepResult via_options =
-      ev.sweep(w, set.scenarios(),
-               {.abort_bound = &bound, .scenario_weights = set.weights()});
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const SweepResult via_positional =
-      ev.sweep(w, set.scenarios(), &bound, set.weights(), nullptr, 1);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(via_positional.lambda, via_options.lambda);
-  EXPECT_EQ(via_positional.phi, via_options.phi);
-  EXPECT_EQ(via_positional.violations, via_options.violations);
-  EXPECT_EQ(via_positional.aborted, via_options.aborted);
-  EXPECT_EQ(via_positional.scenarios_evaluated, via_options.scenarios_evaluated);
-}
-
 TEST(HardeningTest, SummarizeScenariosReportsDowntime) {
   const TestInstance inst = make_test_instance(10, 4.0, 59, 0.6);
   const Evaluator ev(inst.graph, inst.traffic, inst.params);
