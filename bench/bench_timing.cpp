@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -249,6 +250,102 @@ void BM_Phase2BaseCache(benchmark::State& state) {
   state.counters["cache_misses"] = static_cast<double>(last.base_cache_misses());
 }
 BENCHMARK(BM_Phase2BaseCache)->Arg(0)->Arg(1)->Unit(benchmark::kSecond)->Iterations(1);
+
+// ---------------------------------------------------------------------------
+// Weight-delta donor patching on the Phase-1 probe shape: a cached incumbent,
+// then a batch of candidates each differing on ONE link. With patching on
+// (max_links:1) every probe's base — labels, DAGs, loads, delay columns — is
+// delta-patched from the incumbent via delta_spf_update_arcs + record replay;
+// with it off (max_links:0) every probe pays two full all-destination
+// Dijkstra builds. Results are bit-identical; the ratio is this PR's Phase-1
+// acceptance number. Evaluator construction + incumbent seeding sit outside
+// the timed region so only the probe evaluations are measured.
+// ---------------------------------------------------------------------------
+
+void BM_Phase1ProbePatching(benchmark::State& state) {
+  const auto max_links = static_cast<std::size_t>(state.range(0));
+  const Workload& workload = fixture().workload;
+  EvaluatorConfig config;
+  config.weight_delta_max_links = max_links;
+  config.base_cache_capacity = 64;  // incumbent stays resident across the batch
+  const std::size_t num_links = workload.graph.num_links();
+  WeightSetting incumbent(num_links);
+  Rng rng(seed_from_env(1));
+  randomize_weights(incumbent, 30, rng);
+  const std::size_t num_probes = std::min<std::size_t>(16, num_links);
+  std::vector<WeightSetting> probes;
+  for (std::size_t p = 0; p < num_probes; ++p) {
+    WeightSetting probe = incumbent;
+    // 31 + p is above the randomize_weights range, so every probe is a
+    // guaranteed single-link diff from the incumbent (a fresh cache miss).
+    probe.set(TrafficClass::kDelay, static_cast<LinkId>(p),
+              31 + static_cast<int>(p));
+    probes.push_back(std::move(probe));
+  }
+
+  double checksum = 0.0;
+  std::uint64_t patched = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const Evaluator ev(workload.graph, workload.traffic, workload.params, config);
+    checksum += ev.evaluate(incumbent, FailureScenario::none()).phi;
+    state.ResumeTiming();
+    for (const WeightSetting& probe : probes)
+      checksum += ev.evaluate(probe, FailureScenario::none()).phi;
+    state.PauseTiming();
+    patched = ev.base_cache_stats().weight_patched;
+    state.ResumeTiming();
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetLabel(max_links > 0 ? "donor-patched" : "full-build");
+  state.counters["probes"] = static_cast<double>(num_probes);
+  state.counters["weight_patched"] = static_cast<double>(patched);
+}
+BENCHMARK(BM_Phase1ProbePatching)
+    ->ArgNames({"max_links"})
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Cross-trial base sharing in the fluctuated-TM stress sweep: shared:1 runs
+// evaluate_fluctuations' shared-labels path (SPF labels + failure patching
+// computed once per weight setting, reused across every perturbed trial —
+// only load aggregation reruns per trial); shared:0 forces the per-trial
+// reference shape where each of the `trials` evaluators rebuilds routing
+// from scratch for every (routing, failure) pair. Series are bit-identical;
+// the ratio is this PR's fluctuation acceptance number.
+// ---------------------------------------------------------------------------
+
+void BM_FluctuationSweep(benchmark::State& state) {
+  const bool shared = state.range(0) != 0;
+  const Workload& workload = fixture().workload;
+  EvaluatorConfig config;
+  config.incremental = shared;  // the shared-labels path rides the HOW-knob
+  Rng rng(seed_from_env(1));
+  std::vector<WeightSetting> routings(2, WeightSetting(workload.graph.num_links()));
+  for (WeightSetting& w : routings) randomize_weights(w, 30, rng);
+  std::vector<LinkId> top;
+  for (LinkId l = 0; l < std::min<std::size_t>(6, workload.graph.num_links()); ++l)
+    top.push_back(l);
+  FluctuationSpec fluct;
+  fluct.model = FluctuationSpec::Model::kGaussian;
+  fluct.trials = 8;
+
+  double checksum = 0.0;
+  for (auto _ : state) {
+    const auto series = evaluate_fluctuations(workload, routings, top, fluct,
+                                              seed_from_env(1), nullptr, config);
+    checksum += series.front().mean_phi.front();
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetLabel(shared ? "shared-labels" : "per-trial-full");
+  state.counters["trials"] = static_cast<double>(fluct.trials);
+  state.counters["routings"] = static_cast<double>(routings.size());
+}
+BENCHMARK(BM_FluctuationSweep)
+    ->ArgNames({"shared"})
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
 // Catalog-objective Phase 2 (HardeningObjective): the optimizer hardened

@@ -19,6 +19,11 @@ compares it against the checked-in bench/baseline.json:
 
 Regenerate the baseline after an intentional perf change by copying the
 merged artifact over it:  cp BENCH_<sha>.json bench/baseline.json
+
+--self-test re-invokes this script against synthetic fixtures and asserts
+the gate's behavior on each failure mode (structural block, advisory
+slowdown, strict mode, hit-rate drop) — run by CI before the real compare
+so a refactor here can't silently neuter the gate.
 """
 
 import argparse
@@ -56,7 +61,96 @@ def load_json(path: str, schema: str) -> dict:
     return data
 
 
+def self_test() -> int:
+    """Fixture-driven test of the compare logic via real CLI invocations."""
+    import os
+    import subprocess
+    import tempfile
+
+    def invoke(tmp, bench, baseline=None, telemetry=None, extra=()):
+        cmd = [sys.executable, os.path.abspath(__file__)]
+        for flag, data in (("--bench", bench), ("--baseline", baseline),
+                           ("--telemetry", telemetry)):
+            if data is None:
+                continue
+            path = os.path.join(tmp, flag.lstrip("-") + ".json")
+            with open(path, "w", encoding="utf-8") as f:
+                json.dump(data, f)
+            cmd += [flag, path]
+        cmd += list(extra)
+        proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+        return proc.returncode, proc.stdout + proc.stderr
+
+    def tele(rate):
+        hits = int(round(rate * 1000))
+        return {"schema": SCHEMA_TELEMETRY,
+                "counters": {},
+                "process": {"counters": {"evaluator.base_cache.hits": hits,
+                                         "evaluator.base_cache.misses": 1000 - hits}}}
+
+    def bench(entries, telemetry_rate=None):
+        data = {"schema": SCHEMA_BENCH, "benchmarks": entries}
+        if telemetry_rate is not None:
+            data["telemetry"] = tele(telemetry_rate)
+        return data
+
+    fast = [{"name": "BM_A", "real_ms": 1.0}, {"name": "BM_B", "real_ms": 5.0}]
+    slow = [{"name": "BM_A", "real_ms": 3.0}, {"name": "BM_B", "real_ms": 5.0}]
+    failures = 0
+
+    def check(label, got, want_code, want_text):
+        nonlocal failures
+        code, out = got
+        ok = code == want_code and want_text in out
+        print(f"  {'PASS' if ok else 'FAIL'}: {label}")
+        if not ok:
+            print(f"    expected exit {want_code} with {want_text!r}, got exit {code}:")
+            print("    " + "\n    ".join(out.strip().splitlines()))
+            failures += 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        check("identical run passes",
+              invoke(tmp, bench(fast), bench(fast)),
+              0, "within 2.0x of baseline")
+        check("wrong schema blocks",
+              invoke(tmp, {"schema": "bogus.v0", "benchmarks": fast}),
+              1, "expected schema")
+        check("empty benchmark list blocks",
+              invoke(tmp, {"schema": SCHEMA_BENCH, "benchmarks": []}),
+              1, "no benchmarks recorded")
+        check("vanished baseline entry blocks",
+              invoke(tmp, bench(fast),
+                     bench(fast + [{"name": "BM_GONE", "real_ms": 2.0}])),
+              1, "missing from this run: BM_GONE")
+        check("3x slowdown is advisory",
+              invoke(tmp, bench(slow), bench(fast)),
+              0, "::warning::check-bench: BM_A is 3.00x slower")
+        check("3x slowdown blocks under --strict",
+              invoke(tmp, bench(slow), bench(fast), extra=["--strict"]),
+              1, "--strict")
+        check("new entry is reported, not blocking",
+              invoke(tmp, bench(fast + [{"name": "BM_NEW", "real_ms": 1.0}]),
+                     bench(fast)),
+              0, "BM_NEW: 1.000 ms (new")
+        check("hit-rate drop warns (advisory)",
+              invoke(tmp, bench(fast), bench(fast, telemetry_rate=0.90),
+                     telemetry=tele(0.50)),
+              0, "::warning::check-bench: base-cache hit rate dropped")
+        check("small hit-rate wobble stays quiet",
+              invoke(tmp, bench(fast), bench(fast, telemetry_rate=0.90),
+                     telemetry=tele(0.88)),
+              0, "all 2 benchmarks within")
+
+    if failures:
+        print(f"::error::check-bench --self-test: {failures} case(s) failed")
+        return 1
+    print("check-bench --self-test: all cases passed")
+    return 0
+
+
 def main() -> int:
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--bench", required=True, help="bench_timing dtr.bench.v1 JSON")
     parser.add_argument("--campaign", help="campaign JSON written with --timings")

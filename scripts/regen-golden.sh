@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Regenerates the CI golden campaign artifacts (tests/golden/campaign_smoke.json
-# and tests/golden/scenario_smoke.json) from the specs next to them.
+# Regenerates the CI golden campaign artifacts (tests/golden/campaign_smoke.json,
+# tests/golden/scenario_smoke.json, tests/golden/availability_smoke.json) from
+# the specs next to them.
 #
-# The CI bench-smoke job runs the same campaign and `diff`s its output against
-# the checked-in JSON, so silent metric regressions fail CI. Only regenerate
-# after an INTENTIONAL metric change, commit the new JSON together with the
-# change that caused it, and explain the diff in the PR.
+# The CI bench-smoke job runs the same campaigns and `diff`s their output
+# against the checked-in JSON, so silent metric regressions fail CI. Only
+# regenerate after an INTENTIONAL metric change, commit the new JSON together
+# with the change that caused it, and explain the diff in the PR. CI's
+# golden-drift guard additionally reruns this script into a throwaway
+# directory (--out-dir) on every push and fails if the checked-in goldens are
+# stale relative to the specs + binary.
 #
 # The artifact is byte-identical across worker counts and execution shapes by
 # design (dtr.campaign.v1 determinism contract). It is also expected to be
@@ -15,26 +19,43 @@
 # expectation, regenerate on an environment matching CI (ubuntu-latest, gcc,
 # Release) and note it here.
 #
-# Usage: scripts/regen-golden.sh [build-dir]   (default: build)
+# Usage: scripts/regen-golden.sh [build-dir] [--out-dir DIR]
+#   build-dir  defaults to "build"
+#   --out-dir  write the regenerated JSON into DIR instead of tests/golden/
+#              (the drift-guard mode: nothing under the tree is touched)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR="${1:-build}"
+BUILD_DIR="build"
+OUT_DIR="tests/golden"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --out-dir)
+      OUT_DIR="$2"
+      shift 2
+      ;;
+    *)
+      BUILD_DIR="$1"
+      shift
+      ;;
+  esac
+done
+mkdir -p "$OUT_DIR"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target dtr_tool
 
 "$BUILD_DIR"/examples/dtr_tool campaign \
   --spec tests/golden/campaign_smoke.spec \
-  --json tests/golden/campaign_smoke.json \
+  --json "$OUT_DIR"/campaign_smoke.json \
   --workers 2
 
 # Scenario-catalog gate artifact (weighted SRLG / k-link / geo-conduit
 # campaign; the spec's srlg_file path is repo-root relative, matching CI).
 "$BUILD_DIR"/examples/dtr_tool campaign \
   --spec tests/golden/scenario_smoke.spec \
-  --json tests/golden/scenario_smoke.json \
+  --json "$OUT_DIR"/scenario_smoke.json \
   --workers 2
 
 # SLA-availability gate artifact (hardening-objective campaign). Besides
@@ -44,9 +65,13 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target dtr_tool
 # catalog objective — don't just commit the new bytes.
 "$BUILD_DIR"/examples/dtr_tool campaign \
   --spec tests/golden/availability_smoke.spec \
-  --json tests/golden/availability_smoke.json \
+  --json "$OUT_DIR"/availability_smoke.json \
   --workers 2
 
-echo "regenerated golden campaign artifacts:"
-git --no-pager diff --stat -- tests/golden/campaign_smoke.json \
-  tests/golden/scenario_smoke.json tests/golden/availability_smoke.json
+if [[ "$OUT_DIR" == "tests/golden" ]]; then
+  echo "regenerated golden campaign artifacts:"
+  git --no-pager diff --stat -- tests/golden/campaign_smoke.json \
+    tests/golden/scenario_smoke.json tests/golden/availability_smoke.json
+else
+  echo "regenerated golden campaign artifacts into $OUT_DIR (tree untouched)"
+fi

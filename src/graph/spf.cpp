@@ -74,24 +74,38 @@ std::vector<std::vector<double>> all_pairs_distances_to(
   return d;
 }
 
-std::ptrdiff_t delta_spf_remove_arcs(const Graph& g, std::span<const double> arc_cost,
-                                     ArcAliveMask new_alive,
-                                     std::span<const ArcId> removed_arcs,
+std::ptrdiff_t delta_spf_update_arcs(const Graph& g, std::span<const double> arc_cost,
+                                     ArcAliveMask alive,
+                                     std::span<const ArcCostDelta> changes,
                                      std::vector<double>& dist,
                                      std::size_t max_affected, DeltaSpfScratch& scratch) {
   if (arc_cost.size() != g.num_arcs())
-    throw std::invalid_argument("delta_spf_remove_arcs: arc_cost size mismatch");
-  if (!new_alive.empty() && new_alive.size() != g.num_arcs())
-    throw std::invalid_argument("delta_spf_remove_arcs: alive mask size mismatch");
+    throw std::invalid_argument("delta_spf_update_arcs: arc_cost size mismatch");
+  if (!alive.empty() && alive.size() != g.num_arcs())
+    throw std::invalid_argument("delta_spf_update_arcs: alive mask size mismatch");
   if (dist.size() != g.num_nodes())
-    throw std::invalid_argument("delta_spf_remove_arcs: dist size mismatch");
-  if (removed_arcs.empty()) return 0;
+    throw std::invalid_argument("delta_spf_update_arcs: dist size mismatch");
+  if (changes.empty()) return 0;
   scratch.boundary_seeds_ = 0;
+
+  // Effective new cost: a dead arc is an increase to +infinity.
+  const auto eff_cost = [&](ArcId a) -> double {
+    return arc_is_alive(alive, a) ? arc_cost[a] : kInfDist;
+  };
+  // Old cost of an arc under the labeled state. The change list is tiny (a
+  // handful of arcs), so a linear scan beats any index.
+  const auto old_cost_of = [&](ArcId a) -> double {
+    for (const ArcCostDelta& c : changes)
+      if (c.arc == a) return c.old_cost;
+    return arc_cost[a];
+  };
 
   // Node states this epoch. Undecided nodes (stale stamp) are, for the
   // support checks below, indistinguishable from unaffected ones — which is
   // exactly right: a node that never becomes a candidate keeps its distance.
-  enum : std::uint8_t { kUnaffected = 1, kAffected = 2, kFinalized = 3 };
+  // kImproving marks nodes whose label can only DECREASE (reached through a
+  // cost decrease); their old label stays a valid upper bound throughout.
+  enum : std::uint8_t { kUnaffected = 1, kAffected = 2, kImproving = 3, kFinalized = 4 };
   ++scratch.epoch_;
   scratch.stamp_.resize(g.num_nodes(), 0);
   scratch.state_.resize(g.num_nodes(), 0);
@@ -118,27 +132,33 @@ std::ptrdiff_t delta_spf_remove_arcs(const Graph& g, std::span<const double> arc
     return top;
   };
 
-  // Phase 1 — identify the affected region. A removed arc mattered for its
-  // source u only if it realized u's label EXACTLY (Dijkstra's output always
-  // has at least one out-arc with dist[u] == cost + dist[head], in the very
-  // float arithmetic this repeats). Candidates are processed in increasing
-  // old-distance order; positive costs make every exact support strictly
-  // distance-decreasing, so a candidate's supports are already decided when
-  // it is popped.
-  for (ArcId a : removed_arcs) {
-    const Arc& arc = g.arc(a);
+  // Phase 1 — identify the invalidated region. An INCREASED (or removed) arc
+  // mattered for its source u only if it realized u's label EXACTLY
+  // (Dijkstra's output always has at least one out-arc with
+  // dist[u] == cost + dist[head], in the very float arithmetic this
+  // repeats). Candidates are processed in increasing old-distance order;
+  // positive costs make every exact support strictly distance-decreasing, so
+  // a candidate's supports are already decided when it is popped. Decreases
+  // never invalidate — they are phase-2 improvement seeds.
+  for (const ArcCostDelta& c : changes) {
+    const Arc& arc = g.arc(c.arc);
     if (dist[arc.src] == kInfDist || dist[arc.dst] == kInfDist) continue;
-    if (dist[arc.src] == arc_cost[a] + dist[arc.dst]) push(dist[arc.src], arc.src);
+    if (!(eff_cost(c.arc) > c.old_cost)) continue;
+    if (dist[arc.src] == c.old_cost + dist[arc.dst]) push(dist[arc.src], arc.src);
   }
   while (!heap.empty()) {
     const auto [d, u] = pop();
     if (state_of(u) != 0) continue;  // already decided
     bool supported = false;
     for (ArcId a : g.out_arcs(u)) {
-      if (!arc_is_alive(new_alive, a)) continue;
+      if (!arc_is_alive(alive, a)) continue;
       const NodeId v = g.arc(a).dst;
       if (dist[v] == kInfDist || state_of(v) == kAffected) continue;
-      if (dist[u] == arc_cost[a] + dist[v]) {
+      // <= instead of ==: a decreased out-arc can hold the label up with room
+      // to spare (the label then only improves — phase 2's business). For
+      // unchanged arcs old-label optimality makes the sum >= dist[u], so this
+      // is the exact-support equality of the removal-only update.
+      if (arc_cost[a] + dist[v] <= dist[u]) {
         supported = true;
         break;
       }
@@ -151,23 +171,28 @@ std::ptrdiff_t delta_spf_remove_arcs(const Graph& g, std::span<const double> arc
     scratch.affected_.push_back(u);
     if (scratch.affected_.size() > max_affected) return -1;  // dist untouched so far
     for (ArcId b : g.in_arcs(u)) {
-      if (!arc_is_alive(new_alive, b)) continue;
+      if (!arc_is_alive(alive, b)) continue;
       const NodeId w = g.arc(b).src;
       if (dist[w] == kInfDist || state_of(w) != 0) continue;
-      if (dist[w] == arc_cost[b] + dist[u]) push(dist[w], w);
+      // Tightness under the OLD cost: w's label was formed before the change.
+      if (dist[w] == old_cost_of(b) + dist[u]) push(dist[w], w);
     }
   }
-  if (scratch.affected_.empty()) return 0;
 
   // Phase 2 — Dijkstra restricted to the affected region, seeded from the
-  // unaffected boundary (whose labels are final and unchanged). Sums are
-  // formed tail-first exactly like the full Dijkstra, so recomputed labels
-  // are the same min over the same float path sums.
+  // unaffected boundary (whose labels are final upper bounds) and from the
+  // decreased arcs. Sums are formed tail-first exactly like the full
+  // Dijkstra, so recomputed labels are the same min over the same float path
+  // sums. Label writes into `dist` are deferred to the write-back loop below
+  // so an over-cap abort (improvement seeds also count) leaves `dist`
+  // untouched.
   heap.clear();
-  for (NodeId u : scratch.affected_) {
+  const std::size_t invalidated = scratch.affected_.size();
+  for (std::size_t i = 0; i < invalidated; ++i) {
+    const NodeId u = scratch.affected_[i];
     double best = kInfDist;
     for (ArcId a : g.out_arcs(u)) {
-      if (!arc_is_alive(new_alive, a)) continue;
+      if (!arc_is_alive(alive, a)) continue;
       const NodeId v = g.arc(a).dst;
       if (dist[v] == kInfDist || state_of(v) == kAffected) continue;
       const double cand = dist[v] + arc_cost[a];
@@ -179,25 +204,85 @@ std::ptrdiff_t delta_spf_remove_arcs(const Graph& g, std::span<const double> arc
       ++scratch.boundary_seeds_;
     }
   }
+  for (const ArcCostDelta& c : changes) {
+    if (!arc_is_alive(alive, c.arc)) continue;
+    if (!(arc_cost[c.arc] < c.old_cost)) continue;  // only decreases improve
+    const Arc& arc = g.arc(c.arc);
+    const NodeId u = arc.src;
+    const NodeId v = arc.dst;
+    if (dist[v] == kInfDist || state_of(v) == kAffected) continue;
+    const std::uint8_t su = state_of(u);
+    if (su == kAffected) continue;  // its boundary seed already saw this arc
+    const double cand = dist[v] + arc_cost[c.arc];
+    if (su == kImproving) {
+      if (cand < scratch.label_[u]) {
+        scratch.label_[u] = cand;
+        push(cand, u);
+        ++scratch.boundary_seeds_;
+      }
+    } else if (cand < dist[u]) {
+      set_state(u, kImproving);
+      scratch.label_[u] = cand;
+      scratch.affected_.push_back(u);
+      if (scratch.affected_.size() > max_affected) return -1;  // dist untouched
+      push(cand, u);
+      ++scratch.boundary_seeds_;
+    }
+  }
   while (!heap.empty()) {
     const auto [d, u] = pop();
     if (state_of(u) == kFinalized || d > scratch.label_[u]) continue;  // stale entry
     set_state(u, kFinalized);
-    dist[u] = d;
+    // label_[u] == d here (the stale check rejects anything else), so the
+    // deferred write-back below writes exactly this value.
     for (ArcId b : g.in_arcs(u)) {
-      if (!arc_is_alive(new_alive, b)) continue;
+      if (!arc_is_alive(alive, b)) continue;
       const NodeId w = g.arc(b).src;
-      if (state_of(w) != kAffected) continue;  // only pending affected nodes
+      const std::uint8_t sw = state_of(w);
       const double cand = d + arc_cost[b];
-      if (cand < scratch.label_[w]) {
+      if (sw == kAffected || sw == kImproving) {  // pending region node
+        if (cand < scratch.label_[w]) {
+          scratch.label_[w] = cand;
+          push(cand, w);
+        }
+      } else if (sw != kFinalized && cand < dist[w]) {
+        // A finalized improvement undercut a label outside the region: the
+        // improvement front grows through u's predecessors.
+        set_state(w, kImproving);
         scratch.label_[w] = cand;
+        scratch.affected_.push_back(w);
+        if (scratch.affected_.size() > max_affected) return -1;  // dist untouched
         push(cand, w);
       }
     }
   }
-  for (NodeId u : scratch.affected_)
-    if (state_of(u) != kFinalized) dist[u] = kInfDist;  // cut off entirely
+  for (NodeId u : scratch.affected_) {
+    const std::uint8_t st = state_of(u);
+    if (st == kFinalized) {
+      dist[u] = scratch.label_[u];
+    } else if (st == kAffected) {
+      dist[u] = kInfDist;  // cut off entirely (improving nodes always finalize)
+    }
+  }
   return static_cast<std::ptrdiff_t>(scratch.affected_.size());
+}
+
+std::ptrdiff_t delta_spf_remove_arcs(const Graph& g, std::span<const double> arc_cost,
+                                     ArcAliveMask new_alive,
+                                     std::span<const ArcId> removed_arcs,
+                                     std::vector<double>& dist,
+                                     std::size_t max_affected, DeltaSpfScratch& scratch) {
+  // Removal is a cost increase to +infinity (the arc is dead in new_alive).
+  // With no decreases in the change set the general update degenerates to
+  // the historical removal algorithm: no improvement seeds, the <= support
+  // check collapses to the exact equality, and the phase-2 region/labels are
+  // the same mins over the same float sums — bit-identical output.
+  auto& changes = scratch.changes_;
+  changes.clear();
+  changes.reserve(removed_arcs.size());
+  for (ArcId a : removed_arcs) changes.push_back({a, arc_cost[a]});
+  return delta_spf_update_arcs(g, arc_cost, new_alive, changes, dist, max_affected,
+                               scratch);
 }
 
 void hop_distances_from(const Graph& g, NodeId s, ArcAliveMask arc_alive,

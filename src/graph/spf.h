@@ -36,22 +36,37 @@ void shortest_distances_from(const Graph& g, NodeId s,
 std::vector<std::vector<double>> all_pairs_distances_to(
     const Graph& g, std::span<const double> arc_cost);
 
-/// Reusable buffers for delta_spf_remove_arcs. The incremental failure path
-/// calls the delta update once per destination per scenario, so the scratch
-/// keeps every allocation alive across calls (epoch-stamped state array, no
-/// O(n) clears).
+/// One arc whose cost changed between the labeled state and the target state
+/// of delta_spf_update_arcs. The NEW cost lives in the caller's arc_cost /
+/// alive mask; only the OLD cost needs carrying.
+struct ArcCostDelta {
+  ArcId arc = 0;
+  double old_cost = 0.0;
+};
+
+/// Reusable buffers for delta_spf_update_arcs / delta_spf_remove_arcs. The
+/// incremental failure path calls the delta update once per destination per
+/// scenario, so the scratch keeps every allocation alive across calls
+/// (epoch-stamped state array, no O(n) clears).
 class DeltaSpfScratch {
  public:
   DeltaSpfScratch() = default;
 
-  /// Boundary-seed count of the most recent delta_spf_remove_arcs call: the
-  /// number of affected nodes with at least one alive arc into the unaffected
-  /// region (the phase-2 Dijkstra's starting frontier). Deterministic — a
-  /// pure function of graph + costs + removed arcs, so it feeds the
-  /// deterministic telemetry plane.
+  /// Boundary-seed count of the most recent delta update: the number of
+  /// seeds (boundary arcs into the unaffected region plus improved-arc
+  /// candidates) that started the phase-2 Dijkstra. Deterministic — a pure
+  /// function of graph + costs + changes, so it feeds the deterministic
+  /// telemetry plane.
   std::uint64_t last_boundary_seeds() const { return boundary_seeds_; }
 
  private:
+  friend std::ptrdiff_t delta_spf_update_arcs(const Graph& g,
+                                              std::span<const double> arc_cost,
+                                              ArcAliveMask alive,
+                                              std::span<const ArcCostDelta> changes,
+                                              std::vector<double>& dist,
+                                              std::size_t max_affected,
+                                              DeltaSpfScratch& scratch);
   friend std::ptrdiff_t delta_spf_remove_arcs(const Graph& g,
                                               std::span<const double> arc_cost,
                                               ArcAliveMask new_alive,
@@ -65,9 +80,34 @@ class DeltaSpfScratch {
   std::vector<double> label_;
   std::vector<std::pair<double, NodeId>> heap_;
   std::vector<NodeId> affected_;
+  std::vector<ArcCostDelta> changes_;  ///< delta_spf_remove_arcs wrapper buffer
   std::uint64_t epoch_ = 0;
   std::uint64_t boundary_seeds_ = 0;
 };
+
+/// Incremental (Ramalingam–Reps-style) update of destination distance labels
+/// when a set of arcs CHANGES COST — increase, decrease, or removal (a dead
+/// arc in `alive` is an increase to +infinity). Identifies the exact affected
+/// region in increasing old-distance order, then runs a regional Dijkstra
+/// seeded from the unaffected boundary and the improved arcs.
+///
+/// `dist` must be valid labels for the OLD costs (each changes[i].old_cost in
+/// place of arc_cost[changes[i].arc], every changed arc alive); `arc_cost` /
+/// `alive` describe the NEW state. Alive arc costs must be positive. On
+/// return, `dist` equals what shortest_distances_to would produce under the
+/// new state, bit for bit: untouched labels keep their old bytes, recomputed
+/// ones are the same min-of-float-sums a full Dijkstra evaluates.
+///
+/// Returns the number of recomputed nodes, or -1 when that count would exceed
+/// `max_affected` — `dist` is then left fully unchanged (all label writes are
+/// deferred past the last abort point) so the caller can fall back to a full
+/// recompute.
+std::ptrdiff_t delta_spf_update_arcs(const Graph& g, std::span<const double> arc_cost,
+                                     ArcAliveMask alive,
+                                     std::span<const ArcCostDelta> changes,
+                                     std::vector<double>& dist,
+                                     std::size_t max_affected,
+                                     DeltaSpfScratch& scratch);
 
 /// Incremental (Ramalingam–Reps-style) update of destination distance labels
 /// when a set of arcs is removed: identifies the nodes whose shortest path

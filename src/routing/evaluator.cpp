@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -48,6 +49,25 @@ struct Evaluator::IncrementalBase {
   EvalResult none_result;  ///< costs-only fields of the no-failure evaluation
 };
 
+namespace {
+
+/// Number of links on which two same-sized weight settings differ in EITHER
+/// class — the donor-distance metric of the weight-delta patch path.
+std::size_t differing_links(const WeightSetting& a, const WeightSetting& b) {
+  std::size_t diff = 0;
+  for (LinkId l = 0; l < a.num_links(); ++l) {
+    for (TrafficClass c : kBothClasses) {
+      if (a.get(c, l) != b.get(c, l)) {
+        ++diff;
+        break;
+      }
+    }
+  }
+  return diff;
+}
+
+}  // namespace
+
 /// Weights-keyed LRU cache of base records. A handful of entries scanned
 /// linearly under a mutex: lookups happen once per evaluation (not per
 /// scenario), and the key compare on vector<int> fails fast, so contention
@@ -91,6 +111,35 @@ class Evaluator::BaseCache {
     } else {
       entries_.push_back(Entry{w, std::move(base), ++tick_});
     }
+  }
+
+  /// Closest cached base within `max_links` differing links of `w` (ties
+  /// broken toward the most recently used entry), or nullopt. Returns a COPY
+  /// of the donor's key alongside the record — the entry may be evicted the
+  /// moment the lock drops. Never counts a hit or miss: donor probes always
+  /// follow a failed find(), which already counted the miss.
+  std::optional<std::pair<WeightSetting, std::shared_ptr<const IncrementalBase>>>
+  find_donor(const WeightSetting& w, std::size_t max_links) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const Entry* best = nullptr;
+    std::size_t best_diff = max_links + 1;
+    for (const Entry& e : entries_) {
+      if (e.key.num_links() != w.num_links()) continue;
+      const std::size_t diff = differing_links(e.key, w);
+      if (diff == 0 || diff > max_links) continue;
+      if (diff < best_diff || (diff == best_diff && e.last_used > best->last_used)) {
+        best = &e;
+        best_diff = diff;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return std::make_pair(best->key, best->base);
+  }
+
+  void note_weight_patch(std::uint64_t arcs) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.weight_patched;
+    stats_.arcs_updated += arcs;
   }
 
   void clear() {
@@ -217,6 +266,12 @@ void Evaluator::flush_cache_stats_to_telemetry() const {
       .add(s.insertions);
   reg->counter("evaluator.base_cache.evictions", telemetry::Plane::kProcess)
       .add(s.evictions);
+  // Weight-delta donor patches: how many misses were served by patching a
+  // near-neighbor base, and how many arc-cost changes those patches applied.
+  // Donor availability depends on cache state (shape-dependent), so these
+  // live on the process plane like every cache counter.
+  reg->counter("eval.weight_patched", telemetry::Plane::kProcess).add(s.weight_patched);
+  reg->counter("spf.arcs_updated", telemetry::Plane::kProcess).add(s.arcs_updated);
 }
 
 Evaluator::Scratch& Evaluator::worker_scratch() {
@@ -262,6 +317,19 @@ void Evaluator::build_base(std::span<const double> cost_delay,
   }
   if (!with_delay_base) return;
 
+  compute_base_products(base);
+
+  DelayDpIndex* record =
+      with_records && config_.incremental_delay ? &base.dp_index : nullptr;
+  base.delay.end_to_end_delays(graph_, cost_delay, {}, base.arc_delay, traffic_.delay,
+                               params_.sla_delay_mode, {}, base.sd_delay, record);
+  base.has_dp_index = record != nullptr;
+
+  aggregate_none_result(base);
+  base.has_delay_base = true;
+}
+
+void Evaluator::compute_base_products(IncrementalBase& base) const {
   const std::size_t num_arcs = graph_.num_arcs();
   base.total_load.resize(num_arcs);
   base.arc_delay.resize(num_arcs);
@@ -271,15 +339,11 @@ void Evaluator::build_base(std::span<const double> cost_delay,
     base.arc_delay[a] = link_delay_ms(base.total_load[a], arc.capacity,
                                       arc.prop_delay_ms, params_.delay_model);
   }
+}
 
-  DelayDpIndex* record =
-      with_records && config_.incremental_delay ? &base.dp_index : nullptr;
-  base.delay.end_to_end_delays(graph_, cost_delay, {}, base.arc_delay, traffic_.delay,
-                               params_.sla_delay_mode, {}, base.sd_delay, record);
-  base.has_dp_index = record != nullptr;
-
-  // The same aggregation the full path runs, so a served no-failure result is
-  // bit-identical to a computed one.
+// The same aggregation the full path runs, so a served no-failure result is
+// bit-identical to a computed one.
+void Evaluator::aggregate_none_result(IncrementalBase& base) const {
   EvalResult& none = base.none_result;
   none = EvalResult{};
   const double disconnect_delay =
@@ -289,14 +353,74 @@ void Evaluator::build_base(std::span<const double> cost_delay,
   none.lambda = sla.lambda;
   none.sla_violations = sla.violations;
   none.disconnected_delay_pairs = base.delay.disconnected_demand_count();
+  const std::size_t num_arcs = graph_.num_arcs();
   for (ArcId a = 0; a < num_arcs; ++a) {
     if (base.tput.arc_load(a) <= 0.0) continue;
     none.phi += fortz_cost(base.total_load[a], graph_.arc(a).capacity);
   }
   none.phi += kFortzMaxSlope * base.tput.disconnected_demand_volume();
   none.disconnected_tput_pairs = base.tput.disconnected_demand_count();
+}
 
-  base.has_delay_base = true;
+bool Evaluator::build_base_from_donor(const WeightSetting& w,
+                                      const WeightSetting& donor_key,
+                                      const IncrementalBase& donor,
+                                      std::span<const double> cost_delay,
+                                      std::span<const double> cost_tput,
+                                      IncrementalBase& built) const {
+  if (!donor.has_delay_base) return false;
+
+  std::vector<double> donor_cost_delay, donor_cost_tput;
+  donor_key.arc_costs(graph_, TrafficClass::kDelay, donor_cost_delay);
+  donor_key.arc_costs(graph_, TrafficClass::kThroughput, donor_cost_tput);
+  // The donor's replay records (and delay-DP index) materialize on first use
+  // with the DONOR's own costs — exactly what its first failure patch would
+  // have recorded.
+  ensure_patch_records(donor_cost_delay, donor_cost_tput, donor);
+
+  // Per-class arc-cost change lists: only the differing links' arcs, carrying
+  // the donor's (old) cost. A class with identical weights gets an empty list
+  // and replays the donor's routing wholesale.
+  std::vector<ArcCostDelta> delay_changes, tput_changes;
+  for (LinkId l = 0; l < graph_.num_links(); ++l) {
+    if (w.get(TrafficClass::kDelay, l) != donor_key.get(TrafficClass::kDelay, l))
+      for (ArcId a : graph_.link_arcs(l))
+        delay_changes.push_back({a, donor_cost_delay[a]});
+    if (w.get(TrafficClass::kThroughput, l) != donor_key.get(TrafficClass::kThroughput, l))
+      for (ArcId a : graph_.link_arcs(l))
+        tput_changes.push_back({a, donor_cost_tput[a]});
+  }
+
+  FailureScratch scratch;
+  built.delay.compute_from_weight_delta(graph_, cost_delay, traffic_.delay, donor.delay,
+                                        donor.delay_record, delay_changes,
+                                        config_.incremental_max_affected_fraction,
+                                        scratch);
+  built.tput.compute_from_weight_delta(graph_, cost_tput, traffic_.throughput,
+                                       donor.tput, donor.tput_record, tput_changes,
+                                       config_.incremental_max_affected_fraction,
+                                       scratch);
+
+  compute_base_products(built);
+
+  // Delay columns: replay the donor's for destinations whose DAG and read
+  // arc-delays are bitwise unchanged, run the DP for the rest — the same
+  // incremental-delay machinery the failure patch path rides.
+  if (config_.incremental_delay && donor.has_dp_index) {
+    built.delay.end_to_end_delays_from_base(
+        graph_, cost_delay, {}, built.arc_delay, traffic_.delay, params_.sla_delay_mode,
+        donor.arc_delay, donor.sd_delay, donor.dp_index, scratch, built.sd_delay);
+  } else {
+    built.delay.end_to_end_delays(graph_, cost_delay, {}, built.arc_delay,
+                                  traffic_.delay, params_.sla_delay_mode, {},
+                                  built.sd_delay);
+  }
+  aggregate_none_result(built);
+  built.has_delay_base = true;
+  // Records of the NEW base stay lazy (ensure_patch_records), like any cached
+  // scratch build.
+  cache_->note_weight_patch(delay_changes.size() + tput_changes.size());
+  return true;
 }
 
 void Evaluator::ensure_patch_records(std::span<const double> cost_delay,
@@ -337,9 +461,18 @@ std::shared_ptr<const Evaluator::IncrementalBase> Evaluator::acquire_base(
       // A cached record always carries the delay base (serving no-failure
       // evaluations from it is half the point of caching) but defers the
       // patch records to first reuse — most cached bases are Phase-1 probes
-      // that are evicted without ever patching a failure.
-      build_base(cost_delay, cost_tput, *built, /*with_delay_base=*/true,
-                 /*with_records=*/false);
+      // that are evicted without ever patching a failure. When a near
+      // neighbor is cached (a probe differing from the incumbent on one
+      // link), the build itself is delta-patched from it.
+      bool from_donor = false;
+      if (config_.weight_delta_max_links > 0) {
+        if (auto donor = cache_->find_donor(w, config_.weight_delta_max_links))
+          from_donor = build_base_from_donor(w, donor->first, *donor->second,
+                                             cost_delay, cost_tput, *built);
+      }
+      if (!from_donor)
+        build_base(cost_delay, cost_tput, *built, /*with_delay_base=*/true,
+                   /*with_records=*/false);
       cache_->insert(w, built);
       base = std::move(built);
     }
@@ -414,6 +547,23 @@ EvalResult Evaluator::evaluate_impl(std::span<const double> cost_delay,
     s.delay_routing.compute(graph_, cost_delay, traffic_.delay, s.mask, skip);
     s.tput_routing.compute(graph_, cost_tput, traffic_.throughput, s.mask, skip);
   }
+
+  EvalResult result = finish_scenario(cost_delay, skip, detail, s, patched, base);
+  if (stats != nullptr) {
+    if (patched) {
+      ++stats->scenarios_patched;
+      stats->patch.merge(s.failure.stats());
+    } else {
+      ++stats->scenarios_full;
+    }
+  }
+  return result;
+}
+
+EvalResult Evaluator::finish_scenario(std::span<const double> cost_delay,
+                                      std::span<const NodeId> skip, EvalDetail detail,
+                                      Scratch& s, bool patched,
+                                      const IncrementalBase* base) const {
   const ClassRouting& delay_routing = s.delay_routing;
   const ClassRouting& tput_routing = s.tput_routing;
 
@@ -472,15 +622,29 @@ EvalResult Evaluator::evaluate_impl(std::span<const double> cost_delay,
     }
     result.sd_delay_ms = sd_delay;
   }
-  if (stats != nullptr) {
-    if (patched) {
-      ++stats->scenarios_patched;
-      stats->patch.merge(s.failure.stats());
-    } else {
-      ++stats->scenarios_full;
-    }
-  }
   return result;
+}
+
+EvalResult Evaluator::evaluate_with_labels(const WeightSetting& w,
+                                           const FailureScenario& scenario,
+                                           const SharedScenarioLabels& labels,
+                                           EvalDetail detail) const {
+  if (w.num_links() != graph_.num_links())
+    throw std::invalid_argument(
+        "Evaluator::evaluate_with_labels: weight setting size mismatch");
+  if (!skipped_nodes(scenario).empty())
+    throw std::invalid_argument(
+        "Evaluator::evaluate_with_labels: node-failure scenarios unsupported");
+
+  Scratch& s = worker_scratch();
+  w.arc_costs(graph_, TrafficClass::kDelay, s.cost_delay);
+  w.arc_costs(graph_, TrafficClass::kThroughput, s.cost_tput);
+  build_alive_mask(graph_, scenario, s.mask);
+  s.delay_routing.compute_with_labels(graph_, s.cost_delay, traffic_.delay, s.mask,
+                                      labels.delay);
+  s.tput_routing.compute_with_labels(graph_, s.cost_tput, traffic_.throughput, s.mask,
+                                     labels.tput);
+  return finish_scenario(s.cost_delay, {}, detail, s, /*patched=*/false, nullptr);
 }
 
 std::vector<EvalResult> Evaluator::evaluate_failures(

@@ -83,6 +83,16 @@ struct EvaluatorConfig {
   /// replays the base's delay column for the rest — bit-identical by
   /// construction (same float terms, same order).
   bool incremental_delay = true;
+  /// Weight-delta donor patching: when a base-cache miss finds another cached
+  /// base whose weight vector differs on at most this many links (either
+  /// class), the new base's routings — labels, DAGs, loads, delay columns —
+  /// are delta-patched from that donor (delta_spf_update_arcs + record
+  /// replay) instead of rebuilt with full Dijkstras. Bit-identical to a
+  /// scratch build by the same argument as the failure patch path, so cache
+  /// contents stay pure acceleration state. This is the Phase-1 probe
+  /// accelerator: probes perturb ONE link's weights off the incumbent. 0
+  /// disables; only engages with incremental + base_routing_cache on.
+  std::size_t weight_delta_max_links = 1;
   /// Optional telemetry sink (borrowed; may be null). The BATCH entry points
   /// (evaluate_failures, evaluate_costs, sweep) fold their deterministic
   /// counters into it, aggregated per-scenario-slot and merged on the calling
@@ -103,6 +113,13 @@ struct EvaluatorCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  /// Cache misses whose base was delta-patched from a donor entry (a cached
+  /// base differing on <= weight_delta_max_links links) instead of rebuilt
+  /// with full Dijkstras.
+  std::uint64_t weight_patched = 0;
+  /// Total arc-cost-change entries applied by those donor patches (both
+  /// classes; 2 arcs per changed link on bidirectional topologies).
+  std::uint64_t arcs_updated = 0;
 };
 
 /// Deterministic per-evaluation counters of one scenario evaluation, folded
@@ -135,6 +152,19 @@ struct EvalResult {
   std::vector<std::uint8_t> carries_delay_traffic;
 
   CostPair cost() const { return {lambda, phi}; }
+};
+
+/// Per-class destination distance labels for one (weights, failure scenario)
+/// pair, shared across evaluators that differ only in their traffic matrix —
+/// the cross-trial fast path of evaluate_fluctuations. Labels are a pure
+/// function of weights + topology + failure (never of traffic), so one SPF
+/// solve serves every perturbed-TM trial; each trial re-runs only load
+/// aggregation and the cost tail. `delay[t][u]` / `tput[t][u]` must equal
+/// what shortest_distances_to(g, t, costs, alive) produces for that class,
+/// bit for bit.
+struct SharedScenarioLabels {
+  std::vector<std::vector<double>> delay;
+  std::vector<std::vector<double>> tput;
 };
 
 /// One unit of batched evaluation work: a weight setting under a failure
@@ -210,6 +240,17 @@ class Evaluator {
   EvalResult evaluate(const WeightSetting& w,
                       const FailureScenario& scenario = FailureScenario::none(),
                       EvalDetail detail = EvalDetail::kCostsOnly) const;
+
+  /// Evaluation with caller-provided distance labels (see
+  /// SharedScenarioLabels) instead of running any SPF: both class routings
+  /// load-sweep over the given labels under the scenario's alive mask, then
+  /// the ordinary cost tail runs — the same float ops as evaluate(), so the
+  /// result is bit-identical whenever the labels match what the scenario's
+  /// SPF would produce. Node-failure scenarios are rejected (their skip
+  /// semantics change the demand set, not just arc liveness).
+  EvalResult evaluate_with_labels(const WeightSetting& w, const FailureScenario& scenario,
+                                  const SharedScenarioLabels& labels,
+                                  EvalDetail detail = EvalDetail::kCostsOnly) const;
 
   /// Sums weighted Lambda/Phi/violations over `scenarios` under the options'
   /// early-abort / weighting / parallelism knobs (see SweepOptions). The
@@ -308,6 +349,16 @@ class Evaluator {
                            Scratch& scratch, const IncrementalBase* base = nullptr,
                            EvalStats* stats = nullptr) const;
 
+  /// Everything downstream of the two class routings sitting in `scratch`:
+  /// total loads, arc delays, the SLA delay path (incremental when `patched`
+  /// and the base carries a DP index), cost aggregation, and the kFull
+  /// detail. Shared by evaluate_impl and evaluate_with_labels so the float
+  /// operations are literally the same code.
+  EvalResult finish_scenario(std::span<const double> cost_delay,
+                             std::span<const NodeId> skip, EvalDetail detail,
+                             Scratch& s, bool patched,
+                             const IncrementalBase* base) const;
+
   /// Builds the no-failure base for these arc costs: both routings, plus the
   /// delay-DP base (loads, delays, sd_delay, aggregated no-failure costs)
   /// when `with_delay_base`. With `with_records` the replay CSRs and the
@@ -316,6 +367,28 @@ class Evaluator {
   /// to materialize on first reuse.
   void build_base(std::span<const double> cost_delay, std::span<const double> cost_tput,
                   IncrementalBase& base, bool with_delay_base, bool with_records) const;
+
+  /// Builds a base by delta-patching a donor base whose weights differ on at
+  /// most weight_delta_max_links links: both routings run
+  /// compute_from_weight_delta from the donor's labels + replay records, the
+  /// delay columns replay the donor's via the dirty-arc index, and the
+  /// no-failure products/aggregates are derived by the same shared helpers as
+  /// build_base — bit-identical to a scratch build. Returns false (built
+  /// untouched) when the donor cannot serve. Records of the NEW base stay
+  /// lazy (ensure_patch_records).
+  bool build_base_from_donor(const WeightSetting& w, const WeightSetting& donor_key,
+                             const IncrementalBase& donor,
+                             std::span<const double> cost_delay,
+                             std::span<const double> cost_tput,
+                             IncrementalBase& built) const;
+
+  /// No-failure total loads + arc delays of a base whose routings are done.
+  void compute_base_products(IncrementalBase& base) const;
+
+  /// No-failure cost aggregation (SLA over base.sd_delay — mutating it in
+  /// place like every evaluation does — plus the Fortz sum) into
+  /// base.none_result. Requires products + sd_delay.
+  void aggregate_none_result(IncrementalBase& base) const;
 
   /// Materializes the patch-only machinery of a lazily built base — the
   /// replay CSRs and (when the delay DP is on) the dirty-arc index — by

@@ -314,6 +314,107 @@ void ClassRouting::compute_from_base(const Graph& g, std::span<const double> arc
   }
 }
 
+void ClassRouting::compute_from_weight_delta(const Graph& g,
+                                             std::span<const double> arc_cost,
+                                             const TrafficMatrix& demands,
+                                             const ClassRouting& base,
+                                             const RoutingBaseRecord& record,
+                                             std::span<const ArcCostDelta> changes,
+                                             double max_affected_fraction,
+                                             FailureScratch& scratch) {
+  if (demands.num_nodes() != g.num_nodes())
+    throw std::invalid_argument("ClassRouting: traffic matrix / graph size mismatch");
+  const std::size_t n = g.num_nodes();
+  if (base.dist_.size() != n || record.contrib_offset.size() != n + 1)
+    throw std::invalid_argument(
+        "compute_from_weight_delta: base/record don't match this graph");
+
+  arc_load_.assign(g.num_arcs(), 0.0);
+  dist_.resize(n);
+  disconnected_ = 0;
+  disconnected_volume_ = 0.0;
+  replayed_.assign(n, 0);
+
+  const std::size_t cap =
+      max_affected_fraction >= 1.0
+          ? n
+          : static_cast<std::size_t>(std::max(0.0, max_affected_fraction) *
+                                     static_cast<double>(n));
+
+  for (NodeId t = 0; t < n; ++t) {
+    dist_[t] = base.dist_[t];
+    const std::ptrdiff_t touched =
+        delta_spf_update_arcs(g, arc_cost, {}, changes, dist_[t], cap, scratch.spf_);
+    bool affected = touched != 0;
+    if (touched < 0) {
+      // Delta would touch too much of this destination: full Dijkstra is
+      // cheaper than the delta bookkeeping (dist_[t] is still the untouched
+      // base copy here).
+      shortest_distances_to(g, t, arc_cost, {}, dist_[t]);
+      ++scratch.stats_.dests_full_fallback;
+    } else if (touched > 0) {
+      ++scratch.stats_.dests_delta;
+      scratch.stats_.affected_nodes += static_cast<std::uint64_t>(touched);
+      scratch.stats_.boundary_seeds += scratch.spf_.last_boundary_seeds();
+      scratch.stats_.observe_affected(static_cast<std::uint64_t>(touched));
+    }
+    if (!affected) {
+      // Labels survived, but a changed arc that is tight (by the sweep's
+      // epsilon predicate) under EITHER cost vector still churns the ECMP
+      // splits at its source: tight under the old cost means the base's DAG
+      // used it, tight under the new cost means ours does.
+      for (const ArcCostDelta& c : changes) {
+        const Arc& arc = g.arc(c.arc);
+        if (arc_is_tight(arc, c.old_cost, dist_[t]) ||
+            arc_is_tight(arc, arc_cost[c.arc], dist_[t])) {
+          affected = true;
+          break;
+        }
+      }
+    }
+    if (affected) {
+      sweep_destination(g, arc_cost, demands, {}, {}, t, nullptr);
+      ++scratch.stats_.dests_resweep;
+    } else {
+      // Untouched DAG: replay the base contributions. Every accumulator
+      // receives the same float terms in the same destination order as a
+      // full recompute, so the patched state is bitwise identical.
+      for (std::size_t i = record.contrib_offset[t]; i < record.contrib_offset[t + 1]; ++i)
+        arc_load_[record.contrib_arc[i]] += record.contrib_val[i];
+      disconnected_ += record.disconnected[t];
+      disconnected_volume_ += record.disconnected_volume[t];
+      replayed_[t] = 1;
+      ++scratch.stats_.dests_replayed;
+    }
+  }
+}
+
+void ClassRouting::compute_with_labels(const Graph& g, std::span<const double> arc_cost,
+                                       const TrafficMatrix& demands,
+                                       ArcAliveMask alive_mask,
+                                       const std::vector<std::vector<double>>& labels,
+                                       std::span<const NodeId> skip_nodes) {
+  if (demands.num_nodes() != g.num_nodes())
+    throw std::invalid_argument("ClassRouting: traffic matrix / graph size mismatch");
+  const std::size_t n = g.num_nodes();
+  if (labels.size() != n)
+    throw std::invalid_argument("compute_with_labels: labels/graph size mismatch");
+
+  arc_load_.assign(g.num_arcs(), 0.0);
+  dist_.resize(n);
+  disconnected_ = 0;
+  disconnected_volume_ = 0.0;
+  replayed_.clear();  // not a patched routing
+
+  for (NodeId t = 0; t < n; ++t) {
+    if (labels[t].size() != n)
+      throw std::invalid_argument("compute_with_labels: label column size mismatch");
+    dist_[t] = labels[t];
+    if (!is_skipped(skip_nodes, t))
+      sweep_destination(g, arc_cost, demands, alive_mask, skip_nodes, t, nullptr);
+  }
+}
+
 void ClassRouting::delay_dp_destination(const Graph& g, std::span<const double> arc_cost,
                                         ArcAliveMask alive_mask,
                                         std::span<const double> arc_delay_ms,

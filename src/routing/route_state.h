@@ -158,6 +158,41 @@ class ClassRouting {
                          std::span<const ArcId> removed_arcs, ArcAliveMask alive,
                          double max_affected_fraction, FailureScratch& scratch);
 
+  /// Incremental recompute of this NO-FAILURE routing under an arc COST
+  /// change, patching from `base` — the same graph/demands routed under
+  /// `changes[i].old_cost` in place of arc_cost[changes[i].arc] (no failure
+  /// mask on either side), with `record` its replay record. Produces
+  /// bitwise-identical state to compute() under the new costs: per
+  /// destination, distance labels are delta-updated (full-Dijkstra fallback
+  /// past `max_affected_fraction`), and load / disconnection contributions
+  /// are replayed from the record when the destination's labels AND tight-arc
+  /// set are untouched (a changed arc tight under either cost vector churns
+  /// the ECMP splits even when labels survive), re-swept otherwise.
+  ///
+  /// This is the optimizer's candidate-probing fast path: a probe that
+  /// changes one link's weights differs from the incumbent by two arcs per
+  /// class.
+  void compute_from_weight_delta(const Graph& g, std::span<const double> arc_cost,
+                                 const TrafficMatrix& demands,
+                                 const ClassRouting& base,
+                                 const RoutingBaseRecord& record,
+                                 std::span<const ArcCostDelta> changes,
+                                 double max_affected_fraction,
+                                 FailureScratch& scratch);
+
+  /// (Re)computes the routing from CALLER-PROVIDED distance labels
+  /// (labels[t][u] = shortest cost u -> t under arc_cost/alive), skipping the
+  /// per-destination Dijkstras: the labels are copied and the identical load
+  /// sweep of compute() runs over them. With labels equal to what
+  /// shortest_distances_to produces, the result is bitwise identical to
+  /// compute() — the cross-trial sharing path of evaluate_fluctuations leans
+  /// on this to build labels once per weight setting and reuse them across
+  /// every perturbed traffic matrix.
+  void compute_with_labels(const Graph& g, std::span<const double> arc_cost,
+                           const TrafficMatrix& demands, ArcAliveMask alive,
+                           const std::vector<std::vector<double>>& labels,
+                           std::span<const NodeId> skip_nodes = {});
+
   std::span<const double> arc_loads() const { return arc_load_; }
   double arc_load(ArcId a) const { return arc_load_[a]; }
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -7,6 +8,8 @@
 
 #include "experiments/campaign.h"
 #include "experiments/results.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace dtr::experiments {
 namespace {
@@ -66,6 +69,53 @@ TEST(CampaignTest, JsonBytesIdenticalAcrossExecutionShapes) {
   EXPECT_NE(a.find("\"schema\": \"dtr.campaign.v1\""), std::string::npos);
   // The fig6-style series made it into the artifact.
   EXPECT_NE(a.find("\"pert_violations_r_mean\""), std::string::npos);
+}
+
+TEST(CampaignTest, FluctuationSharedBasePathMatchesReferenceBytes) {
+  // evaluate_fluctuations rides the cross-trial shared-labels path when the
+  // incremental engine is on (one SPF solve per routing x failure, reused by
+  // every perturbed trial) and the per-trial reference path when it is off.
+  // Both must produce byte-identical stress series, for any pool shape.
+  WorkloadSpec spec;
+  spec.kind = TopologyKind::kRand;
+  spec.nodes = 10;
+  spec.degree = 4.0;
+  spec.seed = 11;
+  const Workload w = make_workload(spec);
+
+  Rng rng(3);
+  std::vector<WeightSetting> routings(2, WeightSetting(w.graph.num_links()));
+  for (WeightSetting& r : routings) randomize_weights(r, 20, rng);
+  const std::vector<LinkId> top = {0, 1, 2, 3};
+
+  FluctuationSpec fluct;
+  fluct.model = FluctuationSpec::Model::kGaussian;
+  fluct.trials = 4;
+
+  EvaluatorConfig shared_cfg;     // incremental on: shared-labels path
+  EvaluatorConfig reference_cfg;  // incremental off: per-trial evaluators
+  reference_cfg.incremental = false;
+
+  ThreadPool pool(4);
+  const std::vector<StressSeries> reference =
+      evaluate_fluctuations(w, routings, top, fluct, 77, nullptr, reference_cfg);
+  for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+    const std::vector<StressSeries> shared =
+        evaluate_fluctuations(w, routings, top, fluct, 77, p, shared_cfg);
+    ASSERT_EQ(shared.size(), reference.size());
+    const auto bytes_equal = [](const std::vector<double>& x,
+                                const std::vector<double>& y) {
+      return x.size() == y.size() &&
+             (x.empty() ||
+              std::memcmp(x.data(), y.data(), x.size() * sizeof(double)) == 0);
+    };
+    for (std::size_t r = 0; r < shared.size(); ++r) {
+      EXPECT_TRUE(bytes_equal(shared[r].mean_violations, reference[r].mean_violations));
+      EXPECT_TRUE(bytes_equal(shared[r].std_violations, reference[r].std_violations));
+      EXPECT_TRUE(bytes_equal(shared[r].mean_phi, reference[r].mean_phi));
+      EXPECT_TRUE(bytes_equal(shared[r].std_phi, reference[r].std_phi));
+    }
+  }
 }
 
 TEST(CampaignTest, StandardMetricsArePresentAndSane) {

@@ -165,6 +165,82 @@ TEST(IncrementalTest, ConfigDefaultsToIncremental) {
   EXPECT_TRUE(ev.config().base_routing_cache);
   EXPECT_TRUE(ev.config().incremental_delay);
   EXPECT_GT(ev.config().base_cache_capacity, 0u);
+  EXPECT_EQ(ev.config().weight_delta_max_links, 1u);
+}
+
+TEST(IncrementalTest, WeightDeltaDonorBaseMatchesScratchBuild) {
+  // Phase-1 probe shape: an incumbent's base is cached, then neighbors
+  // differing on one link are evaluated. The donor evaluator patches each
+  // probe's base from the incumbent (delta-SPF over the weight change); the
+  // reference evaluator builds every base from scratch. Every result —
+  // no-failure, every single link, a compound scenario, kFull detail — must
+  // be identical field for field.
+  const TestInstance inst = make_test_instance(12, 4.0, 57);
+  EvaluatorConfig donor_cfg;
+  donor_cfg.base_cache_capacity = 64;  // keep the incumbent resident
+  EvaluatorConfig scratch_cfg = donor_cfg;
+  scratch_cfg.weight_delta_max_links = 0;
+
+  const Evaluator with_donor(inst.graph, inst.traffic, inst.params, donor_cfg);
+  const Evaluator reference(inst.graph, inst.traffic, inst.params, scratch_cfg);
+  const WeightSetting incumbent = random_weights(inst.graph, 20, 91);
+  (void)with_donor.evaluate(incumbent);
+  (void)reference.evaluate(incumbent);
+
+  std::vector<FailureScenario> scenarios = all_link_failures(inst.graph);
+  scenarios.insert(scenarios.begin(), FailureScenario::none());
+  scenarios.push_back(FailureScenario::compound({0, 2, 3}));
+
+  for (LinkId l = 0; l < inst.graph.num_links(); ++l) {
+    WeightSetting probe = incumbent;
+    // Increases and decreases both ride the donor patch; odd links change
+    // both classes (still ONE differing link).
+    const int wd = probe.get(TrafficClass::kDelay, l);
+    probe.set(TrafficClass::kDelay, l, wd >= 16 ? 1 : wd + 5);
+    if (l % 2 == 1) {
+      const int wt = probe.get(TrafficClass::kThroughput, l);
+      probe.set(TrafficClass::kThroughput, l, wt >= 18 ? 2 : wt + 3);
+    }
+    for (const FailureScenario& sc : scenarios) {
+      expect_results_identical(with_donor.evaluate(probe, sc, EvalDetail::kFull),
+                               reference.evaluate(probe, sc, EvalDetail::kFull));
+    }
+  }
+  const EvaluatorCacheStats donor_stats = with_donor.base_cache_stats();
+  EXPECT_GT(donor_stats.weight_patched, 0u);
+  EXPECT_GT(donor_stats.arcs_updated, 0u);
+  EXPECT_EQ(reference.base_cache_stats().weight_patched, 0u);
+}
+
+TEST(IncrementalTest, WeightDeltaDonorHandlesMultiLinkProbes) {
+  const TestInstance inst = make_test_instance(12, 4.0, 23);
+  EvaluatorConfig donor_cfg;
+  donor_cfg.weight_delta_max_links = 3;
+  EvaluatorConfig scratch_cfg;
+  scratch_cfg.weight_delta_max_links = 0;
+
+  const Evaluator with_donor(inst.graph, inst.traffic, inst.params, donor_cfg);
+  const Evaluator reference(inst.graph, inst.traffic, inst.params, scratch_cfg);
+  const WeightSetting incumbent = random_weights(inst.graph, 20, 5);
+  (void)with_donor.evaluate(incumbent);
+  (void)reference.evaluate(incumbent);
+
+  const std::vector<FailureScenario> scenarios = all_link_failures(inst.graph);
+  WeightSetting probe = incumbent;
+  for (const LinkId l : {LinkId{1}, LinkId{4}, LinkId{7}}) {
+    probe.set(TrafficClass::kDelay, l, probe.get(TrafficClass::kDelay, l) >= 10 ? 3 : 19);
+    probe.set(TrafficClass::kThroughput, l,
+              probe.get(TrafficClass::kThroughput, l) >= 10 ? 4 : 17);
+  }
+  expect_results_identical(with_donor.evaluate(probe, FailureScenario::none(),
+                                               EvalDetail::kFull),
+                           reference.evaluate(probe, FailureScenario::none(),
+                                              EvalDetail::kFull));
+  for (const FailureScenario& sc : scenarios) {
+    expect_results_identical(with_donor.evaluate(probe, sc, EvalDetail::kFull),
+                             reference.evaluate(probe, sc, EvalDetail::kFull));
+  }
+  EXPECT_GT(with_donor.base_cache_stats().weight_patched, 0u);
 }
 
 TEST(IncrementalTest, DelayDpBytesMatchFullDpAcrossInstances) {

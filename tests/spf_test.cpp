@@ -251,5 +251,231 @@ TEST(DeltaSpfTest, AffectedCapAbortsWithDistUntouched) {
   EXPECT_EQ(delta_spf_remove_arcs(g, costs, alive, removed, dist, 5, scratch), 5);
 }
 
+// ---------------------------------------------------------------------------
+// delta_spf_update_arcs: generalizes removal to arbitrary cost changes; the
+// same bit-for-bit contract against a from-scratch Dijkstra, for increases,
+// decreases, removals-as-masks, ties, no-ops and the abort path.
+// ---------------------------------------------------------------------------
+
+/// Byte-compares the delta update against a full Dijkstra for every
+/// destination when link `l`'s weight changes from its value in `costs` to
+/// `new_weight`.
+void expect_update_matches_full(const Graph& g, std::span<const double> costs,
+                                LinkId l, double new_weight) {
+  std::vector<double> new_costs(costs.begin(), costs.end());
+  std::vector<ArcCostDelta> changes;
+  for (ArcId a : g.link_arcs(l)) {
+    changes.push_back({a, costs[a]});
+    new_costs[a] = new_weight;
+  }
+  DeltaSpfScratch scratch;
+  std::vector<double> base, delta, full;
+  for (NodeId t = 0; t < g.num_nodes(); ++t) {
+    shortest_distances_to(g, t, costs, {}, base);
+    delta = base;
+    ASSERT_GE(delta_spf_update_arcs(g, new_costs, {}, changes, delta, g.num_nodes(),
+                                    scratch),
+              0);
+    shortest_distances_to(g, t, new_costs, {}, full);
+    ASSERT_EQ(delta, full) << "link " << l << " -> " << new_weight << " dest " << t;
+  }
+}
+
+TEST(DeltaSpfUpdateTest, CostDecreaseCreatesNewShortestPaths) {
+  // Dropping any link to weight 1 pulls shortest paths through it: the
+  // improvement front must propagate exactly like a fresh Dijkstra.
+  for (const std::uint64_t seed : {4ull, 11ull, 29ull}) {
+    const Graph g = make_rand_topo({14, 4.0, 500.0, seed});
+    const std::vector<double> costs = weight_costs(g, 20, seed + 7);
+    for (LinkId l = 0; l < g.num_links(); ++l)
+      expect_update_matches_full(g, costs, l, 1.0);
+  }
+}
+
+TEST(DeltaSpfUpdateTest, CostIncreaseRedirectsPaths) {
+  for (const std::uint64_t seed : {6ull, 17ull}) {
+    const Graph g = make_rand_topo({14, 4.0, 500.0, seed});
+    const std::vector<double> costs = weight_costs(g, 20, seed + 3);
+    for (LinkId l = 0; l < g.num_links(); ++l)
+      expect_update_matches_full(g, costs, l, 75.0);
+  }
+}
+
+TEST(DeltaSpfUpdateTest, IncreaseToDeadArcDisconnectsDestination) {
+  // Path graph: treating a bridge as removed (dead in the alive mask, its old
+  // cost in the change list) must drive the severed side to infinity.
+  Graph g(6);
+  for (NodeId u = 0; u + 1 < 6; ++u) g.add_link(u, u + 1, 100.0, 1.0);
+  const std::vector<double> costs = weight_costs(g, 7, 13);
+  std::vector<std::uint8_t> alive(g.num_arcs(), 1);
+  std::vector<ArcCostDelta> changes;
+  for (ArcId a : g.link_arcs(2)) {  // bridge between {0,1,2} and {3,4,5}
+    alive[a] = 0;
+    changes.push_back({a, costs[a]});
+  }
+  DeltaSpfScratch scratch;
+  std::vector<double> base, delta, full;
+  for (NodeId t = 0; t < g.num_nodes(); ++t) {
+    shortest_distances_to(g, t, costs, {}, base);
+    delta = base;
+    ASSERT_GE(
+        delta_spf_update_arcs(g, costs, alive, changes, delta, g.num_nodes(), scratch),
+        0);
+    shortest_distances_to(g, t, costs, alive, full);
+    ASSERT_EQ(delta, full) << "dest " << t;
+    // The far side really is unreachable now.
+    if (t >= 3) {
+      EXPECT_EQ(delta[0], kInfDist);
+    }
+  }
+}
+
+TEST(DeltaSpfUpdateTest, EqualCostTieChurnKeepsLabelsBitIdentical) {
+  // Diamond 0-1-3 / 0-2-3, all weight 1: both two-hop paths tie. Breaking
+  // the tie (increase one side) or re-creating it (decrease back) never
+  // changes any label — the update must report zero affected nodes and
+  // leave every byte alone, matching the full recompute.
+  const Graph g = test::make_diamond();
+  std::vector<double> even(g.num_arcs(), 1.0);
+
+  // Increase off the tie: link 0 (0-1) from 1 to 2; labels to dest 3 keep
+  // their values (0 still reaches 3 at cost 2 via node 2).
+  {
+    std::vector<double> new_costs = even;
+    std::vector<ArcCostDelta> changes;
+    for (ArcId a : g.link_arcs(0)) {
+      changes.push_back({a, 1.0});
+      new_costs[a] = 2.0;
+    }
+    DeltaSpfScratch scratch;
+    std::vector<double> base, delta, full;
+    shortest_distances_to(g, 3, even, {}, base);
+    delta = base;
+    EXPECT_EQ(delta_spf_update_arcs(g, new_costs, {}, changes, delta, g.num_nodes(),
+                                    scratch),
+              0);
+    shortest_distances_to(g, 3, new_costs, {}, full);
+    ASSERT_EQ(delta, full);
+    ASSERT_EQ(delta, base);
+  }
+
+  // Decrease onto the tie: starting from the broken-tie costs, lower the
+  // link back to 1 — the improved arc only matches (never beats) the other
+  // path, so again zero affected nodes.
+  {
+    std::vector<double> old_costs = even;
+    for (ArcId a : g.link_arcs(0)) old_costs[a] = 2.0;
+    std::vector<ArcCostDelta> changes;
+    for (ArcId a : g.link_arcs(0)) changes.push_back({a, 2.0});
+    DeltaSpfScratch scratch;
+    std::vector<double> base, delta, full;
+    shortest_distances_to(g, 3, old_costs, {}, base);
+    delta = base;
+    EXPECT_EQ(delta_spf_update_arcs(g, even, {}, changes, delta, g.num_nodes(), scratch),
+              0);
+    shortest_distances_to(g, 3, even, {}, full);
+    ASSERT_EQ(delta, full);
+    ASSERT_EQ(delta, base);
+  }
+}
+
+TEST(DeltaSpfUpdateTest, NoOpDeltaReturnsZero) {
+  const Graph g = test::make_ring_with_chords(10);
+  const std::vector<double> costs = weight_costs(g, 9, 21);
+  DeltaSpfScratch scratch;
+  std::vector<double> dist, expect;
+  shortest_distances_to(g, 6, costs, {}, dist);
+  expect = dist;
+  // Empty change list.
+  EXPECT_EQ(delta_spf_update_arcs(g, costs, {}, {}, dist, g.num_nodes(), scratch), 0);
+  EXPECT_EQ(dist, expect);
+  // Changes whose old cost equals the new cost.
+  std::vector<ArcCostDelta> noop;
+  for (ArcId a : g.link_arcs(3)) noop.push_back({a, costs[a]});
+  EXPECT_EQ(delta_spf_update_arcs(g, costs, {}, noop, dist, g.num_nodes(), scratch), 0);
+  EXPECT_EQ(dist, expect);
+}
+
+TEST(DeltaSpfUpdateTest, AbortThresholdRestoresDistOnDecrease) {
+  // Path 0-1-2-3-4-5 with weight 10, destination 5: dropping link 4-5 to 1
+  // improves every other node's label (5 affected). A cap of 2 must abort
+  // with dist byte-identical to the input; a cap of 5 must succeed.
+  Graph g(6);
+  for (NodeId u = 0; u + 1 < 6; ++u) g.add_link(u, u + 1, 100.0, 1.0);
+  std::vector<double> costs(g.num_arcs(), 10.0);
+  std::vector<double> new_costs = costs;
+  std::vector<ArcCostDelta> changes;
+  for (ArcId a : g.link_arcs(4)) {
+    changes.push_back({a, 10.0});
+    new_costs[a] = 1.0;
+  }
+  DeltaSpfScratch scratch;
+  std::vector<double> base, dist, full;
+  shortest_distances_to(g, 5, costs, {}, base);
+  dist = base;
+  EXPECT_EQ(delta_spf_update_arcs(g, new_costs, {}, changes, dist, 2, scratch), -1);
+  EXPECT_EQ(dist, base);
+  dist = base;
+  EXPECT_EQ(delta_spf_update_arcs(g, new_costs, {}, changes, dist, 5, scratch), 5);
+  shortest_distances_to(g, 5, new_costs, {}, full);
+  EXPECT_EQ(dist, full);
+}
+
+TEST(DeltaSpfUpdateTest, AbortThresholdRestoresDistOnIncrease) {
+  // Same path, destination 5, raising link 4-5 to 100: every node upstream
+  // of the change re-labels through the (only) path, so phase 1 floods and
+  // a small cap must abort with dist untouched.
+  Graph g(6);
+  for (NodeId u = 0; u + 1 < 6; ++u) g.add_link(u, u + 1, 100.0, 1.0);
+  std::vector<double> costs(g.num_arcs(), 10.0);
+  std::vector<double> new_costs = costs;
+  std::vector<ArcCostDelta> changes;
+  for (ArcId a : g.link_arcs(4)) {
+    changes.push_back({a, 10.0});
+    new_costs[a] = 100.0;
+  }
+  DeltaSpfScratch scratch;
+  std::vector<double> base, dist, full;
+  shortest_distances_to(g, 5, costs, {}, base);
+  dist = base;
+  EXPECT_EQ(delta_spf_update_arcs(g, new_costs, {}, changes, dist, 2, scratch), -1);
+  EXPECT_EQ(dist, base);
+  dist = base;
+  EXPECT_EQ(delta_spf_update_arcs(g, new_costs, {}, changes, dist, 5, scratch), 5);
+  shortest_distances_to(g, 5, new_costs, {}, full);
+  EXPECT_EQ(dist, full);
+}
+
+TEST(DeltaSpfUpdateTest, MixedMultiLinkChangesMatchFullRecompute) {
+  // One increase and one decrease in the same change list exercise both
+  // phases together on every destination.
+  const Graph g = make_rand_topo({16, 4.0, 500.0, 31});
+  const std::vector<double> costs = weight_costs(g, 20, 77);
+  for (LinkId l1 = 0; l1 + 1 < g.num_links(); l1 += 4) {
+    const LinkId l2 = l1 + 1;
+    std::vector<double> new_costs = costs;
+    std::vector<ArcCostDelta> changes;
+    for (ArcId a : g.link_arcs(l1)) {
+      changes.push_back({a, costs[a]});
+      new_costs[a] = costs[a] + 40.0;
+    }
+    for (ArcId a : g.link_arcs(l2)) {
+      changes.push_back({a, costs[a]});
+      new_costs[a] = 1.0;
+    }
+    DeltaSpfScratch scratch;
+    std::vector<double> base, delta, full;
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      shortest_distances_to(g, t, costs, {}, base);
+      delta = base;
+      ASSERT_GE(delta_spf_update_arcs(g, new_costs, {}, changes, delta, g.num_nodes(),
+                                      scratch),
+                0);
+      shortest_distances_to(g, t, new_costs, {}, full);
+      ASSERT_EQ(delta, full) << "links " << l1 << "/" << l2 << " dest " << t;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dtr
