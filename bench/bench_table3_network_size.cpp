@@ -7,9 +7,16 @@
 ///
 /// Scaling: paper sizes are {30, 50, 100}; at smoke/quick effort we run
 /// {12, 16, 24} so the sweep finishes in minutes (DTR_EFFORT=full restores
-/// the paper's sizes). Runs as a campaign — one cell per size, sharded
-/// across workers; see bench_common.h for the standard flags.
+/// the paper's sizes). Full effort additionally extends the axis with
+/// generated Rocketfuel-style ISP cells at {500, 1000, 2000} nodes — the
+/// scale tier the CSR graph core exists for; these share the campaign's
+/// determinism contract but take hours at the paper's search budget, so
+/// they only run when explicitly filtered in (--filter ISP) or when the
+/// whole full-effort campaign is requested. Runs as a campaign — one cell
+/// per size, sharded across workers; see bench_common.h for the standard
+/// flags.
 
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -40,6 +47,19 @@ int main(int argc, char** argv) {
     cell.id = cell.spec.label();
     cell.repeats = ctx.repeats;
     campaign.cells.push_back(std::move(cell));
+  }
+  if (ctx.effort == Effort::kFull) {
+    for (int n : {500, 1000, 2000}) {
+      CampaignCell cell;
+      cell.spec.kind = TopologyKind::kIsp;
+      cell.spec.isp_source = IspSource::kGenerated;
+      cell.spec.nodes = n;
+      cell.spec.isp_pops = std::max(6, n / 25);
+      cell.spec.seed = ctx.seed + static_cast<std::uint64_t>(n);
+      cell.id = cell.spec.label();
+      cell.repeats = 1;  // one trial per size: the axis is scale, not variance
+      campaign.cells.push_back(std::move(cell));
+    }
   }
   if (!apply_bench_args(args, campaign)) return 0;
 

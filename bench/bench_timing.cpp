@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -382,6 +383,85 @@ BENCHMARK(BM_Phase2CatalogObjective)
     ->Arg(static_cast<int>(AggregationMode::kExpectedCost))
     ->Arg(static_cast<int>(AggregationMode::kWeightedPercentile))
     ->Arg(static_cast<int>(AggregationMode::kExpectedDowntime))
+    ->Unit(benchmark::kSecond)->Iterations(1);
+
+// ---------------------------------------------------------------------------
+// ISP-scale tier: the generated Rocketfuel-style topology axis at network
+// sizes far beyond the paper tables, iterating the CSR graph core. The sweep
+// row tracks the production campaign profile (incremental + base cache) on an
+// all-link failure sweep; the optimize row tracks end-to-end robust search
+// cost growth. Search effort is pinned to kSmoke so the rows measure
+// per-candidate cost scaling, not search quality, and stay minutes-bounded
+// in the CI perf job.
+// ---------------------------------------------------------------------------
+
+const Workload& isp_workload(int nodes) {
+  static std::map<int, Workload> cache;
+  auto [it, inserted] = cache.try_emplace(nodes);
+  if (inserted) {
+    WorkloadSpec spec;
+    spec.kind = TopologyKind::kIsp;
+    spec.isp_source = IspSource::kGenerated;
+    spec.nodes = nodes;
+    spec.isp_pops = std::max(6, nodes / 25);
+    spec.seed = seed_from_env(1);
+    it->second = make_workload(spec);
+  }
+  return it->second;
+}
+
+void BM_IspScaleSweep(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const Workload& workload = isp_workload(nodes);
+  const Evaluator ev(workload.graph, workload.traffic, workload.params);
+  WeightSetting w(ev.graph().num_links());
+  Rng rng(seed_from_env(1));
+  randomize_weights(w, 30, rng);
+  const std::vector<FailureScenario> scenarios = all_link_failures(ev.graph());
+
+  double checksum = 0.0;
+  for (auto _ : state) {
+    const auto results = ev.evaluate_failures(w, scenarios);
+    checksum += results.front().phi;
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.counters["nodes"] = static_cast<double>(ev.graph().num_nodes());
+  state.counters["links"] = static_cast<double>(ev.graph().num_links());
+}
+BENCHMARK(BM_IspScaleSweep)
+    ->ArgNames({"nodes"})
+    ->Arg(300)->Arg(1000)
+    ->Unit(benchmark::kSecond)->Iterations(1);
+
+void BM_IspScaleOptimize(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const Workload& workload = isp_workload(nodes);
+  const Evaluator ev(workload.graph, workload.traffic, workload.params);
+  OptimizeResult last;
+  for (auto _ : state) {
+    last = run_optimizer(ev, Effort::kSmoke, seed_from_env(1),
+                         [](OptimizerConfig& c) {
+                           // Every default search budget grows with |E|: one
+                           // local-search iteration probes EVERY link, the
+                           // stall-based phases run to ~1600 such passes, the
+                           // Phase-1b sample budget is 20*tau*|E|, and every
+                           // Phase-2 probe sweeps the critical set. Pin all
+                           // of them so this row measures per-probe cost
+                           // growth along the size axis, not a budget formula
+                           // that grows with the axis itself.
+                           c.max_phase1b_samples = 500;
+                           c.phase1.max_iterations = 2;
+                           c.phase2.max_iterations = 1;
+                           c.critical_count = 8;
+                         });
+  }
+  report_phases(state, last);
+  state.counters["nodes"] = static_cast<double>(ev.graph().num_nodes());
+  state.counters["links"] = static_cast<double>(ev.graph().num_links());
+}
+BENCHMARK(BM_IspScaleOptimize)
+    ->ArgNames({"nodes"})
+    ->Arg(300)
     ->Unit(benchmark::kSecond)->Iterations(1);
 
 void BM_CriticalSearchThreads(benchmark::State& state) {

@@ -61,8 +61,14 @@
 ///   id = rand16            # cell keys: id, topology, nodes, degree,
 ///   topology = rand        #   attachments, theta, avg_util|max_util,
 ///   nodes = 16             #   delay_fraction, seed, repeats, seed_stride,
-///   degree = 5             #   critical_fraction, floor, fluctuation
-///   repeats = 3            #   (none|gaussian|hotspot), trials, epsilon,
+///   degree = 5             #   critical_fraction, phase1b_samples,
+///                          #   phase_iterations, floor,
+///   repeats = 3            #   fluctuation (none|gaussian|hotspot), trials,
+///                          #   epsilon,
+///                          # topology also takes isp:k=v,... with keys pops,
+///                          #   cores, backbone_degree, avg_degree (generated
+///                          #   Rocketfuel-style ISP at `nodes` routers) or
+///                          #   isp:file=PATH (load a dtr-graph file)
 ///   scenario_set = k_link  #   top_fraction, direction, server_fraction,
 ///   k_link = 2             #   client_fraction, scale_min, scale_max, and
 ///   rate_weights = 1       #   the scenario-catalog keys: scenario_set

@@ -122,6 +122,23 @@ def self_test() -> int:
               invoke(tmp, bench(fast),
                      bench(fast + [{"name": "BM_GONE", "real_ms": 2.0}])),
               1, "missing from this run: BM_GONE")
+        # Scale-tier entries carry benchmark args and counters in their names
+        # and payloads ("BM_IspScaleSweep/nodes:300", counters nodes/links);
+        # the gate must treat them like any other row: presence is structural
+        # (a vanished scale entry means the scale tier silently stopped
+        # running), speed is advisory.
+        scale_base = fast + [{"name": "BM_IspScaleSweep/nodes:300",
+                              "real_ms": 8000.0,
+                              "counters": {"nodes": 300.0, "links": 582.0}}]
+        scale_slow = fast + [{"name": "BM_IspScaleSweep/nodes:300",
+                              "real_ms": 24000.0,
+                              "counters": {"nodes": 300.0, "links": 582.0}}]
+        check("vanished scale-tier entry blocks",
+              invoke(tmp, bench(fast), bench(scale_base)),
+              1, "missing from this run: BM_IspScaleSweep/nodes:300")
+        check("scale-tier slowdown is advisory",
+              invoke(tmp, bench(scale_slow), bench(scale_base)),
+              0, "::warning::check-bench: BM_IspScaleSweep/nodes:300 is 3.00x slower")
         check("3x slowdown is advisory",
               invoke(tmp, bench(slow), bench(fast)),
               0, "::warning::check-bench: BM_A is 3.00x slower")

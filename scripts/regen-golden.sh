@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates the CI golden campaign artifacts (tests/golden/campaign_smoke.json,
-# tests/golden/scenario_smoke.json, tests/golden/availability_smoke.json) from
-# the specs next to them.
+# tests/golden/scenario_smoke.json, tests/golden/availability_smoke.json,
+# tests/golden/isp_smoke.json) from the specs next to them.
 #
 # The CI bench-smoke job runs the same campaigns and `diff`s their output
 # against the checked-in JSON, so silent metric regressions fail CI. Only
@@ -68,10 +68,21 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target dtr_tool
   --json "$OUT_DIR"/availability_smoke.json \
   --workers 2
 
+# ISP-scale gate artifact (~300-router generated Rocketfuel-style cell with
+# pinned search budgets; see the spec header). This is the slowest golden —
+# about a minute of optimizer + two all-link profile sweeps — which is exactly
+# the point: it exercises the CSR core and the incremental engine an order of
+# magnitude past the paper tables.
+"$BUILD_DIR"/examples/dtr_tool campaign \
+  --spec tests/golden/isp_smoke.spec \
+  --json "$OUT_DIR"/isp_smoke.json \
+  --workers 2
+
 if [[ "$OUT_DIR" == "tests/golden" ]]; then
   echo "regenerated golden campaign artifacts:"
   git --no-pager diff --stat -- tests/golden/campaign_smoke.json \
-    tests/golden/scenario_smoke.json tests/golden/availability_smoke.json
+    tests/golden/scenario_smoke.json tests/golden/availability_smoke.json \
+    tests/golden/isp_smoke.json
 else
   echo "regenerated golden campaign artifacts into $OUT_DIR (tree untouched)"
 fi

@@ -115,13 +115,15 @@ double average_max_path_utilization(const Evaluator& evaluator, const WeightSett
               [&](NodeId a, NodeId b) { return dist[a] < dist[b]; });
 
     std::fill(max_util.begin(), max_util.end(), 0.0);
+    const GraphCsr& csr = g.csr();
     for (NodeId u : order) {
       if (u == t) continue;
       double best = 0.0;
-      for (ArcId a : g.out_arcs(u)) {
-        if (!arc_is_tight(g.arc(a), cost_delay[a], dist)) continue;
-        best = std::max(best,
-                        std::max(normal.arc_utilization[a], max_util[g.arc(a).dst]));
+      for (std::uint32_t k = csr.out_offset[u]; k < csr.out_offset[u + 1]; ++k) {
+        const ArcId a = csr.out_arc[k];
+        const NodeId v = csr.out_head[k];
+        if (!arc_is_tight(u, v, cost_delay[a], dist)) continue;
+        best = std::max(best, std::max(normal.arc_utilization[a], max_util[v]));
       }
       max_util[u] = best;
     }
@@ -172,9 +174,12 @@ std::vector<double> unavoidable_violation_profile(
     const Evaluator& evaluator, std::span<const FailureScenario> scenarios,
     ThreadPool* pool) {
   std::vector<double> out(scenarios.size());
-  parallel_for(pool, scenarios.size(), [&](std::size_t, std::size_t i) {
-    out[i] = static_cast<double>(unavoidable_violations(evaluator, scenarios[i]));
-  });
+  parallel_for(
+      pool, scenarios.size(),
+      [&](std::size_t, std::size_t i) {
+        out[i] = static_cast<double>(unavoidable_violations(evaluator, scenarios[i]));
+      },
+      sweep_chunk_size(scenarios.size()));
   return out;
 }
 

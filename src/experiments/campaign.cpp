@@ -383,6 +383,12 @@ MetricRow standard_cell_rep(const CampaignCell& cell, Effort effort,
         config.telemetry = ctx.telemetry;
         if (cell.critical_fraction > 0.0)
           config.critical_fraction = cell.critical_fraction;
+        if (cell.phase1b_samples > 0)
+          config.max_phase1b_samples = cell.phase1b_samples;
+        if (cell.phase_iterations > 0) {
+          config.phase1.max_iterations = cell.phase_iterations;
+          config.phase2.max_iterations = cell.phase_iterations;
+        }
         if (cell.harden.enabled)
           config.objective = build_hardening_objective(
               cell.harden, w.graph, rep_seed + cell.harden.seed_offset);
@@ -630,6 +636,37 @@ Campaign parse_campaign_spec(std::istream& in) {
       else if (value == "near") cell->spec.kind = TopologyKind::kNear;
       else if (value == "pl") cell->spec.kind = TopologyKind::kPl;
       else if (value == "isp") cell->spec.kind = TopologyKind::kIsp;
+      else if (value.rfind("isp:", 0) == 0) {
+        // Scale axis: `isp:` selects the seeded Rocketfuel-style generator
+        // (node count from `nodes`, seed from the cell seed), tuned by
+        // comma-separated k=v args — pops, cores, backbone_degree,
+        // avg_degree — or `isp:file=<path>` to load a dtr-graph file.
+        cell->spec.kind = TopologyKind::kIsp;
+        cell->spec.isp_source = IspSource::kGenerated;
+        std::string rest = value.substr(4);
+        while (!rest.empty()) {
+          const auto comma = rest.find(',');
+          const std::string item = trim(std::string_view(rest).substr(0, comma));
+          rest = comma == std::string::npos ? std::string() : rest.substr(comma + 1);
+          if (item.empty()) continue;
+          const auto ieq = item.find('=');
+          if (ieq == std::string::npos)
+            fail("bad isp topology arg (expected k=v): " + item);
+          const std::string ik = trim(std::string_view(item).substr(0, ieq));
+          const std::string iv = trim(std::string_view(item).substr(ieq + 1));
+          if (ik == "file") {
+            cell->spec.isp_source = IspSource::kFile;
+            cell->spec.isp_file = iv;
+          } else if (ik == "pops") cell->spec.isp_pops = parse_int("topology:" + ik, iv);
+          else if (ik == "cores")
+            cell->spec.isp_cores_per_pop = parse_int("topology:" + ik, iv);
+          else if (ik == "backbone_degree")
+            cell->spec.isp_backbone_degree = parse_double("topology:" + ik, iv);
+          else if (ik == "avg_degree")
+            cell->spec.isp_avg_degree = parse_double("topology:" + ik, iv);
+          else fail("unknown isp topology arg: " + ik);
+        }
+      }
       else fail("unknown value for key 'topology': " + value);
     } else if (key == "nodes") cell->spec.nodes = parse_int(key, value);
     else if (key == "degree") cell->spec.degree = parse_double(key, value);
@@ -650,6 +687,14 @@ Campaign parse_campaign_spec(std::istream& in) {
     else if (key == "seed_stride") cell->seed_stride = parse_u64(key, value);
     else if (key == "critical_fraction")
       cell->critical_fraction = parse_double(key, value);
+    else if (key == "phase1b_samples") {
+      cell->phase1b_samples = parse_int(key, value);
+      if (cell->phase1b_samples < 1) fail("phase1b_samples must be >= 1, got " + value);
+    }
+    else if (key == "phase_iterations") {
+      cell->phase_iterations = parse_int(key, value);
+      if (cell->phase_iterations < 1) fail("phase_iterations must be >= 1, got " + value);
+    }
     else if (key == "floor") cell->unavoidable_floor = parse_int(key, value) != 0;
     else if (key == "fluctuation") {
       if (value == "none") cell->fluctuation.model = FluctuationSpec::Model::kNone;

@@ -135,6 +135,15 @@ struct CampaignCell {
   int repeats = 1;
   std::uint64_t seed_stride = 101;
   double critical_fraction = 0.0;  ///< > 0 overrides the optimizer default
+  /// > 0 caps the Phase-1b criticality sample budget (optimizer default is
+  /// 20*tau*|E|, which grows with link count — ISP-scale cells set an
+  /// explicit cap so cell cost tracks the topology, not the budget formula).
+  long phase1b_samples = 0;
+  /// > 0 caps each phase's local-search iterations (the stall-based default
+  /// runs to ~20*interval*diversifications probes, and every Phase-2 probe
+  /// sweeps the critical set — unbounded, an ISP-scale cell takes tens of
+  /// minutes; capped, its cost is a fixed number of probes).
+  long phase_iterations = 0;
   bool unavoidable_floor = false;  ///< also compute the violation lower bound
   FluctuationSpec fluctuation;
   ScenarioSpec scenario;

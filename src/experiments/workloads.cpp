@@ -18,7 +18,17 @@ std::string to_string(TopologyKind k) {
 std::string WorkloadSpec::label() const {
   std::ostringstream ss;
   ss << to_string(kind);
-  if (kind != TopologyKind::kIsp) ss << "[" << nodes << "]";
+  if (kind != TopologyKind::kIsp) {
+    ss << "[" << nodes << "]";
+  } else if (isp_source == IspSource::kGenerated) {
+    ss << "[" << nodes << ",p" << isp_pops << "]";
+  } else if (isp_source == IspSource::kFile) {
+    // Basename only: cell ids should not depend on where the repo is checked
+    // out, and "/" in ids collides with the generated "<label>/<index>" form.
+    const auto slash = isp_file.find_last_of('/');
+    ss << "[" << (slash == std::string::npos ? isp_file : isp_file.substr(slash + 1))
+       << "]";
+  }
   return ss.str();
 }
 
@@ -36,7 +46,25 @@ Workload make_workload(const WorkloadSpec& spec) {
       w.graph = make_pl_topo({spec.nodes, spec.pl_attachments, 500.0, spec.seed});
       break;
     case TopologyKind::kIsp:
-      w.graph = make_isp_backbone().graph;
+      switch (spec.isp_source) {
+        case IspSource::kBackbone16:
+          w.graph = make_isp_backbone().graph;
+          break;
+        case IspSource::kGenerated: {
+          IspGenParams p;
+          p.num_nodes = spec.nodes;
+          p.num_pops = spec.isp_pops;
+          p.cores_per_pop = spec.isp_cores_per_pop;
+          p.backbone_degree = spec.isp_backbone_degree;
+          p.avg_degree = spec.isp_avg_degree;
+          p.seed = spec.seed;
+          w.graph = make_isp_topo(p);
+          break;
+        }
+        case IspSource::kFile:
+          w.graph = load_isp_topo(spec.isp_file);
+          break;
+      }
       break;
   }
   w.params.sla.theta_ms = spec.theta_ms;
@@ -56,21 +84,29 @@ std::vector<WorkloadSpec> paper_topologies(Effort effort, std::uint64_t seed) {
   const bool full = effort == Effort::kFull;
   const int n = nodes_from_env(full ? 30 : 16);
   std::vector<WorkloadSpec> specs;
-  specs.push_back({TopologyKind::kRand, n, 6.0, 3, 25.0,
-                   {UtilizationTarget::Kind::kAverage, 0.43}, 0.30, seed});
-  specs.push_back({TopologyKind::kNear, n, 6.0, 3, 25.0,
-                   {UtilizationTarget::Kind::kAverage, 0.43}, 0.30, seed});
-  specs.push_back({TopologyKind::kPl, n, 6.0, 3, 25.0,
-                   {UtilizationTarget::Kind::kAverage, 0.43}, 0.30, seed});
-  specs.push_back({TopologyKind::kIsp, 16, 4.375, 3, 25.0,
-                   {UtilizationTarget::Kind::kAverage, 0.43}, 0.30, seed});
+  const auto push = [&](TopologyKind kind, int num_nodes, double degree) {
+    WorkloadSpec s;
+    s.kind = kind;
+    s.nodes = num_nodes;
+    s.degree = degree;
+    s.seed = seed;
+    specs.push_back(std::move(s));
+  };
+  push(TopologyKind::kRand, n, 6.0);
+  push(TopologyKind::kNear, n, 6.0);
+  push(TopologyKind::kPl, n, 6.0);
+  push(TopologyKind::kIsp, 16, 4.375);
   return specs;
 }
 
 WorkloadSpec default_rand_spec(Effort effort, std::uint64_t seed) {
   const bool full = effort == Effort::kFull;
-  return {TopologyKind::kRand, nodes_from_env(full ? 30 : 16), full ? 6.0 : 5.0,
-          3, 25.0, {UtilizationTarget::Kind::kAverage, 0.43}, 0.30, seed};
+  WorkloadSpec s;
+  s.kind = TopologyKind::kRand;
+  s.nodes = nodes_from_env(full ? 30 : 16);
+  s.degree = full ? 6.0 : 5.0;
+  s.seed = seed;
+  return s;
 }
 
 BenchContext context_from_env() {

@@ -26,6 +26,12 @@ enum class TopologyKind { kRand, kNear, kPl, kIsp };
 
 std::string to_string(TopologyKind k);
 
+/// Source for TopologyKind::kIsp workloads (the `topology = isp[:...]`
+/// campaign axis): the paper's embedded 16-city backbone, the seeded
+/// Rocketfuel-style generator (scales to 1000+ nodes), or a `dtr-graph 1`
+/// file on disk.
+enum class IspSource { kBackbone16, kGenerated, kFile };
+
 /// One experiment instance specification (Sec. V-A settings).
 struct WorkloadSpec {
   TopologyKind kind = TopologyKind::kRand;
@@ -36,6 +42,17 @@ struct WorkloadSpec {
   UtilizationTarget util{UtilizationTarget::Kind::kAverage, 0.43};
   double delay_fraction = 0.30;
   std::uint64_t seed = 1;
+
+  // ISP scale axis (kind == kIsp only). kGenerated draws node count from
+  // `nodes` and the generator shape from the isp_* fields; kFile loads
+  // `isp_file` and ignores both.
+  IspSource isp_source = IspSource::kBackbone16;
+  int isp_pops = 12;
+  int isp_cores_per_pop = 2;
+  double isp_backbone_degree = 3.0;
+  /// > 0 adds degree-skewed peering chords up to this mean node degree.
+  double isp_avg_degree = 0.0;
+  std::string isp_file;
 
   std::string label() const;
 };

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -36,6 +38,38 @@ struct Arc {
   ArcId reverse = kInvalidArc; ///< opposite direction, if the link is bidirectional
 };
 
+/// Flat CSR/SoA view of the graph, sized for 1000+-node / 10k-arc
+/// topologies where the per-node `std::vector<std::vector<ArcId>>`
+/// adjacency and the AoS `Arc` records dominate cache misses in the SPF /
+/// load-sweep inner loops.
+///
+/// Adjacency is compressed-sparse-row: node u's out-arcs occupy
+/// `out_arc[out_offset[u] .. out_offset[u+1])`, with `out_head[k]` the head
+/// (dst) of `out_arc[k]` so relaxations never touch the 40-byte Arc struct.
+/// The per-node order is ascending arc id — exactly the order the legacy
+/// per-node vectors held (add_link appends, ids are monotone) — so every
+/// float accumulation that iterates the CSR visits terms in the same order
+/// and stays bit-identical to the pointer-chasing layout it replaced.
+///
+/// The SoA mirrors (`src`/`dst`/`capacity`/`prop_delay_ms`/`link`) are
+/// indexed by ArcId and carry the attributes the hot paths read one at a
+/// time (a capacity sweep over 20k arcs reads a dense 8-byte stream instead
+/// of striding 48-byte records).
+struct GraphCsr {
+  std::vector<std::uint32_t> out_offset;  ///< size n+1
+  std::vector<ArcId> out_arc;             ///< ascending arc id within each node
+  std::vector<NodeId> out_head;           ///< dst of out_arc[k]
+  std::vector<std::uint32_t> in_offset;   ///< size n+1
+  std::vector<ArcId> in_arc;              ///< ascending arc id within each node
+  std::vector<NodeId> in_tail;            ///< src of in_arc[k]
+
+  std::vector<NodeId> src;            ///< by ArcId
+  std::vector<NodeId> dst;            ///< by ArcId
+  std::vector<double> capacity;       ///< by ArcId, Mbps
+  std::vector<double> prop_delay_ms;  ///< by ArcId
+  std::vector<LinkId> link;           ///< by ArcId
+};
+
 /// Directed multigraph with paired arcs, the substrate for both logical
 /// routing topologies. Node/arc/link ids are dense indices, stable across the
 /// lifetime of the graph (no removal; failures are expressed as alive-masks,
@@ -44,6 +78,13 @@ class Graph {
  public:
   Graph() = default;
   explicit Graph(std::size_t num_nodes);
+
+  // The lazily-built CSR cache makes the mutex/atomic members non-copyable;
+  // copies carry the structural state and rebuild the CSR on first use.
+  Graph(const Graph& o);
+  Graph& operator=(const Graph& o);
+  Graph(Graph&& o) noexcept;
+  Graph& operator=(Graph&& o) noexcept;
 
   NodeId add_node(Point position = {});
 
@@ -67,6 +108,14 @@ class Graph {
   std::span<const ArcId> in_arcs(NodeId u) const { return in_arcs_[u]; }
   /// The 1 or 2 arcs composing a physical link.
   std::span<const ArcId> link_arcs(LinkId l) const { return links_[l]; }
+
+  /// Flat CSR/SoA view for hot iteration (SPF, load sweeps, patch paths).
+  /// Built lazily on first call and cached until the next mutation;
+  /// thread-safe (double-checked lock), so concurrent read-only users — the
+  /// fluctuation sweep constructs evaluators on pool workers over one shared
+  /// graph — all see the same build. Mutating the graph concurrently with
+  /// readers was never supported and still isn't.
+  const GraphCsr& csr() const;
 
   Point position(NodeId u) const { return positions_[u]; }
   void set_position(NodeId u, Point p) { positions_[u] = p; }
@@ -94,11 +143,18 @@ class Graph {
   void scale_link_capacity(LinkId l, double factor);
 
  private:
+  void invalidate_csr() { csr_valid_.store(false, std::memory_order_release); }
+  void build_csr() const;
+
   std::vector<Point> positions_;
   std::vector<Arc> arcs_;
   std::vector<std::vector<ArcId>> out_arcs_;
   std::vector<std::vector<ArcId>> in_arcs_;
   std::vector<std::vector<ArcId>> links_;
+
+  mutable GraphCsr csr_;
+  mutable std::atomic<bool> csr_valid_{false};
+  mutable std::mutex csr_mutex_;
 };
 
 }  // namespace dtr

@@ -30,6 +30,15 @@ void dijkstra(const Graph& g, NodeId origin, std::span<const double> arc_cost,
     throw std::invalid_argument("dijkstra: alive mask size mismatch");
   if (origin >= g.num_nodes()) throw std::out_of_range("dijkstra: origin node");
 
+  // CSR adjacency: one contiguous offset/arc/endpoint stream per direction,
+  // visited in the same per-node ascending-arc-id order as the legacy
+  // per-node vectors, so relaxation order (and float results) are unchanged.
+  const GraphCsr& csr = g.csr();
+  const bool rev = dir == Direction::kReverse;
+  const std::uint32_t* offset = (rev ? csr.in_offset : csr.out_offset).data();
+  const ArcId* arc_of = (rev ? csr.in_arc : csr.out_arc).data();
+  const NodeId* node_of = (rev ? csr.in_tail : csr.out_head).data();
+
   dist.assign(g.num_nodes(), kInfDist);
   dist[origin] = 0.0;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
@@ -38,11 +47,11 @@ void dijkstra(const Graph& g, NodeId origin, std::span<const double> arc_cost,
     const auto [d, u] = heap.top();
     heap.pop();
     if (d > dist[u]) continue;  // stale entry
-    const auto arcs = (dir == Direction::kReverse) ? g.in_arcs(u) : g.out_arcs(u);
-    for (ArcId a : arcs) {
+    const std::uint32_t end = offset[u + 1];
+    for (std::uint32_t k = offset[u]; k < end; ++k) {
+      const ArcId a = arc_of[k];
       if (!arc_is_alive(alive, a)) continue;
-      const Arc& arc = g.arc(a);
-      const NodeId next = (dir == Direction::kReverse) ? arc.src : arc.dst;
+      const NodeId next = node_of[k];
       const double nd = d + arc_cost[a];
       if (nd < dist[next]) {
         dist[next] = nd;
@@ -87,6 +96,7 @@ std::ptrdiff_t delta_spf_update_arcs(const Graph& g, std::span<const double> arc
     throw std::invalid_argument("delta_spf_update_arcs: dist size mismatch");
   if (changes.empty()) return 0;
   scratch.boundary_seeds_ = 0;
+  const GraphCsr& csr = g.csr();
 
   // Effective new cost: a dead arc is an increase to +infinity.
   const auto eff_cost = [&](ArcId a) -> double {
@@ -141,18 +151,20 @@ std::ptrdiff_t delta_spf_update_arcs(const Graph& g, std::span<const double> arc
   // a candidate's supports are already decided when it is popped. Decreases
   // never invalidate — they are phase-2 improvement seeds.
   for (const ArcCostDelta& c : changes) {
-    const Arc& arc = g.arc(c.arc);
-    if (dist[arc.src] == kInfDist || dist[arc.dst] == kInfDist) continue;
+    const NodeId src = csr.src[c.arc];
+    const NodeId dst = csr.dst[c.arc];
+    if (dist[src] == kInfDist || dist[dst] == kInfDist) continue;
     if (!(eff_cost(c.arc) > c.old_cost)) continue;
-    if (dist[arc.src] == c.old_cost + dist[arc.dst]) push(dist[arc.src], arc.src);
+    if (dist[src] == c.old_cost + dist[dst]) push(dist[src], src);
   }
   while (!heap.empty()) {
     const auto [d, u] = pop();
     if (state_of(u) != 0) continue;  // already decided
     bool supported = false;
-    for (ArcId a : g.out_arcs(u)) {
+    for (std::uint32_t k = csr.out_offset[u]; k < csr.out_offset[u + 1]; ++k) {
+      const ArcId a = csr.out_arc[k];
       if (!arc_is_alive(alive, a)) continue;
-      const NodeId v = g.arc(a).dst;
+      const NodeId v = csr.out_head[k];
       if (dist[v] == kInfDist || state_of(v) == kAffected) continue;
       // <= instead of ==: a decreased out-arc can hold the label up with room
       // to spare (the label then only improves — phase 2's business). For
@@ -170,9 +182,10 @@ std::ptrdiff_t delta_spf_update_arcs(const Graph& g, std::span<const double> arc
     set_state(u, kAffected);
     scratch.affected_.push_back(u);
     if (scratch.affected_.size() > max_affected) return -1;  // dist untouched so far
-    for (ArcId b : g.in_arcs(u)) {
+    for (std::uint32_t k = csr.in_offset[u]; k < csr.in_offset[u + 1]; ++k) {
+      const ArcId b = csr.in_arc[k];
       if (!arc_is_alive(alive, b)) continue;
-      const NodeId w = g.arc(b).src;
+      const NodeId w = csr.in_tail[k];
       if (dist[w] == kInfDist || state_of(w) != 0) continue;
       // Tightness under the OLD cost: w's label was formed before the change.
       if (dist[w] == old_cost_of(b) + dist[u]) push(dist[w], w);
@@ -191,9 +204,10 @@ std::ptrdiff_t delta_spf_update_arcs(const Graph& g, std::span<const double> arc
   for (std::size_t i = 0; i < invalidated; ++i) {
     const NodeId u = scratch.affected_[i];
     double best = kInfDist;
-    for (ArcId a : g.out_arcs(u)) {
+    for (std::uint32_t k = csr.out_offset[u]; k < csr.out_offset[u + 1]; ++k) {
+      const ArcId a = csr.out_arc[k];
       if (!arc_is_alive(alive, a)) continue;
-      const NodeId v = g.arc(a).dst;
+      const NodeId v = csr.out_head[k];
       if (dist[v] == kInfDist || state_of(v) == kAffected) continue;
       const double cand = dist[v] + arc_cost[a];
       if (cand < best) best = cand;
@@ -207,9 +221,8 @@ std::ptrdiff_t delta_spf_update_arcs(const Graph& g, std::span<const double> arc
   for (const ArcCostDelta& c : changes) {
     if (!arc_is_alive(alive, c.arc)) continue;
     if (!(arc_cost[c.arc] < c.old_cost)) continue;  // only decreases improve
-    const Arc& arc = g.arc(c.arc);
-    const NodeId u = arc.src;
-    const NodeId v = arc.dst;
+    const NodeId u = csr.src[c.arc];
+    const NodeId v = csr.dst[c.arc];
     if (dist[v] == kInfDist || state_of(v) == kAffected) continue;
     const std::uint8_t su = state_of(u);
     if (su == kAffected) continue;  // its boundary seed already saw this arc
@@ -235,9 +248,10 @@ std::ptrdiff_t delta_spf_update_arcs(const Graph& g, std::span<const double> arc
     set_state(u, kFinalized);
     // label_[u] == d here (the stale check rejects anything else), so the
     // deferred write-back below writes exactly this value.
-    for (ArcId b : g.in_arcs(u)) {
+    for (std::uint32_t k = csr.in_offset[u]; k < csr.in_offset[u + 1]; ++k) {
+      const ArcId b = csr.in_arc[k];
       if (!arc_is_alive(alive, b)) continue;
-      const NodeId w = g.arc(b).src;
+      const NodeId w = csr.in_tail[k];
       const std::uint8_t sw = state_of(w);
       const double cand = d + arc_cost[b];
       if (sw == kAffected || sw == kImproving) {  // pending region node
@@ -288,6 +302,7 @@ std::ptrdiff_t delta_spf_remove_arcs(const Graph& g, std::span<const double> arc
 void hop_distances_from(const Graph& g, NodeId s, ArcAliveMask arc_alive,
                         std::vector<int>& hops) {
   if (s >= g.num_nodes()) throw std::out_of_range("hop_distances_from: source");
+  const GraphCsr& csr = g.csr();
   hops.assign(g.num_nodes(), -1);
   hops[s] = 0;
   std::queue<NodeId> q;
@@ -295,9 +310,10 @@ void hop_distances_from(const Graph& g, NodeId s, ArcAliveMask arc_alive,
   while (!q.empty()) {
     const NodeId u = q.front();
     q.pop();
-    for (ArcId a : g.out_arcs(u)) {
+    for (std::uint32_t k = csr.out_offset[u]; k < csr.out_offset[u + 1]; ++k) {
+      const ArcId a = csr.out_arc[k];
       if (!arc_is_alive(arc_alive, a)) continue;
-      const NodeId v = g.arc(a).dst;
+      const NodeId v = csr.out_head[k];
       if (hops[v] == -1) {
         hops[v] = hops[u] + 1;
         q.push(v);
@@ -308,8 +324,8 @@ void hop_distances_from(const Graph& g, NodeId s, ArcAliveMask arc_alive,
 
 double propagation_diameter_ms(const Graph& g) {
   if (g.num_nodes() < 2) return 0.0;
-  std::vector<double> costs(g.num_arcs());
-  for (ArcId a = 0; a < g.num_arcs(); ++a) costs[a] = g.arc(a).prop_delay_ms;
+  // SoA mirror: the delay vector is already laid out by ArcId.
+  std::vector<double> costs(g.csr().prop_delay_ms.begin(), g.csr().prop_delay_ms.end());
   double diameter = 0.0;
   std::vector<double> dist;
   for (NodeId s = 0; s < g.num_nodes(); ++s) {

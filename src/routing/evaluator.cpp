@@ -330,14 +330,14 @@ void Evaluator::build_base(std::span<const double> cost_delay,
 }
 
 void Evaluator::compute_base_products(IncrementalBase& base) const {
+  const GraphCsr& csr = graph_.csr();
   const std::size_t num_arcs = graph_.num_arcs();
   base.total_load.resize(num_arcs);
   base.arc_delay.resize(num_arcs);
   for (ArcId a = 0; a < num_arcs; ++a) {
     base.total_load[a] = base.delay.arc_load(a) + base.tput.arc_load(a);
-    const Arc& arc = graph_.arc(a);
-    base.arc_delay[a] = link_delay_ms(base.total_load[a], arc.capacity,
-                                      arc.prop_delay_ms, params_.delay_model);
+    base.arc_delay[a] = link_delay_ms(base.total_load[a], csr.capacity[a],
+                                      csr.prop_delay_ms[a], params_.delay_model);
   }
 }
 
@@ -353,10 +353,11 @@ void Evaluator::aggregate_none_result(IncrementalBase& base) const {
   none.lambda = sla.lambda;
   none.sla_violations = sla.violations;
   none.disconnected_delay_pairs = base.delay.disconnected_demand_count();
+  const GraphCsr& csr = graph_.csr();
   const std::size_t num_arcs = graph_.num_arcs();
   for (ArcId a = 0; a < num_arcs; ++a) {
     if (base.tput.arc_load(a) <= 0.0) continue;
-    none.phi += fortz_cost(base.total_load[a], graph_.arc(a).capacity);
+    none.phi += fortz_cost(base.total_load[a], csr.capacity[a]);
   }
   none.phi += kFortzMaxSlope * base.tput.disconnected_demand_volume();
   none.disconnected_tput_pairs = base.tput.disconnected_demand_count();
@@ -496,12 +497,13 @@ EvalResult Evaluator::serve_none_from_base(const IncrementalBase& base,
                                            EvalDetail detail) const {
   EvalResult result = base.none_result;
   if (detail == EvalDetail::kFull) {
+    const GraphCsr& csr = graph_.csr();
     const std::size_t num_arcs = graph_.num_arcs();
     result.arc_total_load = base.total_load;
     result.arc_utilization.resize(num_arcs);
     result.carries_delay_traffic.resize(num_arcs);
     for (ArcId a = 0; a < num_arcs; ++a) {
-      result.arc_utilization[a] = result.arc_total_load[a] / graph_.arc(a).capacity;
+      result.arc_utilization[a] = result.arc_total_load[a] / csr.capacity[a];
       result.carries_delay_traffic[a] = base.delay.arc_load(a) > 0.0 ? 1 : 0;
     }
     result.sd_delay_ms = base.sd_delay;
@@ -569,6 +571,7 @@ EvalResult Evaluator::finish_scenario(std::span<const double> cost_delay,
 
   // Total load and per-arc delay (classes share FIFO queues: D_a depends on
   // the SUM of both classes' loads).
+  const GraphCsr& csr = graph_.csr();
   const std::size_t num_arcs = graph_.num_arcs();
   s.total_load.resize(num_arcs);
   s.arc_delay.resize(num_arcs);
@@ -576,9 +579,8 @@ EvalResult Evaluator::finish_scenario(std::span<const double> cost_delay,
   std::vector<double>& arc_delay = s.arc_delay;
   for (ArcId a = 0; a < num_arcs; ++a) {
     total_load[a] = delay_routing.arc_load(a) + tput_routing.arc_load(a);
-    const Arc& arc = graph_.arc(a);
-    arc_delay[a] =
-        link_delay_ms(total_load[a], arc.capacity, arc.prop_delay_ms, params_.delay_model);
+    arc_delay[a] = link_delay_ms(total_load[a], csr.capacity[a], csr.prop_delay_ms[a],
+                                 params_.delay_model);
   }
 
   EvalResult result;
@@ -607,7 +609,7 @@ EvalResult Evaluator::finish_scenario(std::span<const double> cost_delay,
   // to total load; unroutable throughput demand charged at the max slope.
   for (ArcId a = 0; a < num_arcs; ++a) {
     if (tput_routing.arc_load(a) <= 0.0) continue;
-    result.phi += fortz_cost(total_load[a], graph_.arc(a).capacity);
+    result.phi += fortz_cost(total_load[a], csr.capacity[a]);
   }
   result.phi += kFortzMaxSlope * tput_routing.disconnected_demand_volume();
   result.disconnected_tput_pairs = tput_routing.disconnected_demand_count();
@@ -617,7 +619,7 @@ EvalResult Evaluator::finish_scenario(std::span<const double> cost_delay,
     result.arc_utilization.resize(num_arcs);
     result.carries_delay_traffic.resize(num_arcs);
     for (ArcId a = 0; a < num_arcs; ++a) {
-      result.arc_utilization[a] = result.arc_total_load[a] / graph_.arc(a).capacity;
+      result.arc_utilization[a] = result.arc_total_load[a] / csr.capacity[a];
       result.carries_delay_traffic[a] = delay_routing.arc_load(a) > 0.0 ? 1 : 0;
     }
     result.sd_delay_ms = sd_delay;
@@ -673,11 +675,18 @@ std::vector<EvalResult> Evaluator::evaluate_failures(
   telemetry::Registry* reg = telemetry::effective(config_.telemetry);
   std::vector<EvalStats> slabs(reg != nullptr ? scenarios.size() : 0);
 
+  // Size-aware split: ISP-tier all-link catalogs cluster expensive backbone
+  // scenarios at the front, so large sweeps use cyclic blocks (see
+  // sweep_chunk_size) instead of the contiguous per-worker split.
   std::vector<EvalResult> out(scenarios.size());
-  parallel_for(pool, scenarios.size(), [&](std::size_t, std::size_t i) {
-    out[i] = evaluate_impl(cost_delay, cost_tput, scenarios[i], detail, worker_scratch(),
-                           base_ptr, slabs.empty() ? nullptr : &slabs[i]);
-  });
+  parallel_for(
+      pool, scenarios.size(),
+      [&](std::size_t, std::size_t i) {
+        out[i] = evaluate_impl(cost_delay, cost_tput, scenarios[i], detail,
+                               worker_scratch(), base_ptr,
+                               slabs.empty() ? nullptr : &slabs[i]);
+      },
+      sweep_chunk_size(scenarios.size()));
   if (reg != nullptr) {
     EvalStats agg;
     for (const EvalStats& s : slabs) agg.merge(s);

@@ -34,11 +34,15 @@ void PatchStats::merge(const PatchStats& o) {
     affected_buckets[i] += o.affected_buckets[i];
 }
 
-bool arc_is_tight(const Arc& arc, double cost, std::span<const double> dist) {
-  const double du = dist[arc.src];
-  const double dv = dist[arc.dst];
+bool arc_is_tight(NodeId src, NodeId dst, double cost, std::span<const double> dist) {
+  const double du = dist[src];
+  const double dv = dist[dst];
   if (du == kInfDist || dv == kInfDist) return false;
   return std::abs(du - (cost + dv)) <= kTightEps * std::max(1.0, std::abs(du));
+}
+
+bool arc_is_tight(const Arc& arc, double cost, std::span<const double> dist) {
+  return arc_is_tight(arc.src, arc.dst, cost, dist);
 }
 
 std::vector<std::vector<NodeId>> enumerate_ecmp_paths(
@@ -192,22 +196,33 @@ void ClassRouting::sweep_destination_body(
   std::sort(order.begin(), order.end(),
             [&](NodeId a, NodeId b) { return dist[a] > dist[b]; });
 
+  // CSR sweep: both passes stream the contiguous out-arc span of u (same
+  // ascending-arc-id order as the legacy per-node vectors — same float
+  // accumulation order, bit-identical loads).
+  const GraphCsr& csr = g.csr();
   for (NodeId u : order) {
     const double flow = node_flow[u];
     if (flow <= 0.0) continue;
+    const std::uint32_t begin = csr.out_offset[u];
+    const std::uint32_t end = csr.out_offset[u + 1];
     int tight_count = 0;
-    for (ArcId a : g.out_arcs(u))
-      if (alive(alive_mask, a) && arc_is_tight(g.arc(a), arc_cost[a], dist)) ++tight_count;
+    for (std::uint32_t k = begin; k < end; ++k) {
+      const ArcId a = csr.out_arc[k];
+      if (alive(alive_mask, a) && arc_is_tight(u, csr.out_head[k], arc_cost[a], dist))
+        ++tight_count;
+    }
     if (tight_count == 0) {
       // Cannot happen for finite-dist nodes (a tight arc realizes dist),
       // but guard against inconsistent masks.
       throw std::logic_error("ClassRouting: node with flow has no tight out-arc");
     }
     const double share = flow / tight_count;
-    for (ArcId a : g.out_arcs(u)) {
-      if (!alive(alive_mask, a) || !arc_is_tight(g.arc(a), arc_cost[a], dist)) continue;
+    for (std::uint32_t k = begin; k < end; ++k) {
+      const ArcId a = csr.out_arc[k];
+      const NodeId v = csr.out_head[k];
+      if (!alive(alive_mask, a) || !arc_is_tight(u, v, arc_cost[a], dist)) continue;
       if (arc_load != nullptr) (*arc_load)[a] += share;
-      node_flow[g.arc(a).dst] += share;
+      node_flow[v] += share;
       if (record != nullptr) {
         record->contrib_arc.push_back(a);
         record->contrib_val.push_back(share);
@@ -290,8 +305,9 @@ void ClassRouting::compute_from_base(const Graph& g, std::span<const double> arc
     if (!affected) {
       // Distances survived, but a removed arc that was tight (by the sweep's
       // epsilon predicate) still changes the ECMP splits at its source.
+      const GraphCsr& csr = g.csr();
       for (ArcId a : removed_arcs) {
-        if (arc_is_tight(g.arc(a), arc_cost[a], dist_[t])) {
+        if (arc_is_tight(csr.src[a], csr.dst[a], arc_cost[a], dist_[t])) {
           affected = true;
           break;
         }
@@ -363,10 +379,12 @@ void ClassRouting::compute_from_weight_delta(const Graph& g,
       // epsilon predicate) under EITHER cost vector still churns the ECMP
       // splits at its source: tight under the old cost means the base's DAG
       // used it, tight under the new cost means ours does.
+      const GraphCsr& csr = g.csr();
       for (const ArcCostDelta& c : changes) {
-        const Arc& arc = g.arc(c.arc);
-        if (arc_is_tight(arc, c.old_cost, dist_[t]) ||
-            arc_is_tight(arc, arc_cost[c.arc], dist_[t])) {
+        const NodeId src = csr.src[c.arc];
+        const NodeId dst = csr.dst[c.arc];
+        if (arc_is_tight(src, dst, c.old_cost, dist_[t]) ||
+            arc_is_tight(src, dst, arc_cost[c.arc], dist_[t])) {
           affected = true;
           break;
         }
@@ -441,16 +459,19 @@ void ClassRouting::delay_dp_destination(const Graph& g, std::span<const double> 
   std::sort(order.begin(), order.end(),
             [&](NodeId a, NodeId b) { return dist[a] < dist[b]; });
 
+  const GraphCsr& csr = g.csr();
   std::fill(node_delay.begin(), node_delay.end(), 0.0);
   for (NodeId u : order) {
     if (u == t) continue;
     int tight_count = 0;
     double acc = (mode == SlaDelayMode::kWorstPath) ? -kInfDist : 0.0;
-    for (ArcId a : g.out_arcs(u)) {
-      if (!alive(alive_mask, a) || !arc_is_tight(g.arc(a), arc_cost[a], dist)) continue;
+    for (std::uint32_t k = csr.out_offset[u]; k < csr.out_offset[u + 1]; ++k) {
+      const ArcId a = csr.out_arc[k];
+      const NodeId v = csr.out_head[k];
+      if (!alive(alive_mask, a) || !arc_is_tight(u, v, arc_cost[a], dist)) continue;
       ++tight_count;
       if (record != nullptr) record->add(t, a);
-      const double through = arc_delay_ms[a] + node_delay[g.arc(a).dst];
+      const double through = arc_delay_ms[a] + node_delay[v];
       if (mode == SlaDelayMode::kWorstPath) {
         acc = std::max(acc, through);
       } else {

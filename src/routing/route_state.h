@@ -301,6 +301,11 @@ class ClassRouting {
 /// callers with fractional costs.
 bool arc_is_tight(const Arc& arc, double cost, std::span<const double> dist);
 
+/// Endpoint-index form of the same predicate for CSR/SoA iteration (the hot
+/// loops read src/dst from the flat adjacency streams instead of the Arc
+/// record). Bit-identical to the Arc& overload.
+bool arc_is_tight(NodeId src, NodeId dst, double cost, std::span<const double> dist);
+
 /// Enumerates the ECMP paths (node sequences s..t) a class would use for one
 /// SD pair under `arc_cost` and the liveness mask, in deterministic
 /// (lexicographic next-hop) order. Stops after `max_paths` (the DAG can hold

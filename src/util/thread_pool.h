@@ -83,6 +83,30 @@ class ThreadPool {
 /// per-index cost varies (and the NUMA/chunk tuning knob the sweep callers
 /// profile with). Either way the index->worker map stays a pure function of
 /// (n, W, chunk_size), so the determinism contract is unchanged.
+/// Chunk-size policy for whole-catalog scenario sweeps (evaluate_failures,
+/// unavoidable_violation_profile). Both splits dispatch once per sweep, so
+/// this is purely an assignment-pattern choice:
+///
+///   - Small catalogs keep the contiguous per-worker split (0): with fewer
+///     than ~2 blocks per worker a cyclic split would idle workers, and at
+///     paper-table sizes imbalance is noise anyway.
+///   - Large catalogs (the ISP tier: an all-link catalog has one scenario
+///     per link, 10^3..10^4 of them) switch to 32-index cyclic blocks.
+///     Generated and real ISP link orders cluster expensive scenarios at the
+///     front — backbone failures reroute far more demand than access-link
+///     failures, and backbone links are emitted first — so a contiguous
+///     split hands worker 0 most of the costly deltas. Cyclic blocks spread
+///     that skew across workers; 32 keeps enough locality on the shared
+///     incremental base while giving a 4-worker pool ~8+ blocks each to
+///     smooth over.
+///
+/// Either split is bit-identical by the parallel_for contract; this knob only
+/// moves wall-clock. 1024 = 32 blocks of 32, so pools up to 16 wide still get
+/// >= 2 blocks per worker at the switchover point.
+inline std::size_t sweep_chunk_size(std::size_t n) {
+  return n >= 1024 ? 32 : 0;
+}
+
 template <typename Fn>
 void parallel_for(ThreadPool* pool, std::size_t n, Fn&& fn, std::size_t chunk_size = 0) {
   if (pool == nullptr || pool->num_workers() <= 1 || n <= 1) {

@@ -143,5 +143,86 @@ TEST(GraphTest, EuclideanDistance) {
   EXPECT_DOUBLE_EQ(euclidean_distance({1.0, 1.0}, {1.0, 1.0}), 0.0);
 }
 
+// The CSR and the legacy per-node vectors must present the exact same arcs
+// in the exact same order — the byte-identity of every float accumulation
+// downstream rides on it.
+void expect_csr_matches_legacy(const Graph& g) {
+  const GraphCsr& csr = g.csr();
+  ASSERT_EQ(csr.out_offset.size(), g.num_nodes() + 1);
+  ASSERT_EQ(csr.in_offset.size(), g.num_nodes() + 1);
+  ASSERT_EQ(csr.out_arc.size(), g.num_arcs());
+  ASSERT_EQ(csr.in_arc.size(), g.num_arcs());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto out = g.out_arcs(u);
+    ASSERT_EQ(csr.out_offset[u + 1] - csr.out_offset[u], out.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const std::size_t k = csr.out_offset[u] + i;
+      EXPECT_EQ(csr.out_arc[k], out[i]);
+      EXPECT_EQ(csr.out_head[k], g.arc(out[i]).dst);
+    }
+    const auto in = g.in_arcs(u);
+    ASSERT_EQ(csr.in_offset[u + 1] - csr.in_offset[u], in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const std::size_t k = csr.in_offset[u] + i;
+      EXPECT_EQ(csr.in_arc[k], in[i]);
+      EXPECT_EQ(csr.in_tail[k], g.arc(in[i]).src);
+    }
+  }
+  for (ArcId a = 0; a < g.num_arcs(); ++a) {
+    const Arc& arc = g.arc(a);
+    EXPECT_EQ(csr.src[a], arc.src);
+    EXPECT_EQ(csr.dst[a], arc.dst);
+    EXPECT_EQ(csr.link[a], arc.link);
+    EXPECT_EQ(csr.capacity[a], arc.capacity);
+    EXPECT_EQ(csr.prop_delay_ms[a], arc.prop_delay_ms);
+  }
+}
+
+Graph csr_fixture() {
+  Graph g(5);
+  g.add_link(0, 1, 100.0, 1.0);
+  g.add_link(1, 2, 200.0, 2.0);
+  g.add_link(2, 3, 300.0, 3.0);
+  g.add_link(3, 0, 400.0, 4.0);
+  g.add_link(1, 3, 500.0, 5.0);
+  g.add_arc(4, 0, 600.0, 6.0);  // one-directional arc, no reverse
+  return g;
+}
+
+TEST(GraphCsrTest, MatchesLegacyAdjacencyAndAttributes) {
+  expect_csr_matches_legacy(csr_fixture());
+}
+
+TEST(GraphCsrTest, RebuildsAfterMutation) {
+  Graph g = csr_fixture();
+  (void)g.csr();  // force a build, then invalidate through every mutator
+  g.set_uniform_capacity(42.0);
+  EXPECT_EQ(g.csr().capacity[0], 42.0);
+  g.scale_prop_delays(2.0);
+  EXPECT_EQ(g.csr().prop_delay_ms[0], g.arc(0).prop_delay_ms);
+  g.set_link_prop_delay(0, 9.0);
+  EXPECT_EQ(g.csr().prop_delay_ms[0], 9.0);
+  g.scale_link_capacity(0, 0.5);
+  EXPECT_EQ(g.csr().capacity[0], 21.0);
+  const NodeId n = g.add_node();
+  g.add_link(n, 0, 50.0, 1.0);
+  expect_csr_matches_legacy(g);
+}
+
+TEST(GraphCsrTest, CopiesRebuildIndependently) {
+  Graph g = csr_fixture();
+  (void)g.csr();
+  Graph copy = g;
+  copy.set_uniform_capacity(7.0);
+  expect_csr_matches_legacy(copy);
+  // The original's cached CSR is untouched by the copy's mutation.
+  EXPECT_EQ(g.csr().capacity[0], 100.0);
+  Graph assigned;
+  assigned = g;
+  expect_csr_matches_legacy(assigned);
+  const Graph moved = std::move(copy);
+  expect_csr_matches_legacy(moved);
+}
+
 }  // namespace
 }  // namespace dtr
