@@ -54,7 +54,7 @@ int main() {
     const OptimizeResult uniform = run_optimizer(evaluator, ctx.effort, spec.seed);
     const OptimizeResult prob =
         run_optimizer(evaluator, ctx.effort, spec.seed, [&](OptimizerConfig& c) {
-          c.link_failure_probabilities = probability;
+          c.objective = objective_from_link_probabilities(w.graph, probability);
         });
 
     // Expected violations under the failure distribution.

@@ -23,6 +23,7 @@
 #include "experiments/bench_report.h"
 #include "routing/failures.h"
 #include "scenarios/scenario_set.h"
+#include "telemetry/events.h"
 #include "telemetry/telemetry.h"
 #include "util/thread_pool.h"
 
@@ -186,6 +187,61 @@ void BM_FailureSweepTelemetry(benchmark::State& state) {
 }
 BENCHMARK(BM_FailureSweepTelemetry)
     ->ArgNames({"telemetry"})
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Event-bus overhead guard: the same all-link sweep, publishing one
+// deterministic iteration record PER SCENARIO onto a live EventBus and
+// draining it (events:1) vs the bare sweep (events:0). That is a far higher
+// event rate than production — the optimizer publishes per ACCEPTED MOVE,
+// orders of magnitude rarer than evaluations — so the <2% acceptance target
+// here bounds the real overhead from well above. Serialization to JSONL is
+// deliberately absent: it happens at export time, off the hot path.
+// ---------------------------------------------------------------------------
+
+void BM_EventBusOverhead(benchmark::State& state) {
+  const bool events_on = state.range(0) != 0;
+  const Workload& workload = fixture().workload;
+  EvaluatorConfig config;
+  config.base_routing_cache = false;  // isolate the per-call cost
+  const Evaluator ev(workload.graph, workload.traffic, workload.params, config);
+  WeightSetting w(ev.graph().num_links());
+  Rng rng(seed_from_env(1));
+  randomize_weights(w, 30, rng);
+  const std::vector<FailureScenario> scenarios = all_link_failures(ev.graph());
+
+  telemetry::EventBus bus(1 << 12);
+  std::uint64_t published = 0;
+  double checksum = 0.0;
+  for (auto _ : state) {
+    const auto results = ev.evaluate_failures(w, scenarios);
+    checksum += results.front().phi;
+    if (events_on) {
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        telemetry::Event e;
+        e.kind = telemetry::EventKind::kIteration;
+        e.label = "phase2";
+        e.iteration = static_cast<std::uint64_t>(i);
+        e.evaluations = static_cast<std::uint64_t>(i);
+        e.link = static_cast<std::int64_t>(i);
+        e.cost_lambda = results[i].sla_violations;
+        e.cost_phi = results[i].phi;
+        telemetry::publish_deterministic(&bus, std::move(e));
+      }
+      published += bus.drain().size();
+    }
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetLabel(events_on ? "events-on" : "events-off");
+  state.counters["links"] = static_cast<double>(ev.graph().num_links());
+  state.counters["events_per_iter"] =
+      events_on ? static_cast<double>(scenarios.size()) : 0.0;
+  if (events_on && bus.dropped() > 0) state.SkipWithError("event bus overflowed");
+  benchmark::DoNotOptimize(published);
+}
+BENCHMARK(BM_EventBusOverhead)
+    ->ArgNames({"events"})
     ->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 

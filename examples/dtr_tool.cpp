@@ -5,7 +5,8 @@
 /// campaign from a spec file and writes the schema-versioned JSON artifact;
 /// the `scenarios` subcommand generates a failure-scenario catalog (k-link
 /// combinations, SRLG files, synthetic conduits) and lists/describes/exports
-/// it as dtr.scenarios.v1 JSON.
+/// it as dtr.scenarios.v1 JSON; the `tail` subcommand pretty-prints a
+/// dtr.events.v1 JSONL event stream as a live progress view.
 ///
 /// Usage:
 ///   dtr_tool [--topology rand|near|pl|isp] [--nodes N] [--degree D]
@@ -19,15 +20,19 @@
 ///            [--in-graph FILE] [--out-graph FILE] [--out-weights FILE]
 ///            [--out-dot FILE] [--report]
 ///            [--telemetry-json FILE] [--trace-out FILE]
+///            [--events-out FILE] [--trace-events FILE] [--metrics-port N]
 ///   dtr_tool campaign --spec FILE [--json FILE] [--workers N]
 ///            [--inner-threads N] [--filter SUBSTR] [--list] [--timings]
 ///            [--no-incremental] [--no-base-cache] [--no-delay-dp]
 ///            [--telemetry-json FILE] [--trace-out FILE]
+///            [--events-out FILE] [--metrics-port N]
 ///   dtr_tool scenarios --set all_links|all_nodes|k_link|srlg_file|geo_srlg
 ///            [--k N] [--budget N] [--srlg-file FILE] [--geo-grid N]
 ///            [--rates] [--topology rand|near|pl|isp] [--nodes N]
 ///            [--degree D] [--seed S] [--theta MS] [--in-graph FILE]
 ///            [--json FILE] [--list] [--describe]
+///   dtr_tool tail FILE [--follow]
+///   dtr_tool --version
 ///
 /// Examples:
 ///   dtr_tool --topology isp --report --out-weights isp.weights
@@ -52,6 +57,19 @@
 /// trace-event format (open in chrome://tracing or Perfetto). The campaign
 /// JSON artifact itself is byte-identical with or without these flags.
 /// DTR_TELEMETRY_OFF=1 disables all collection.
+///
+/// Streaming: --events-out attaches an event bus to the run and writes the
+/// stream as dtr.events.v1 JSONL — deterministic-plane lines (iteration
+/// records, phase markers) are byte-identical for any --workers /
+/// --inner-threads shape; process-plane lines (heartbeats, progress, drops)
+/// carry wall_ms and are excluded from golden diffs. Campaign cells opt in
+/// with the `events = 1` spec key. --trace-events replays the recorded
+/// convergence trace (OptimizeResult::trace) of a one-shot run as a purely
+/// deterministic event file after the run completes. --metrics-port N serves
+/// the live registry in Prometheus text format on 127.0.0.1:N for the
+/// duration of the run (port 0 picks an ephemeral port, printed at startup).
+/// `dtr_tool tail FILE` pretty-prints an events file; --follow keeps reading
+/// as the producer appends.
 ///
 /// Campaign spec format (line-based; '#' starts a comment):
 ///   name = demo            # top-level keys: name, effort, seed
@@ -83,14 +101,19 @@
 ///                          #   harden_percentile, harden_period_min
 ///                          # telemetry = 1 embeds the cell's deterministic
 ///                          #   counter block in the artifact
+///                          # events = 1 streams the cell's optimizer events
+///                          #   when the run has an --events-out sink
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "core/metrics.h"
 #include "core/optimizer.h"
@@ -101,6 +124,8 @@
 #include "graph/topology.h"
 #include "routing/weights_io.h"
 #include "scenarios/scenario_set.h"
+#include "telemetry/events.h"
+#include "telemetry/exposer.h"
 #include "telemetry/telemetry.h"
 #include "traffic/gravity.h"
 #include "traffic/scaling.h"
@@ -120,7 +145,8 @@ struct Options {
   Effort effort = Effort::kQuick;
   double fraction = 0.15;
   std::string in_graph, out_graph, out_weights, out_dot;
-  std::string telemetry_json, trace_out;
+  std::string telemetry_json, trace_out, events_out, trace_events;
+  int metrics_port = -1;  ///< -1 = no exposer; 0 = ephemeral port
   bool report = false;
   /// Availability-aware hardening (the --objective / --harden-* flags);
   /// harden.enabled is set by --objective, mirroring the campaign spec's
@@ -138,6 +164,14 @@ struct BuiltTopology {
   std::vector<std::string> names;  ///< city names (ISP topology only)
 };
 
+/// Flush-and-check after streaming into an export file: an open() that
+/// succeeded can still lose the bytes (full disk, write error on a special
+/// file), and ofstream reports that silently unless someone asks.
+void finish_write(std::ofstream& out, const std::string& path) {
+  out.flush();
+  if (!out) usage_error("failed writing " + path);
+}
+
 /// Writes the telemetry artifacts a run collected; empty paths skip that
 /// export. Valid (possibly empty-countered) files are still produced when
 /// DTR_TELEMETRY_OFF suppressed collection.
@@ -149,13 +183,78 @@ void export_telemetry(const telemetry::Registry& registry, const std::string& na
     telemetry::TelemetryJsonOptions options;
     options.include_spans = true;
     write_telemetry_json(out, registry, name, options);
+    finish_write(out, telemetry_json);
     std::cout << "wrote telemetry JSON to " << telemetry_json << "\n";
   }
   if (!trace_out.empty()) {
     std::ofstream out(trace_out);
     if (!out) usage_error("cannot write " + trace_out);
     write_chrome_trace(out, registry);
+    finish_write(out, trace_out);
     std::cout << "wrote Chrome trace to " << trace_out << "\n";
+  }
+}
+
+/// Drains `bus` into a dtr.events.v1 JSONL file: schema header, every queued
+/// event in FIFO order, and a trailing process-plane drops record when the
+/// ring overflowed (lossy streams must say so).
+void export_events(telemetry::EventBus& bus, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) usage_error("cannot write " + path);
+  telemetry::write_events_header(out);
+  const std::vector<telemetry::Event> events = bus.drain();
+  telemetry::write_events_jsonl(out, events);
+  if (bus.dropped() > 0) {
+    telemetry::Event drops;
+    drops.kind = telemetry::EventKind::kDrops;
+    drops.plane = telemetry::Plane::kProcess;
+    drops.value = bus.dropped();
+    out << telemetry::event_json_line(drops) << "\n";
+  }
+  finish_write(out, path);
+  std::cout << "wrote " << events.size() << " events to " << path << "\n";
+}
+
+/// Replays the recorded convergence trace as a purely deterministic
+/// dtr.events.v1 file — the same iteration records the live bus carries, but
+/// reconstructed after the fact from OptimizeResult::trace.
+void export_trace_events(const OptimizeResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) usage_error("cannot write " + path);
+  telemetry::write_events_header(out);
+  std::vector<telemetry::Event> events;
+  events.reserve(result.trace.size());
+  for (const TraceMove& tm : result.trace) {
+    telemetry::Event e;
+    e.kind = telemetry::EventKind::kIteration;
+    e.label = tm.phase == 1 ? "phase1" : "phase2";
+    e.iteration = static_cast<std::uint64_t>(tm.move.iteration);
+    e.evaluations = static_cast<std::uint64_t>(tm.move.evaluations);
+    e.link = tm.move.link == kInvalidLink ? -1 : static_cast<std::int64_t>(tm.move.link);
+    e.cost_lambda = tm.move.cost.lambda;
+    e.cost_phi = tm.move.cost.phi;
+    e.restart = tm.move.restart;
+    events.push_back(std::move(e));
+  }
+  telemetry::write_events_jsonl(out, events);
+  finish_write(out, path);
+  std::cout << "wrote " << events.size() << " trace events to " << path << "\n";
+}
+
+/// Starts a metrics exposer when `port` >= 0, announcing the bound address
+/// (meaningful with port 0, where the kernel picks). Bind failures are usage
+/// errors: the user asked for an endpoint we cannot provide.
+std::unique_ptr<telemetry::MetricsExposer> start_exposer(const telemetry::Registry& registry,
+                                                         int port) {
+  if (port < 0) return nullptr;
+  if (port > 65535) usage_error("--metrics-port must be in [0, 65535]");
+  try {
+    auto exposer = std::make_unique<telemetry::MetricsExposer>(
+        registry, static_cast<std::uint16_t>(port));
+    std::cout << "serving metrics on http://127.0.0.1:" << exposer->port() << "/\n";
+    return exposer;
+  } catch (const std::exception& e) {
+    usage_error(e.what());
   }
 }
 
@@ -274,6 +373,13 @@ Options parse_args(int argc, char** argv) {
     else if (flag == "--out-dot") opt.out_dot = value;
     else if (flag == "--telemetry-json") opt.telemetry_json = value;
     else if (flag == "--trace-out") opt.trace_out = value;
+    else if (flag == "--events-out") opt.events_out = value;
+    else if (flag == "--trace-events") opt.trace_events = value;
+    else if (flag == "--metrics-port") {
+      opt.metrics_port = std::stoi(value);
+      if (opt.metrics_port < 0 || opt.metrics_port > 65535)
+        usage_error("--metrics-port must be in [0, 65535]");
+    }
     else usage_error("unknown flag: " + flag);
   }
   if (harden_flag_seen && !opt.harden.enabled)
@@ -287,8 +393,8 @@ Options parse_args(int argc, char** argv) {
 
 int run_campaign_command(int argc, char** argv) {
   namespace exp = dtr::experiments;
-  std::string spec_path, json_path, filter, telemetry_json, trace_out;
-  int workers = 0, inner_threads = 1;
+  std::string spec_path, json_path, filter, telemetry_json, trace_out, events_out;
+  int workers = 0, inner_threads = 1, metrics_port = -1;
   bool list = false, timings = false;
   // Evaluator execution knobs: results are bit-identical for every setting
   // (the CI golden gate proves it across the config corners); these exist to
@@ -319,6 +425,12 @@ int run_campaign_command(int argc, char** argv) {
     else if (arg == "--no-delay-dp") eval_config.incremental_delay = false;
     else if (arg == "--telemetry-json") telemetry_json = next();
     else if (arg == "--trace-out") trace_out = next();
+    else if (arg == "--events-out") events_out = next();
+    else if (arg == "--metrics-port") {
+      metrics_port = std::stoi(next());
+      if (metrics_port < 0 || metrics_port > 65535)
+        usage_error("--metrics-port must be in [0, 65535]");
+    }
     else usage_error("unknown campaign flag: " + arg);
   }
   if (spec_path.empty()) usage_error("campaign needs --spec FILE");
@@ -341,7 +453,13 @@ int run_campaign_command(int argc, char** argv) {
   // campaign artifact's bytes are identical either way (test-enforced).
   telemetry::Registry registry;
   exp::CampaignOptions options{workers, inner_threads, eval_config};
-  if (!telemetry_json.empty() || !trace_out.empty()) options.telemetry = &registry;
+  if (!telemetry_json.empty() || !trace_out.empty() || metrics_port >= 0)
+    options.telemetry = &registry;
+  // Sized for every cell's full smoke/quick stream at once: per-cell buses
+  // are drained into this sink in one burst after the parallel barrier.
+  telemetry::EventBus event_sink(1 << 18);
+  if (!events_out.empty()) options.events = &event_sink;
+  const auto exposer = start_exposer(registry, metrics_port);
   const exp::CampaignResult result = exp::run_campaign(campaign, options);
 
   exp::CampaignJsonOptions json_options;
@@ -353,6 +471,7 @@ int run_campaign_command(int argc, char** argv) {
     std::ofstream out(json_path);
     if (!out) usage_error("cannot write " + json_path);
     exp::write_campaign_json(out, result, json_options);
+    finish_write(out, json_path);
     std::cout << "wrote campaign JSON to " << json_path << "\n";
     Table table({"cell", "reps", "error", "beta R", "beta NR"});
     for (const exp::CellResult& cell : result.cells) {
@@ -366,6 +485,7 @@ int run_campaign_command(int argc, char** argv) {
     table.print(std::cout);
   }
   export_telemetry(registry, campaign.name, telemetry_json, trace_out);
+  if (!events_out.empty()) export_events(event_sink, events_out);
   int failures = 0;
   for (const exp::CellResult& cell : result.cells)
     if (!cell.error.empty()) ++failures;
@@ -458,7 +578,100 @@ int run_scenarios_command(int argc, char** argv) {
     std::ofstream out(json_path);
     if (!out) usage_error("cannot write " + json_path);
     write_scenario_set_json(out, set, set_name);
+    finish_write(out, json_path);
     std::cout << "wrote " << set.size() << " scenarios to " << json_path << "\n";
+  }
+  return 0;
+}
+
+/// Extracts the raw value of `key` from one compact JSON line the repo's own
+/// writers produced (string values lose their quotes; nested escapes are
+/// un-escaped only for \" and \\). Returns "" when the key is absent. This is
+/// a reader for OUR schema, not a JSON parser — the repo deliberately has no
+/// general-purpose one.
+std::string json_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  std::size_t i = at + needle.size();
+  if (i >= line.size()) return "";
+  if (line[i] == '"') {
+    std::string value;
+    for (++i; i < line.size() && line[i] != '"'; ++i) {
+      if (line[i] == '\\' && i + 1 < line.size()) ++i;
+      value.push_back(line[i]);
+    }
+    return value;
+  }
+  std::size_t end = i;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return line.substr(i, end - i);
+}
+
+/// One pretty-printed line per event, aligned for terminal reading:
+///   [  det] iter          phase2 iter=41 evals=1930 link=7 cost=(0,8.125e6)
+///   [ proc] progress      smoke-rand 1/2 (+142ms)
+void print_event_line(const std::string& line, std::ostream& os) {
+  if (line.empty()) return;
+  const std::string event = json_field(line, "event");
+  if (event.empty()) return;  // not an event line; skip silently
+  const std::string plane = json_field(line, "plane");
+  os << (plane == "det" ? "[  det] " : "[ proc] ");
+  os << event;
+  for (std::size_t pad = event.size(); pad < 14; ++pad) os << ' ';  // longest kind + 1
+  const std::string label = json_field(line, "label");
+  if (event == "schema") {
+    os << json_field(line, "schema");
+  } else if (event == "iter") {
+    os << label << " iter=" << json_field(line, "iter")
+       << " evals=" << json_field(line, "evals");
+    if (json_field(line, "restart") == "true") os << " restart";
+    else os << " link=" << json_field(line, "link");
+    os << " cost=(" << json_field(line, "lambda") << "," << json_field(line, "phi")
+       << ")";
+  } else if (event == "phase_end") {
+    os << label << " iter=" << json_field(line, "iter")
+       << " evals=" << json_field(line, "evals") << " cost=("
+       << json_field(line, "lambda") << "," << json_field(line, "phi") << ")";
+  } else if (event == "progress") {
+    os << label << " " << json_field(line, "done");
+    const std::string total = json_field(line, "total");
+    if (!total.empty() && total != "0") os << "/" << total;
+  } else if (event == "counter_delta") {
+    os << label << " +" << json_field(line, "delta");
+  } else if (event == "drops") {
+    os << json_field(line, "dropped") << " events dropped";
+  } else {
+    os << label;  // phase_start / cell_start / cell_finish carry only a label
+  }
+  const std::string wall = json_field(line, "wall_ms");
+  if (!wall.empty()) os << " (+" << wall << "ms)";
+  os << "\n";
+}
+
+/// `dtr_tool tail FILE [--follow]` — live progress view over an events file.
+/// --follow keeps polling for appended lines (reader-side tail -f; the writer
+/// needs no cooperation) until interrupted.
+int run_tail_command(int argc, char** argv) {
+  std::string path;
+  bool follow = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--follow") follow = true;
+    else if (arg.rfind("--", 0) == 0) usage_error("unknown tail flag: " + arg);
+    else if (path.empty()) path = arg;
+    else usage_error("tail takes one FILE");
+  }
+  if (path.empty()) usage_error("tail needs an events FILE");
+  std::ifstream in(path);
+  if (!in) usage_error("cannot open " + path);
+  std::string line;
+  for (;;) {
+    while (std::getline(in, line)) print_event_line(line, std::cout);
+    if (!follow) break;
+    std::cout.flush();
+    in.clear();  // getline hit EOF; clear so appended bytes become readable
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
   }
   return 0;
 }
@@ -466,10 +679,17 @@ int run_scenarios_command(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--version") {
+    std::cout << "dtr_tool schemas: " << dtr::experiments::kCampaignSchema << " "
+              << telemetry::kTelemetrySchema << " " << telemetry::kEventsSchema << "\n";
+    return 0;
+  }
   if (argc >= 2 && std::string(argv[1]) == "campaign")
     return run_campaign_command(argc, argv);
   if (argc >= 2 && std::string(argv[1]) == "scenarios")
     return run_scenarios_command(argc, argv);
+  if (argc >= 2 && std::string(argv[1]) == "tail")
+    return run_tail_command(argc, argv);
   const Options opt = parse_args(argc, argv);
 
   // ---- topology
@@ -488,13 +708,18 @@ int main(int argc, char** argv) {
   // ---- optimize
   telemetry::Registry registry;
   telemetry::Registry* telemetry_sink =
-      (opt.telemetry_json.empty() && opt.trace_out.empty()) ? nullptr : &registry;
+      (opt.telemetry_json.empty() && opt.trace_out.empty() && opt.metrics_port < 0)
+          ? nullptr
+          : &registry;
   EvaluatorConfig eval_config;
   eval_config.telemetry = telemetry_sink;
   const Evaluator evaluator(graph, traffic, params, eval_config);
   OptimizerConfig config = default_optimizer_config(opt.effort, opt.seed);
   config.critical_fraction = opt.fraction;
   config.telemetry = telemetry_sink;
+  telemetry::EventBus events;
+  if (!opt.events_out.empty()) config.events = &events;
+  const auto exposer = start_exposer(registry, opt.metrics_port);
   if (opt.harden.enabled) {
     try {
       config.objective = dtr::experiments::build_hardening_objective(
@@ -559,5 +784,7 @@ int main(int argc, char** argv) {
     evaluator.flush_cache_stats_to_telemetry();
     export_telemetry(registry, "dtr_tool", opt.telemetry_json, opt.trace_out);
   }
+  if (!opt.events_out.empty()) export_events(events, opt.events_out);
+  if (!opt.trace_events.empty()) export_trace_events(result, opt.trace_events);
   return 0;
 }

@@ -139,6 +139,26 @@ def self_test() -> int:
         check("scale-tier slowdown is advisory",
               invoke(tmp, bench(scale_slow), bench(scale_base)),
               0, "::warning::check-bench: BM_IspScaleSweep/nodes:300 is 3.00x slower")
+        # Toggle-pair guard rows (events on vs off) compare each arm against
+        # its own baseline entry, so an events:1 regression trips the advisory
+        # even when events:0 is unchanged — the overhead guard rides the same
+        # per-row machinery as everything else.
+        ebus_base = fast + [
+            {"name": "BM_EventBusOverhead/events:0", "real_ms": 1.0,
+             "counters": {"links": 40.0, "events_per_iter": 0.0}},
+            {"name": "BM_EventBusOverhead/events:1", "real_ms": 1.0,
+             "counters": {"links": 40.0, "events_per_iter": 40.0}}]
+        ebus_slow = fast + [
+            {"name": "BM_EventBusOverhead/events:0", "real_ms": 1.0,
+             "counters": {"links": 40.0, "events_per_iter": 0.0}},
+            {"name": "BM_EventBusOverhead/events:1", "real_ms": 3.0,
+             "counters": {"links": 40.0, "events_per_iter": 40.0}}]
+        check("vanished event-bus toggle arm blocks",
+              invoke(tmp, bench(fast), bench(ebus_base)),
+              1, "missing from this run: BM_EventBusOverhead/events:0")
+        check("event-bus events:1 slowdown is advisory",
+              invoke(tmp, bench(ebus_slow), bench(ebus_base)),
+              0, "::warning::check-bench: BM_EventBusOverhead/events:1 is 3.00x slower")
         check("3x slowdown is advisory",
               invoke(tmp, bench(slow), bench(fast)),
               0, "::warning::check-bench: BM_A is 3.00x slower")

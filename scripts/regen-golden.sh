@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Regenerates the CI golden campaign artifacts (tests/golden/campaign_smoke.json,
 # tests/golden/scenario_smoke.json, tests/golden/availability_smoke.json,
-# tests/golden/isp_smoke.json) from the specs next to them.
+# tests/golden/isp_smoke.json, tests/golden/events_smoke.jsonl) from the specs
+# next to them.
 #
 # The CI bench-smoke job runs the same campaigns and `diff`s their output
 # against the checked-in JSON, so silent metric regressions fail CI. Only
@@ -78,11 +79,24 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target dtr_tool
   --json "$OUT_DIR"/isp_smoke.json \
   --workers 2
 
+# Streaming-events gate artifact: the ci-smoke cells with events = 1. Only
+# the deterministic plane is golden — iteration records and phase markers,
+# byte-identical for any --workers / --inner-threads shape. The full stream
+# (with process-plane heartbeats) goes to a scratch file.
+EVENTS_SCRATCH="$(mktemp)"
+trap 'rm -f "$EVENTS_SCRATCH"' EXIT
+"$BUILD_DIR"/examples/dtr_tool campaign \
+  --spec tests/golden/events_smoke.spec \
+  --json /dev/null \
+  --workers 2 \
+  --events-out "$EVENTS_SCRATCH"
+grep '"plane":"det"' "$EVENTS_SCRATCH" > "$OUT_DIR"/events_smoke.jsonl
+
 if [[ "$OUT_DIR" == "tests/golden" ]]; then
   echo "regenerated golden campaign artifacts:"
   git --no-pager diff --stat -- tests/golden/campaign_smoke.json \
     tests/golden/scenario_smoke.json tests/golden/availability_smoke.json \
-    tests/golden/isp_smoke.json
+    tests/golden/isp_smoke.json tests/golden/events_smoke.jsonl
 else
   echo "regenerated golden campaign artifacts into $OUT_DIR (tree untouched)"
 fi

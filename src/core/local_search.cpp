@@ -24,6 +24,10 @@ void LocalSearch::set_on_accept(
   on_accept_ = std::move(on_accept);
 }
 
+void LocalSearch::set_on_move(std::function<void(const MoveRecord&)> on_move) {
+  on_move_ = std::move(on_move);
+}
+
 void LocalSearch::set_restart(std::function<WeightSetting(Rng&)> restart) {
   restart_ = std::move(restart);
 }
@@ -144,6 +148,8 @@ LocalSearch::Result LocalSearch::run(SearchObjective& objective,
           current_cost = *candidate_cost;
           ++result.accepted_moves;
           if (on_accept_) on_accept_(current, current_cost);
+          if (on_move_)
+            on_move_({result.iterations, result.evaluations, link, current_cost, false});
           if (order.less(current_cost, result.best_cost)) {
             result.best = current;
             result.best_cost = current_cost;
@@ -195,6 +201,8 @@ LocalSearch::Result LocalSearch::run(SearchObjective& objective,
         current = std::move(fresh);
         current_cost = *fresh_cost;
         if (on_accept_) on_accept_(current, current_cost);
+        if (on_move_)
+          on_move_({result.iterations, result.evaluations, kInvalidLink, current_cost, true});
         if (order.less(current_cost, result.best_cost)) {
           result.best = current;
           result.best_cost = current_cost;

@@ -62,6 +62,18 @@ struct PerturbationEvent {
   const WeightSetting* candidate = nullptr;
 };
 
+/// One committed change of the current setting: a probe accept or a restart
+/// adoption. Fired on the calling thread in iteration order (bit-identical
+/// for any worker count, like the observer), so it is safe to derive
+/// deterministic-plane convergence traces and event streams from it.
+struct MoveRecord {
+  long iteration = 0;       ///< search iteration the move landed in
+  long evaluations = 0;     ///< objective evaluations consumed so far
+  LinkId link = kInvalidLink;  ///< changed link; kInvalidLink on restart adoption
+  CostPair cost;            ///< incumbent cost after the move
+  bool restart = false;     ///< diversification restart, not a probe accept
+};
+
 /// Per-link random-reassignment local search with diversification restarts —
 /// the engine shared by both optimization phases. In every iteration each
 /// link (random order) has BOTH its weights redrawn uniformly in [1, wmax];
@@ -105,6 +117,10 @@ class LocalSearch {
   /// Called whenever a candidate is accepted (becomes the current setting).
   void set_on_accept(std::function<void(const WeightSetting&, const CostPair&)> on_accept);
 
+  /// Called after every committed move (probe accepts AND restart adoptions)
+  /// with its iteration-indexed record — the deterministic convergence feed.
+  void set_on_move(std::function<void(const MoveRecord&)> on_move);
+
   /// Produces the setting a diversification restarts from. Defaults to
   /// uniformly random weights.
   void set_restart(std::function<WeightSetting(Rng&)> restart);
@@ -117,6 +133,7 @@ class LocalSearch {
   Config config_;
   std::function<void(const PerturbationEvent&)> observer_;
   std::function<void(const WeightSetting&, const CostPair&)> on_accept_;
+  std::function<void(const MoveRecord&)> on_move_;
   std::function<WeightSetting(Rng&)> restart_;
 };
 

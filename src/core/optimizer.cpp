@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <iterator>
 #include <memory>
 #include <stdexcept>
 #include <utility>
 
 #include "core/baseline_selectors.h"
 #include "core/metrics.h"
+#include "telemetry/events.h"
 #include "util/thread_pool.h"
 
 namespace dtr {
@@ -223,10 +225,6 @@ RobustOptimizer::RobustOptimizer(const Evaluator& evaluator, OptimizerConfig con
       (config_.critical_fraction <= 0.0 || config_.critical_fraction > 1.0))
     throw std::invalid_argument("RobustOptimizer: critical_fraction outside (0,1]");
   if (config_.chi < 0.0) throw std::invalid_argument("RobustOptimizer: negative chi");
-  if (config_.objective && !config_.link_failure_probabilities.empty())
-    throw std::invalid_argument(
-        "RobustOptimizer: set either objective or the deprecated "
-        "link_failure_probabilities, not both");
   // The criticality acceptability relaxation chi and constraint (6) chi are
   // the same knob in the paper; keep them consistent.
   config_.criticality.chi = config_.chi;
@@ -250,16 +248,14 @@ OptimizeResult RobustOptimizer::optimize() {
   const std::size_t num_links = graph.num_links();
   Rng rng(config_.seed);
 
-  // ---- Objective resolution (the one place the legacy shim is honored) ----
-  // A per-link-shaped expected-cost objective (exactly what the deprecated
-  // link_failure_probabilities field means) runs the classic per-link
+  // ---- Objective resolution ----------------------------------------------
+  // A per-link-shaped expected-cost objective (what
+  // objective_from_link_probabilities builds) runs the classic per-link
   // pipeline with the catalog weights as link probabilities — the SAME code
-  // and RNG stream as before the objective API existed, so shim runs are
-  // bit-identical to their pre-API equivalents. Anything else (compound
-  // scenarios, percentile / downtime aggregation) takes the catalog path.
-  std::optional<HardeningObjective> objective = config_.objective;
-  if (!objective && !config_.link_failure_probabilities.empty())
-    objective = objective_from_link_probabilities(graph, config_.link_failure_probabilities);
+  // and RNG stream as before the objective API existed. Anything else
+  // (compound scenarios, percentile / downtime aggregation) takes the
+  // catalog path.
+  const std::optional<HardeningObjective>& objective = config_.objective;
   std::vector<double> link_probabilities;
   bool catalog_mode = false;
   if (objective) {
@@ -284,8 +280,58 @@ OptimizeResult RobustOptimizer::optimize() {
   OptimizeResult result;
   const EvaluatorCacheStats cache_before = evaluator_.base_cache_stats();
 
+  // Streaming events honor the global kill switch like every other sink.
+  // Deterministic-plane publication rides the LocalSearch hook contract:
+  // hooks run on the calling thread in iteration order, so the event stream
+  // is byte-identical for any num_threads.
+  telemetry::EventBus* events = telemetry::enabled() ? config_.events : nullptr;
+  const auto phase_marker = [events](telemetry::EventKind kind, std::string_view label) {
+    if (events == nullptr) return;
+    telemetry::Event e;
+    e.kind = kind;
+    e.label = std::string(label);
+    telemetry::publish_deterministic(events, std::move(e));
+  };
+  const auto phase_end = [events](std::string_view label, const LocalSearch::Result& r) {
+    if (events == nullptr) return;
+    telemetry::Event e;
+    e.kind = telemetry::EventKind::kPhaseEnd;
+    e.label = std::string(label);
+    e.iteration = static_cast<std::uint64_t>(r.iterations);
+    e.evaluations = static_cast<std::uint64_t>(r.evaluations);
+    e.cost_lambda = r.best_cost.lambda;
+    e.cost_phi = r.best_cost.phi;
+    telemetry::publish_deterministic(events, std::move(e));
+  };
+  telemetry::Registry* live = telemetry::effective(config_.telemetry);
+  const auto record_move = [events, live, &result](int phase, std::string_view label,
+                                                   const MoveRecord& m) {
+    result.trace.push_back({phase, m});
+    if (live != nullptr) {
+      // Live progress for the metrics exposer: the last accepted move is
+      // scrapeable mid-run. Process plane — WHEN a scrape observes these is
+      // shape-dependent even though the final values are not.
+      live->gauge("optimizer.live.phase").set(static_cast<std::uint64_t>(phase));
+      live->gauge("optimizer.live.iteration").set(static_cast<std::uint64_t>(m.iteration));
+      live->gauge("optimizer.live.evaluations")
+          .set(static_cast<std::uint64_t>(m.evaluations));
+    }
+    if (events == nullptr) return;
+    telemetry::Event e;
+    e.kind = telemetry::EventKind::kIteration;
+    e.label = std::string(label);
+    e.iteration = static_cast<std::uint64_t>(m.iteration);
+    e.evaluations = static_cast<std::uint64_t>(m.evaluations);
+    e.link = m.link == kInvalidLink ? -1 : static_cast<std::int64_t>(m.link);
+    e.cost_lambda = m.cost.lambda;
+    e.cost_phi = m.cost.phi;
+    e.restart = m.restart;
+    telemetry::publish_deterministic(events, std::move(e));
+  };
+
   // ---------------- Phase 1: regular optimization (Eq. 3) -----------------
   const auto phase1_start = Clock::now();
+  phase_marker(telemetry::EventKind::kPhaseStart, "phase1a");
   NormalObjective normal_objective(evaluator_);
   CriticalityCollector collector(num_links, config_.wmax, evaluator_.params().sla.b1,
                                  config_.criticality, rng.split().seed());
@@ -321,6 +367,8 @@ OptimizeResult RobustOptimizer::optimize() {
   phase1_search.set_on_accept([&store](const WeightSetting& w, const CostPair& cost) {
     store.offer(w, cost);
   });
+  phase1_search.set_on_move(
+      [&record_move](const MoveRecord& m) { record_move(1, "phase1", m); });
 
   WeightSetting initial(num_links);
   if (config_.warm_start) {
@@ -337,9 +385,11 @@ OptimizeResult RobustOptimizer::optimize() {
   result.phase1a_samples = collector.total_samples();
   store.offer(phase1.best, phase1.best_cost);
   result.phase1_seconds = seconds_since(phase1_start);
+  phase_end("phase1a", phase1);
 
   // ------------- Phase 1b: top-up sampling until rank convergence ---------
   const auto phase1b_start = Clock::now();
+  phase_marker(telemetry::EventKind::kPhaseStart, "phase1b");
   // Samples must stay conditioned on acceptable routings: the pool of
   // acceptable stored settings, shared by the per-link and catalog samplers.
   // The Phase 1 incumbent is acceptable by definition, so it is never empty.
@@ -354,6 +404,20 @@ OptimizeResult RobustOptimizer::optimize() {
     }
     return entry_pool;
   };
+  // Churn baseline: the top-|Ec| selection Phase 1a's samples alone imply,
+  // under the same probability scaling Phase 1c will apply. Compared against
+  // the final selection to report how much the 1b top-up moved it.
+  std::vector<LinkId> pre_critical;
+  if (selector_needs_samples && config_.selector == SelectorKind::kDistributionGap) {
+    CriticalityEstimates pre = collector.estimates();
+    if (!link_probabilities.empty()) {
+      for (LinkId l = 0; l < num_links; ++l) {
+        pre.rho_lambda[l] *= link_probabilities[l];
+        pre.rho_phi[l] *= link_probabilities[l];
+      }
+    }
+    pre_critical = select_critical_links(pre, critical_target_size()).critical;
+  }
   if (selector_needs_samples) {
     const long budget = config_.max_phase1b_samples > 0
                             ? config_.max_phase1b_samples
@@ -381,9 +445,11 @@ OptimizeResult RobustOptimizer::optimize() {
     result.scenario_samples = static_cast<std::size_t>(crit.samples);
   }
   result.phase1b_seconds = seconds_since(phase1b_start);
+  phase_marker(telemetry::EventKind::kPhaseEnd, "phase1b");
 
   // ---------------- Phase 1c: critical set selection ----------------------
   const auto phase1c_start = Clock::now();
+  phase_marker(telemetry::EventKind::kPhaseStart, "phase1c");
   const std::size_t target = critical_target_size();
   if (catalog_mode) {
     result.catalog_size = objective->set.size();
@@ -461,9 +527,21 @@ OptimizeResult RobustOptimizer::optimize() {
         break;
     }
   }
+  if (!pre_critical.empty()) {
+    std::vector<LinkId> pre = pre_critical;
+    std::vector<LinkId> post = result.critical;
+    std::sort(pre.begin(), pre.end());
+    std::sort(post.begin(), post.end());
+    std::vector<LinkId> gained;
+    std::set_difference(post.begin(), post.end(), pre.begin(), pre.end(),
+                        std::back_inserter(gained));
+    result.critical_churn = gained.size();
+  }
+  phase_marker(telemetry::EventKind::kPhaseEnd, "phase1c");
 
   // ---------------- Phase 2: robust optimization (Eq. 4) ------------------
   const auto phase2_start = Clock::now();
+  phase_marker(telemetry::EventKind::kPhaseStart, "phase2");
   std::vector<FailureScenario> scenarios;
   std::vector<double> scenario_weights;
   if (catalog_mode) {
@@ -528,6 +606,22 @@ OptimizeResult RobustOptimizer::optimize() {
     return w;
   });
 
+  phase2_search.set_on_move(
+      [&record_move](const MoveRecord& m) { record_move(2, "phase2", m); });
+  if (events != nullptr) {
+    // Process-plane progress heartbeat: a tick every 256 probes so a live
+    // tail shows Phase 2 moving even between accepts. Total is unknown (the
+    // stopping rule is stall-based), so it stays 0.
+    phase2_search.set_observer([events, probes = 0L](const PerturbationEvent&) mutable {
+      if (++probes % 256 != 0) return;
+      telemetry::Event e;
+      e.kind = telemetry::EventKind::kProgress;
+      e.label = "phase2";
+      e.done = static_cast<std::uint64_t>(probes);
+      telemetry::publish_process(events, std::move(e));
+    });
+  }
+
   const LocalSearch::Result phase2 = phase2_search.run(*robust_objective, result.regular);
   result.robust = phase2.best;
   result.robust_kfail = phase2.best_cost;
@@ -537,6 +631,16 @@ OptimizeResult RobustOptimizer::optimize() {
   result.phase2_diversifications = phase2.diversifications;
   result.phase2_seconds = seconds_since(phase2_start);
   if (catalog_mode) result.robust_objective_value = phase2.best_cost.lambda;
+  phase_end("phase2", phase2);
+
+  // Per-link change attribution: which links the accepted moves touched.
+  {
+    std::vector<std::uint64_t> changes(num_links, 0);
+    for (const TraceMove& t : result.trace)
+      if (!t.move.restart && t.move.link != kInvalidLink) ++changes[t.move.link];
+    for (LinkId l = 0; l < num_links; ++l)
+      if (changes[l] > 0) result.link_changes.emplace_back(l, changes[l]);
+  }
 
   // ---------------- Telemetry: run-local collection -----------------------
   // A run-local registry always collects (the snapshots back the

@@ -16,6 +16,10 @@
 
 namespace dtr {
 
+namespace telemetry {
+class EventBus;
+}
+
 /// Which critical-link selector drives Phase 2 (Sec. IV-C comparison).
 enum class SelectorKind : std::uint8_t {
   kDistributionGap,    ///< this paper: mean minus left-tail mean + Algorithm 1
@@ -62,16 +66,9 @@ struct OptimizerConfig {
   /// exception keeps the classic pipeline byte-compatible: an expected-cost
   /// objective over exactly the per-link single-failure set (what
   /// objective_from_link_probabilities builds) runs the per-link Phase
-  /// 1a/1b/1c path with the catalog weights as link probabilities —
-  /// bit-identical to the deprecated field below.
+  /// 1a/1b/1c path with the catalog weights as link probabilities — the
+  /// exact historical RNG stream of the pre-API per-link runs.
   std::optional<HardeningObjective> objective;
-  /// DEPRECATED — compatibility shim over `objective`. When non-empty (one
-  /// probability per physical link, >= 0), the optimizer behaves exactly as
-  /// if `objective` were
-  /// objective_from_link_probabilities(graph, link_failure_probabilities)
-  /// (test-enforced bit-identical). Setting BOTH fields throws. Migrate to
-  /// the objective API; this field is kept for one release.
-  std::vector<double> link_failure_probabilities;
   /// Optional telemetry sink (borrowed; may be null). The run's deterministic
   /// optimizer.* counters and its phase spans are merged into it at the end
   /// of optimize(); the shape-dependent base-cache diff stays in
@@ -81,10 +78,24 @@ struct OptimizerConfig {
   /// eval.*/spf.* counters flow through EvaluatorConfig::telemetry, fixed
   /// when the evaluator was constructed, not through this field.
   telemetry::Registry* telemetry = nullptr;
+  /// Optional streaming event sink (borrowed; may be null). While optimize()
+  /// runs it receives deterministic-plane phase markers and one iteration
+  /// record per committed search move (published on the calling thread in
+  /// iteration order — byte-identical for any num_threads) plus process-plane
+  /// Phase-2 progress ticks. Honors the global telemetry kill switch.
+  telemetry::EventBus* events = nullptr;
 };
 
 /// Paper-ratio configs at the given effort level (see DESIGN.md §7).
 OptimizerConfig default_optimizer_config(Effort effort, std::uint64_t seed);
+
+/// One committed search move of the convergence trace, tagged with the phase
+/// it happened in (1 = regular optimization of K_normal, 2 = robust
+/// optimization of the failure objective).
+struct TraceMove {
+  int phase = 1;
+  MoveRecord move;
+};
 
 struct OptimizeResult {
   // Phase 1 ("regular optimization", Eq. (3)) output:
@@ -113,6 +124,20 @@ struct OptimizeResult {
   /// (expected cost / percentile cost / expected avoidable downtime minutes,
   /// by objective->mode). NaN for per-link runs.
   double robust_objective_value = std::numeric_limits<double>::quiet_NaN();
+
+  /// Convergence trace: every committed move (probe accepts + restart
+  /// adoptions) of both search phases, in execution order — cost-vs-iteration
+  /// per phase. Deterministic: byte-identical for any worker/thread shape.
+  std::vector<TraceMove> trace;
+  /// Per-link change attribution over the trace: how many accepted moves
+  /// changed each link (restart adoptions excluded). Ascending by link id;
+  /// links never changed are omitted.
+  std::vector<std::pair<LinkId, std::uint64_t>> link_changes;
+  /// Critical-set churn: how many of the finally selected critical links were
+  /// NOT in the top-|Ec| ranking before Phase 1b topped up samples — how much
+  /// the top-up moved the selection (0 = 1b confirmed 1a's view). Computed
+  /// for the per-link distribution-gap selector only.
+  std::size_t critical_churn = 0;
 
   double phase1_seconds = 0.0;
   double phase1b_seconds = 0.0;

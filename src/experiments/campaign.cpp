@@ -17,6 +17,7 @@
 #include "routing/failures.h"
 #include "scenarios/scenario_eval.h"
 #include "scenarios/srlg.h"
+#include "telemetry/events.h"
 #include "telemetry/telemetry.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -30,12 +31,20 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 }
 
 CellResult run_cell(const CampaignCell& cell, Effort effort, CellContext ctx,
-                    telemetry::Registry* reg) {
+                    telemetry::Registry* reg, telemetry::EventBus* bus) {
   const auto start = std::chrono::steady_clock::now();
   ctx.telemetry = reg;
+  ctx.events = bus;
   CellResult result;
   result.id = cell.id;
   result.label = cell.spec.label();
+  const auto heartbeat = [&](telemetry::EventKind kind) {
+    telemetry::Event e;
+    e.kind = kind;
+    e.label = cell.id;
+    telemetry::publish_process(bus, std::move(e));  // null-safe
+  };
+  heartbeat(telemetry::EventKind::kCellStart);
   try {
     // The span covers every rep; campaign.* counters count the WORK the
     // schedule was given, so they merge to the same totals for any shape.
@@ -44,17 +53,35 @@ CellResult run_cell(const CampaignCell& cell, Effort effort, CellContext ctx,
       reg->counter("campaign.cells").add(1);
       reg->counter("campaign.reps").add(static_cast<std::uint64_t>(cell.repeats));
     }
+    telemetry::Snapshot last_snapshot;
     for (int rep = 0; rep < cell.repeats; ++rep) {
       const std::uint64_t rep_seed =
           cell.spec.seed + static_cast<std::uint64_t>(rep) * cell.seed_stride;
       result.reps.push_back(cell.body ? cell.body(cell, effort, rep_seed, ctx)
                                       : standard_cell_rep(cell, effort, rep_seed, ctx));
+      if (bus != nullptr) {
+        telemetry::Event e;
+        e.kind = telemetry::EventKind::kProgress;
+        e.label = cell.id;
+        e.done = static_cast<std::uint64_t>(rep + 1);
+        e.total = static_cast<std::uint64_t>(cell.repeats);
+        telemetry::publish_process(bus, std::move(e));
+        if (reg != nullptr) {
+          // Per-rep registry snapshot delta: what this rep added to the
+          // cell's deterministic counters (process plane — the cadence is
+          // execution-driven, not part of the deterministic stream).
+          telemetry::Snapshot now = reg->snapshot(telemetry::Plane::kDeterministic);
+          telemetry::publish_snapshot_delta(bus, last_snapshot, now);
+          last_snapshot = std::move(now);
+        }
+      }
     }
   } catch (const std::exception& e) {
     result.error = e.what();
   } catch (...) {
     result.error = "unknown error";
   }
+  heartbeat(telemetry::EventKind::kCellFinish);
   if (cell.telemetry && reg != nullptr) {
     // Deterministic counters only: the embedded block must keep the artifact
     // byte-identical across execution shapes.
@@ -184,10 +211,17 @@ CampaignResult run_campaign(const Campaign& campaign, const CampaignOptions& opt
   // cells that need one (a sink is set, or the cell embeds its block).
   telemetry::Registry* sink = telemetry::effective(options.telemetry);
   std::vector<std::unique_ptr<telemetry::Registry>> cell_regs(campaign.cells.size());
+  // Event buses mirror the registry pattern: one PER opted-in CELL, drained
+  // into the sink in campaign order after the barrier, so the sink's
+  // deterministic-plane line sequence is shape-independent.
+  telemetry::EventBus* event_sink = telemetry::enabled() ? options.events : nullptr;
+  std::vector<std::unique_ptr<telemetry::EventBus>> cell_buses(campaign.cells.size());
   if (telemetry::enabled()) {
     for (std::size_t i = 0; i < campaign.cells.size(); ++i) {
       if (sink != nullptr || campaign.cells[i].telemetry)
         cell_regs[i] = std::make_unique<telemetry::Registry>();
+      if (event_sink != nullptr && campaign.cells[i].events)
+        cell_buses[i] = std::make_unique<telemetry::EventBus>();
     }
   }
 
@@ -195,7 +229,8 @@ CampaignResult run_campaign(const Campaign& campaign, const CampaignOptions& opt
   // Cells land in slot i regardless of which shard ran them, so the result
   // (and its JSON bytes) is independent of the execution schedule.
   parallel_for(&cell_pool, campaign.cells.size(), [&](std::size_t, std::size_t i) {
-    out.cells[i] = run_cell(campaign.cells[i], campaign.effort, ctx, cell_regs[i].get());
+    out.cells[i] = run_cell(campaign.cells[i], campaign.effort, ctx, cell_regs[i].get(),
+                            cell_buses[i].get());
   });
 
   if (sink != nullptr) {
@@ -205,6 +240,18 @@ CampaignResult run_campaign(const Campaign& campaign, const CampaignOptions& opt
       sink->merge_counters(reg->snapshot(telemetry::Plane::kProcess),
                            telemetry::Plane::kProcess);
       sink->merge_spans(reg->spans());
+    }
+  }
+  if (event_sink != nullptr) {
+    for (const auto& bus : cell_buses) {
+      if (!bus) continue;
+      for (telemetry::Event& e : bus->drain()) event_sink->publish(std::move(e));
+      if (const std::uint64_t dropped = bus->dropped(); dropped > 0) {
+        telemetry::Event e;
+        e.kind = telemetry::EventKind::kDrops;
+        e.value = dropped;
+        telemetry::publish_process(event_sink, std::move(e));
+      }
     }
   }
 
@@ -381,6 +428,7 @@ MetricRow standard_cell_rep(const CampaignCell& cell, Effort effort,
       run_optimizer(evaluator, effort, rep_seed, [&](OptimizerConfig& config) {
         config.num_threads = ctx.inner_threads;
         config.telemetry = ctx.telemetry;
+        config.events = ctx.events;
         if (cell.critical_fraction > 0.0)
           config.critical_fraction = cell.critical_fraction;
         if (cell.phase1b_samples > 0)
@@ -772,6 +820,7 @@ Campaign parse_campaign_spec(std::istream& in) {
       if (cell->harden.period_minutes <= 0.0)
         fail("harden_period_min must be > 0, got " + value);
     } else if (key == "telemetry") cell->telemetry = parse_int(key, value) != 0;
+    else if (key == "events") cell->events = parse_int(key, value) != 0;
     else fail("unknown cell key: " + key);
   }
 

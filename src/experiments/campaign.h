@@ -31,6 +31,7 @@ class ThreadPool;
 }  // namespace dtr
 
 namespace dtr::telemetry {
+class EventBus;
 class Registry;
 }  // namespace dtr::telemetry
 
@@ -127,6 +128,12 @@ struct CellContext {
   /// in campaign order afterwards, so the merged counters are byte-identical
   /// for any execution shape.
   telemetry::Registry* telemetry = nullptr;
+  /// Per-cell streaming event bus (borrowed; null = events off for the
+  /// cell). Same pattern as `telemetry`: each cell publishes into its own
+  /// bus and run_campaign drains them into the sink in campaign order after
+  /// the barrier, keeping the sink's deterministic-plane lines
+  /// byte-identical for any execution shape.
+  telemetry::EventBus* events = nullptr;
 };
 
 struct CampaignCell {
@@ -155,6 +162,10 @@ struct CampaignCell {
   /// in the artifact (CellResult::telemetry). Opt-in so existing artifacts
   /// keep their bytes.
   bool telemetry = false;
+  /// Spec key `events=1`: stream this cell's progress events (cell
+  /// heartbeats, optimizer iteration records, rep progress) to the
+  /// campaign's event sink. No effect without CampaignOptions::events.
+  bool events = false;
   /// Custom per-rep body (tests/extensions); empty = standard_cell_rep.
   std::function<MetricRow(const CampaignCell&, Effort, std::uint64_t,
                           const CellContext&)>
@@ -185,6 +196,12 @@ struct CampaignOptions {
   /// deterministic counters are byte-identical for any workers /
   /// inner_threads shape. Cell spans land here too (process plane).
   telemetry::Registry* telemetry = nullptr;
+  /// Optional campaign-wide event sink (borrowed; may be null). Cells that
+  /// opted in with `events=1` publish into per-cell buses which run_campaign
+  /// drains into this sink in campaign order after the barrier — the
+  /// deterministic plane is byte-identical for any workers / inner_threads
+  /// shape. Appended last so brace-initialized call sites keep compiling.
+  telemetry::EventBus* events = nullptr;
 };
 
 /// Runs every cell: sharded across the pool, deterministic result order,

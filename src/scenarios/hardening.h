@@ -3,11 +3,11 @@
 /// Hardening objectives: WHAT Phase 2 optimizes against, as a first-class
 /// value. A HardeningObjective pairs a scenario catalog (ScenarioSet, weights
 /// = probabilities) with an aggregation mode — expected cost, weighted
-/// percentile, or expected downtime — and replaces the bolted-on
-/// OptimizerConfig::link_failure_probabilities vector (now a compatibility
-/// shim over objective_from_link_probabilities). The optimizer consumes it
-/// through the weighted Evaluator::sweep early-abort path; campaigns and
-/// dtr_tool build it from `objective=` / `harden_set=` spec keys.
+/// percentile, or expected downtime. The per-link probabilistic failure
+/// model is one shape of it (objective_from_link_probabilities). The
+/// optimizer consumes it through the weighted Evaluator::sweep early-abort
+/// path; campaigns and dtr_tool build it from `objective=` / `harden_set=`
+/// spec keys.
 
 #include <cstdint>
 #include <optional>
@@ -65,9 +65,9 @@ struct HardeningObjective {
 /// or a non-positive downtime period.
 void validate_objective(const HardeningObjective& objective, const Graph& g);
 
-/// The legacy OptimizerConfig::link_failure_probabilities model as an
-/// objective: every single-link failure of `g` in link order, weighted by
-/// `probabilities` (size must equal num_links), expected-cost aggregation.
+/// The per-link probabilistic failure model as an objective: every
+/// single-link failure of `g` in link order, weighted by `probabilities`
+/// (size must equal num_links), expected-cost aggregation.
 HardeningObjective objective_from_link_probabilities(
     const Graph& g, std::span<const double> probabilities);
 

@@ -1,0 +1,177 @@
+#include "telemetry/events.h"
+
+#include <cassert>
+#include <chrono>
+#include <ostream>
+#include <utility>
+
+#include "util/json.h"
+
+namespace dtr::telemetry {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint64_t process_wall_ms() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - epoch).count());
+}
+
+}  // namespace
+
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSchema: return "schema";
+    case EventKind::kPhaseStart: return "phase_start";
+    case EventKind::kPhaseEnd: return "phase_end";
+    case EventKind::kIteration: return "iter";
+    case EventKind::kCellStart: return "cell_start";
+    case EventKind::kCellFinish: return "cell_finish";
+    case EventKind::kProgress: return "progress";
+    case EventKind::kCounterDelta: return "counter_delta";
+    case EventKind::kDrops: return "drops";
+  }
+  return "unknown";
+}
+
+EventBus::EventBus(std::size_t capacity) : slots_(round_up_pow2(capacity < 2 ? 2 : capacity)) {
+  mask_ = slots_.size() - 1;
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    slots_[i].seq.store(i, std::memory_order_relaxed);
+}
+
+bool EventBus::publish(Event e) {
+  std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& slot = slots_[pos & mask_];
+    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    const std::int64_t dif = static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+    if (dif == 0) {
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+        slot.event = std::move(e);
+        slot.seq.store(pos + 1, std::memory_order_release);
+        published_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // CAS updated `pos`; retry against the new head.
+    } else if (dif < 0) {
+      // The slot one lap behind is still unconsumed: ring full.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<Event> EventBus::drain() {
+  std::vector<Event> out;
+  std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& slot = slots_[pos & mask_];
+    const std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq != pos + 1) break;  // next slot not yet published
+    out.push_back(std::move(slot.event));
+    slot.event = Event{};
+    slot.seq.store(pos + slots_.size(), std::memory_order_release);
+    ++pos;
+  }
+  dequeue_pos_.store(pos, std::memory_order_relaxed);
+  return out;
+}
+
+std::string event_json_line(const Event& e) {
+  std::string line = "{\"event\":";
+  line += json_escape(to_string(e.kind));
+  line += ",\"plane\":";
+  line += e.plane == Plane::kDeterministic ? "\"det\"" : "\"process\"";
+  if (e.kind == EventKind::kSchema) {
+    line += ",\"schema\":";
+    line += json_escape(kEventsSchema);
+    line += "}";
+    return line;
+  }
+  if (!e.label.empty()) {
+    line += ",\"label\":";
+    line += json_escape(e.label);
+  }
+  switch (e.kind) {
+    case EventKind::kIteration:
+      line += ",\"iter\":" + std::to_string(e.iteration);
+      line += ",\"evals\":" + std::to_string(e.evaluations);
+      line += ",\"link\":" + std::to_string(e.link);
+      line += ",\"lambda\":" + json_number(e.cost_lambda);
+      line += ",\"phi\":" + json_number(e.cost_phi);
+      line += ",\"restart\":";
+      line += e.restart ? "true" : "false";
+      break;
+    case EventKind::kPhaseEnd:
+      line += ",\"iter\":" + std::to_string(e.iteration);
+      line += ",\"evals\":" + std::to_string(e.evaluations);
+      line += ",\"lambda\":" + json_number(e.cost_lambda);
+      line += ",\"phi\":" + json_number(e.cost_phi);
+      break;
+    case EventKind::kProgress:
+      line += ",\"done\":" + std::to_string(e.done);
+      line += ",\"total\":" + std::to_string(e.total);
+      break;
+    case EventKind::kCounterDelta:
+      line += ",\"delta\":" + std::to_string(e.value);
+      break;
+    case EventKind::kDrops:
+      line += ",\"dropped\":" + std::to_string(e.value);
+      break;
+    default:
+      break;
+  }
+  if (e.plane == Plane::kProcess) line += ",\"wall_ms\":" + std::to_string(e.wall_ms);
+  line += "}";
+  return line;
+}
+
+void write_events_header(std::ostream& os) {
+  Event header;
+  header.kind = EventKind::kSchema;
+  header.plane = Plane::kDeterministic;
+  os << event_json_line(header) << '\n';
+}
+
+void write_events_jsonl(std::ostream& os, const std::vector<Event>& events) {
+  for (const Event& e : events) os << event_json_line(e) << '\n';
+}
+
+void publish_process(EventBus* bus, Event e) {
+  if (bus == nullptr) return;
+  e.plane = Plane::kProcess;
+  e.wall_ms = process_wall_ms();
+  bus->publish(std::move(e));
+}
+
+void publish_deterministic(EventBus* bus, Event e) {
+  if (bus == nullptr) return;
+  e.plane = Plane::kDeterministic;
+  assert(e.wall_ms == 0 && "deterministic events must not carry wall-clock data");
+  bus->publish(std::move(e));
+}
+
+void publish_snapshot_delta(EventBus* bus, const Snapshot& before, const Snapshot& now) {
+  if (bus == nullptr) return;
+  for (const CounterValue& c : now.counters) {
+    const std::uint64_t prior = before.counter(c.name);
+    if (c.value <= prior) continue;
+    Event e;
+    e.kind = EventKind::kCounterDelta;
+    e.label = c.name;
+    e.value = c.value - prior;
+    publish_process(bus, std::move(e));
+  }
+}
+
+}  // namespace dtr::telemetry

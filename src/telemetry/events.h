@@ -1,0 +1,135 @@
+#pragma once
+
+/// Streaming progress events: the front end the PR-7 registry was missing.
+/// While a run is alive, instrumented code publishes typed events — optimizer
+/// iteration records, campaign cell heartbeats, sweep progress, registry
+/// snapshot deltas — onto a bounded MPSC ring (EventBus) that a consumer
+/// drains into a schema-versioned `dtr.events.v1` JSONL sink.
+///
+/// Events carry the same two-plane contract as the registry:
+///
+///  - Plane::kDeterministic — iteration-indexed records with NO wall-clock
+///    fields, byte-identical for any worker/thread shape. Producers publish
+///    them on the calling thread in deterministic order (the LocalSearch
+///    accept-hook contract), and the campaign engine gives each cell its own
+///    bus, drained into the sink in campaign order after the parallel
+///    barrier — exactly the per-cell-registry pattern.
+///  - Plane::kProcess — timestamped heartbeats, progress ticks, and drop
+///    counts. Excluded from golden diffs (`"plane":"process"` lines are
+///    filtered out by the CI gate).
+///
+/// Overflow never blocks a producer: publish() on a full ring bumps an atomic
+/// drop counter and returns false; the drain side reports the total as a
+/// process-plane `drops` event so lossy streams are visible, not silent.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace dtr::telemetry {
+
+inline constexpr std::string_view kEventsSchema = "dtr.events.v1";
+
+enum class EventKind : std::uint8_t {
+  kSchema,        ///< det: stream header carrying the schema version
+  kPhaseStart,    ///< det: optimizer phase began (label = phase name)
+  kPhaseEnd,      ///< det: optimizer phase ended (label, iteration/evaluation totals)
+  kIteration,     ///< det: one accepted move / restart adoption of the search
+  kCellStart,     ///< process: campaign cell heartbeat (label = cell id)
+  kCellFinish,    ///< process: campaign cell heartbeat (label = cell id)
+  kProgress,      ///< process: sweep progress, `done` of `total` units
+  kCounterDelta,  ///< process: registry snapshot delta (label = counter name)
+  kDrops,         ///< process: ring-overflow total emitted by the drain side
+};
+
+std::string_view to_string(EventKind kind);
+
+/// One typed progress event. A single flat struct (not a variant) keeps the
+/// ring slots trivially reusable; writers emit only the fields meaningful for
+/// the kind. `wall_ms` stays 0 for deterministic-plane events by construction.
+struct Event {
+  EventKind kind = EventKind::kSchema;
+  Plane plane = Plane::kDeterministic;
+  std::string label;               ///< phase name / cell id / counter name
+  std::uint64_t iteration = 0;     ///< kIteration/kPhaseEnd: search iteration index
+  std::uint64_t evaluations = 0;   ///< kIteration/kPhaseEnd: objective evaluations so far
+  std::int64_t link = -1;          ///< kIteration: changed link, -1 = restart/none
+  double cost_lambda = 0.0;        ///< kIteration: incumbent cost after the move
+  double cost_phi = 0.0;
+  bool restart = false;            ///< kIteration: restart adoption, not a probe accept
+  std::uint64_t done = 0;          ///< kProgress: units finished
+  std::uint64_t total = 0;         ///< kProgress: units overall
+  std::uint64_t value = 0;         ///< kCounterDelta: counter increment; kDrops: total
+  std::uint64_t wall_ms = 0;       ///< process plane only: ms since an arbitrary epoch
+};
+
+/// Bounded multi-producer single-consumer ring (Vyukov-style sequence-numbered
+/// slots). publish() is wait-free apart from the CAS loop; a full ring drops
+/// the event (atomic drop count) instead of blocking the search hot path.
+/// drain() must be called from one thread at a time.
+class EventBus {
+ public:
+  /// Capacity is rounded up to a power of two; default holds a full smoke
+  /// run's iteration records with headroom.
+  explicit EventBus(std::size_t capacity = 1 << 16);
+
+  EventBus(const EventBus&) = delete;
+  EventBus& operator=(const EventBus&) = delete;
+
+  /// Enqueues a copy of `e`. Returns false (and counts a drop) when full.
+  bool publish(Event e);
+
+  /// Removes and returns every event currently in the ring, in FIFO order.
+  std::vector<Event> drain();
+
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  std::uint64_t published() const { return published_.load(std::memory_order_relaxed); }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq;
+    Event event;
+  };
+
+  std::vector<Slot> slots_;
+  std::uint64_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::uint64_t> dequeue_pos_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> published_{0};
+};
+
+/// Serializes one event as a single compact JSON line (no trailing newline):
+/// insertion-ordered keys, shortest-round-trip doubles — deterministic-plane
+/// lines are byte-stable across shapes because the fields are.
+std::string event_json_line(const Event& e);
+
+/// Appends events to `os` as `dtr.events.v1` JSONL, one line each.
+/// `write_events_header` emits the deterministic schema line that starts
+/// every stream.
+void write_events_header(std::ostream& os);
+void write_events_jsonl(std::ostream& os, const std::vector<Event>& events);
+
+/// Convenience producers --------------------------------------------------
+
+/// Publishes a process-plane event stamped with wall_ms (milliseconds since
+/// the first call in this process — monotonic, not absolute). Null bus = no-op.
+void publish_process(EventBus* bus, Event e);
+
+/// Publishes a deterministic-plane event (asserts wall_ms stays 0). Null bus
+/// = no-op.
+void publish_deterministic(EventBus* bus, Event e);
+
+/// Emits one kCounterDelta event per deterministic counter whose value in
+/// `now` exceeds its value in `before` (process plane: the snapshot cadence
+/// is time-driven even though the counters are deterministic).
+void publish_snapshot_delta(EventBus* bus, const Snapshot& before, const Snapshot& now);
+
+}  // namespace dtr::telemetry

@@ -1,0 +1,126 @@
+#include "telemetry/exposer.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace dtr::telemetry {
+
+namespace {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "dtr_";
+  for (const char c : name)
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  return out;
+}
+
+const char* plane_label(Plane plane) {
+  return plane == Plane::kDeterministic ? "det" : "process";
+}
+
+void render_plane(std::string& out, const Snapshot& snap, Plane plane) {
+  const char* label = plane_label(plane);
+  for (const CounterValue& c : snap.counters) {
+    const std::string name = prometheus_name(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + "{plane=\"" + label + "\"} " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeValue& g : snap.gauges) {
+    const std::string name = prometheus_name(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + "{plane=\"" + label + "\"} " + std::to_string(g.value) + "\n";
+  }
+  for (const HistogramValue& h : snap.histograms) {
+    const std::string name = prometheus_name(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      out += name + "_bucket{plane=\"" + label + "\",le=\"" +
+             std::to_string(h.bounds[i]) + "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{plane=\"" + label + "\",le=\"+Inf\"} " +
+           std::to_string(h.count) + "\n";
+    out += name + "_sum{plane=\"" + label + "\"} " + std::to_string(h.sum) + "\n";
+    out += name + "_count{plane=\"" + label + "\"} " + std::to_string(h.count) + "\n";
+  }
+}
+
+}  // namespace
+
+std::string render_prometheus(const Registry& registry) {
+  std::string out;
+  render_plane(out, registry.snapshot(Plane::kDeterministic), Plane::kDeterministic);
+  render_plane(out, registry.snapshot(Plane::kProcess), Plane::kProcess);
+  return out;
+}
+
+MetricsExposer::MetricsExposer(const Registry& registry, std::uint16_t port)
+    : registry_(registry) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("MetricsExposer: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 4) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("MetricsExposer: cannot bind 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread([this] { serve(); });
+}
+
+MetricsExposer::~MetricsExposer() { stop(); }
+
+void MetricsExposer::stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void MetricsExposer::serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    // Drain whatever request arrived (one read is enough for a scrape line;
+    // we answer every method/path identically), then write the rendering.
+    char buf[1024];
+    (void)::read(conn, buf, sizeof(buf));
+    const std::string body = render_prometheus(registry_);
+    const std::string response =
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " + std::to_string(body.size()) + "\r\n"
+        "Connection: close\r\n\r\n" + body;
+    std::size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t n = ::write(conn, response.data() + sent, response.size() - sent);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    ::close(conn);
+  }
+}
+
+}  // namespace dtr::telemetry

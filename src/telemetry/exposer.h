@@ -1,0 +1,56 @@
+#pragma once
+
+/// Live metrics exposer: Prometheus text-format rendering of a telemetry
+/// Registry plus a minimal poll-based HTTP listener that serves it — the
+/// pull-model half of ROADMAP item 2's streaming front end. No dependencies
+/// beyond POSIX sockets; one background thread, one connection at a time
+/// (scrapes are rare and the response is small).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "telemetry/telemetry.h"
+
+namespace dtr::telemetry {
+
+/// Renders both planes of `registry` in Prometheus text exposition format
+/// 0.0.4: counters as `dtr_<name>{plane="det|process"}` counter families,
+/// gauges as gauges, histograms as cumulative `_bucket{le=...}` series with
+/// `+Inf`, `_sum`, and `_count`. Metric names are the registry names with
+/// non-alphanumeric characters mapped to '_' and a `dtr_` prefix.
+std::string render_prometheus(const Registry& registry);
+
+/// Serves `render_prometheus(registry)` over HTTP on 127.0.0.1:`port`
+/// (port 0 binds an ephemeral port — read it back via port()). The listener
+/// thread poll()s with a short timeout so stop()/destruction never hangs on
+/// an idle socket. Every request gets the full current rendering regardless
+/// of method or path; errors while serving a connection are swallowed (a
+/// broken scrape must never take down the run).
+class MetricsExposer {
+ public:
+  /// Throws std::runtime_error when the socket cannot be bound.
+  explicit MetricsExposer(const Registry& registry, std::uint16_t port);
+  ~MetricsExposer();
+
+  MetricsExposer(const MetricsExposer&) = delete;
+  MetricsExposer& operator=(const MetricsExposer&) = delete;
+
+  /// The bound port (the ephemeral one when constructed with port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Idempotent; joins the listener thread.
+  void stop();
+
+ private:
+  void serve();
+
+  const Registry& registry_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace dtr::telemetry

@@ -1,10 +1,10 @@
 /// Hardening-objective API: aggregation-mode parsing, the expected-downtime
-/// arithmetic, per-link-shape detection behind the compatibility shim, the
-/// weighted/violation-abort sweep paths, catalog-criticality determinism
-/// (1 vs 8 threads, bytes-equal), and the PR's acceptance contracts — the
-/// deprecated link_failure_probabilities config produces a bit-identical
-/// OptimizeResult to its objective-API spelling, and catalog-mode runs are
-/// bit-identical for any thread count.
+/// arithmetic, per-link-shape detection (objective_from_link_probabilities
+/// round-trips through as_per_link_probabilities and runs the classic
+/// pipeline), the weighted/violation-abort sweep paths, catalog-criticality
+/// determinism (1 vs 8 threads, bytes-equal), and the acceptance contract
+/// that per-link and catalog-mode runs are bit-identical for any thread
+/// count.
 
 #include <gtest/gtest.h>
 
@@ -316,35 +316,34 @@ void expect_optimize_results_identical(const OptimizeResult& a, const OptimizeRe
   expect_bytes_equal(a.estimates.rho_phi, b.estimates.rho_phi);
 }
 
-TEST(HardeningTest, ShimBitIdenticalToObjectiveApi) {
+TEST(HardeningTest, PerLinkObjectiveRunsClassicPipeline) {
   const TestInstance inst = make_test_instance(10, 4.0, 77, 0.6);
   const Evaluator ev(inst.graph, inst.traffic, inst.params);
   std::vector<double> probs(inst.graph.num_links());
   for (std::size_t l = 0; l < probs.size(); ++l)
     probs[l] = 0.001 * static_cast<double>(l + 1);
 
-  OptimizerConfig legacy = smoke_config(77);
-  legacy.link_failure_probabilities = probs;
-  RobustOptimizer legacy_opt(ev, legacy);
-  const OptimizeResult via_shim = legacy_opt.optimize();
+  OptimizerConfig config = smoke_config(77);
+  config.objective = objective_from_link_probabilities(inst.graph, probs);
 
-  OptimizerConfig modern = smoke_config(77);
-  modern.objective = objective_from_link_probabilities(inst.graph, probs);
-  RobustOptimizer modern_opt(ev, modern);
-  const OptimizeResult via_objective = modern_opt.optimize();
+  // The per-link shape is detected and round-trips the weights exactly.
+  const auto per_link =
+      as_per_link_probabilities(*config.objective, inst.graph.num_links());
+  ASSERT_TRUE(per_link.has_value());
+  expect_bytes_equal(*per_link, probs);
 
-  expect_optimize_results_identical(via_shim, via_objective);
-  // Both spellings take the classic per-link path: no catalog diagnostics.
-  EXPECT_EQ(via_shim.catalog_size, 0u);
-  EXPECT_EQ(via_objective.catalog_size, 0u);
-  EXPECT_TRUE(std::isnan(via_objective.robust_objective_value));
+  RobustOptimizer opt(ev, config);
+  const OptimizeResult sequential = opt.optimize();
+  // Classic per-link path: no catalog diagnostics.
+  EXPECT_EQ(sequential.catalog_size, 0u);
+  EXPECT_TRUE(sequential.critical_scenarios.empty());
+  EXPECT_TRUE(std::isnan(sequential.robust_objective_value));
 
-  // And both match the pre-API behavior of the same seed without weights
-  // only in shape, not necessarily value — but they must equal each other.
-  OptimizerConfig both = smoke_config(77);
-  both.objective = objective_from_link_probabilities(inst.graph, probs);
-  both.link_failure_probabilities = probs;
-  EXPECT_THROW(RobustOptimizer(ev, both), std::invalid_argument);
+  // And it keeps the engine-wide determinism contract across thread shapes.
+  OptimizerConfig parallel_config = config;
+  parallel_config.num_threads = 8;
+  RobustOptimizer parallel_opt(ev, parallel_config);
+  expect_optimize_results_identical(sequential, parallel_opt.optimize());
 }
 
 // ------------------------------------------------------------ catalog mode

@@ -193,8 +193,9 @@ TEST(OptimizerTest, FailureProbabilitiesSteerCriticalSelection) {
   }
   if (boosted == kInvalidLink) GTEST_SKIP() << "no boostable link at this seed";
 
-  config.link_failure_probabilities.assign(inst.graph.num_links(), 1e-6);
-  config.link_failure_probabilities[boosted] = 1.0;
+  std::vector<double> probs(inst.graph.num_links(), 1e-6);
+  probs[boosted] = 1.0;
+  config.objective = objective_from_link_probabilities(inst.graph, probs);
   RobustOptimizer weighted(ev, config);
   const OptimizeResult r = weighted.optimize();
   EXPECT_NE(std::find(r.critical.begin(), r.critical.end(), boosted), r.critical.end());
@@ -202,9 +203,15 @@ TEST(OptimizerTest, FailureProbabilitiesSteerCriticalSelection) {
 
 TEST(OptimizerTest, FailureProbabilitySizeValidated) {
   auto inst = test::make_test_instance(8, 4.0, 33);
+  const std::vector<double> wrong_size = {0.5, 0.5};
+  EXPECT_THROW(objective_from_link_probabilities(inst.graph, wrong_size),
+               std::invalid_argument);
+  // An objective referencing links beyond the graph is rejected at optimize().
   const Evaluator ev(inst.graph, inst.traffic, inst.params);
   OptimizerConfig config = smoke_config(33);
-  config.link_failure_probabilities = {0.5, 0.5};  // wrong size
+  HardeningObjective bad;
+  bad.set.add(FailureScenario::link(inst.graph.num_links() + 7), 1.0, "out-of-range");
+  config.objective = bad;
   RobustOptimizer opt(ev, config);
   EXPECT_THROW(opt.optimize(), std::invalid_argument);
 }

@@ -213,6 +213,44 @@ TEST(TelemetryExportTest, JsonAndChromeTraceShapes) {
   EXPECT_NE(trace_text.find("\"ph\": \"X\""), std::string::npos);
 }
 
+TEST(TelemetryExportTest, ChromeTraceEventContentAndOrdering) {
+  telemetry::Registry reg;
+  {
+    telemetry::ScopedSpan outer(&reg, "phase1a");
+    telemetry::ScopedSpan inner(&reg, "spf");
+  }
+  { telemetry::ScopedSpan later(&reg, "phase2"); }
+
+  std::ostringstream os;
+  write_chrome_trace(os, reg);
+  const std::string text = os.str();
+
+  // Every span becomes one complete ("X") event with the full key set.
+  std::size_t ph_count = 0;
+  for (std::size_t at = text.find("\"ph\": \"X\""); at != std::string::npos;
+       at = text.find("\"ph\": \"X\"", at + 1))
+    ++ph_count;
+  EXPECT_EQ(ph_count, 3u);
+  for (const char* key : {"\"cat\": \"dtr\"", "\"ts\":", "\"dur\":", "\"pid\": 1",
+                          "\"tid\":", "\"displayTimeUnit\": \"ms\""})
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+
+  // Records appear in close order (inner before outer before phase2), and
+  // timestamps are normalized so the earliest span starts at ts 0 — which is
+  // the OUTER span, even though it closed second.
+  const std::size_t at_inner = text.find("\"name\": \"spf\"");
+  const std::size_t at_outer = text.find("\"name\": \"phase1a\"");
+  const std::size_t at_later = text.find("\"name\": \"phase2\"");
+  ASSERT_NE(at_inner, std::string::npos);
+  ASSERT_NE(at_outer, std::string::npos);
+  ASSERT_NE(at_later, std::string::npos);
+  EXPECT_LT(at_inner, at_outer);
+  EXPECT_LT(at_outer, at_later);
+  const std::size_t outer_ts = text.find("\"ts\": 0,", at_outer);
+  EXPECT_NE(outer_ts, std::string::npos);
+  EXPECT_LT(outer_ts, at_later);
+}
+
 // ---------------------------------------------------------------------------
 // Deterministic-plane contract across execution shapes.
 // ---------------------------------------------------------------------------
